@@ -1,0 +1,57 @@
+//! Ablation of DaRE's design knobs: random-layer depth and candidate
+//! thresholds per attribute (`k'`) — their effect on deletion cost.
+//! Deeper random layers and more cached thresholds should make deletions
+//! cheaper (fewer retrains) at some training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fume_forest::{DareConfig, DareForest};
+use fume_tabular::datasets::german_credit;
+
+fn bench_random_depth(c: &mut Criterion) {
+    let (data, _) = german_credit().generate_full(31).expect("generate");
+    let subset: Vec<u32> = (0..50u32).collect();
+    let mut g = c.benchmark_group("delete_by_random_depth");
+    g.sample_size(10);
+    for &d_rand in &[0usize, 1, 3] {
+        let cfg = DareConfig::default()
+            .with_trees(25)
+            .with_max_depth(8)
+            .with_random_depth(d_rand)
+            .with_seed(31);
+        let forest = DareForest::fit(&data, cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(d_rand), &forest, |b, forest| {
+            b.iter(|| {
+                let mut f = forest.clone();
+                f.delete(&subset, &data).expect("valid ids");
+                f
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_thresholds(c: &mut Criterion) {
+    let (data, _) = german_credit().generate_full(32).expect("generate");
+    let subset: Vec<u32> = (0..50u32).collect();
+    let mut g = c.benchmark_group("delete_by_k_thresholds");
+    g.sample_size(10);
+    for &k in &[1usize, 5, 15] {
+        let cfg = DareConfig::default()
+            .with_trees(25)
+            .with_max_depth(8)
+            .with_thresholds(k)
+            .with_seed(32);
+        let forest = DareForest::fit(&data, cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &forest, |b, forest| {
+            b.iter(|| {
+                let mut f = forest.clone();
+                f.delete(&subset, &data).expect("valid ids");
+                f
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_random_depth, bench_thresholds);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `repro` — regenerates every table and figure of the FUME paper.
+//!
+//! ```text
+//! repro --exp all                # everything, quick scale
+//! repro --exp tab3 --full        # Table 3 at paper scale
+//! repro --exp fig3 --out results # write markdown under results/
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use fume_bench::experiments::{ablation, fig3, fig4, fig5, mitigation, tab1, tab2, tab8, tab9, topk};
+use fume_bench::RunScale;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9", "fig3", "fig4",
+    "fig5a", "fig5b", "mitigation", "ablation",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro --exp <{}|all> [--full] [--out DIR]",
+        EXPERIMENTS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn run_one(exp: &str, scale: RunScale) -> Option<String> {
+    let md = match exp {
+        "tab1" => tab1::run(scale),
+        "tab2" => tab2::run(scale),
+        "tab3" => topk::run(topk::TopKTable::German, scale),
+        "tab4" => topk::run(topk::TopKTable::Adult, scale),
+        "tab5" => topk::run(topk::TopKTable::Sqf, scale),
+        "tab6" => topk::run(topk::TopKTable::Acs, scale),
+        "tab7" => topk::run(topk::TopKTable::Meps, scale),
+        "tab8" => tab8::run(scale),
+        "tab9" => tab9::run(scale),
+        "fig3" => fig3::run(scale),
+        "fig4" => fig4::run(scale),
+        "fig5a" => fig5::run_a(scale),
+        "fig5b" => fig5::run_b(scale),
+        "mitigation" => mitigation::run(scale),
+        "ablation" => ablation::run(scale),
+        _ => return None,
+    };
+    Some(md)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = String::from("all");
+    let mut scale = RunScale::quick();
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exp" => exp = it.next().cloned().unwrap_or_else(|| usage()),
+            "--full" => scale = RunScale::full(),
+            "--out" => out_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let selected: Vec<&str> = if exp == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&exp.as_str()) {
+        vec![exp.as_str()]
+    } else {
+        eprintln!("unknown experiment `{exp}`");
+        usage();
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for name in selected {
+        eprintln!("[repro] running {name} ...");
+        let t0 = std::time::Instant::now();
+        let md = run_one(name, scale).expect("experiment name validated above");
+        eprintln!("[repro] {name} finished in {:.1}s", t0.elapsed().as_secs_f64());
+        println!("{md}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{name}.md"));
+            let mut f = std::fs::File::create(&path).expect("create result file");
+            f.write_all(md.as_bytes()).expect("write result file");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    }
+}

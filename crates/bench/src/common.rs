@@ -1,0 +1,80 @@
+//! Shared experiment plumbing: dataset preparation and small formatting
+//! helpers.
+
+use std::time::Duration;
+
+use fume_forest::{DareConfig, DareForest};
+use fume_tabular::datasets::PaperDataset;
+use fume_tabular::split::train_test_split;
+use fume_tabular::{Dataset, GroupSpec};
+
+use crate::scale::RunScale;
+
+/// Master seed for all experiments; every derived seed is deterministic.
+pub const SEED: u64 = 20_250_325; // EDBT 2025's opening day
+
+/// A prepared experiment environment for one dataset.
+pub struct Prepared {
+    /// Dataset name.
+    pub name: String,
+    /// Training split (70 %).
+    pub train: Dataset,
+    /// Test split (30 %).
+    pub test: Dataset,
+    /// Sensitive-group specification.
+    pub group: GroupSpec,
+    /// Forest hyperparameters at this scale.
+    pub forest_cfg: DareConfig,
+}
+
+impl Prepared {
+    /// Generates, splits and configures one paper dataset at `scale`.
+    pub fn new(ds: &PaperDataset, scale: RunScale, seed: u64) -> Self {
+        let n = scale.rows(ds.full_size);
+        let (data, group) = fume_tabular::generator::generate(&ds.spec, n, seed)
+            .expect("spec is statically valid");
+        let (train, test) = train_test_split(&data, 0.3, seed).expect("non-empty");
+        Prepared {
+            name: ds.spec.name.clone(),
+            train,
+            test,
+            group,
+            forest_cfg: scale.forest(seed),
+        }
+    }
+
+    /// Trains the DaRE forest for this environment.
+    pub fn fit(&self) -> DareForest {
+        DareForest::fit(&self.train, self.forest_cfg.clone())
+    }
+}
+
+/// Formats a duration as seconds with two decimals.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::datasets::german_credit;
+
+    #[test]
+    fn prepared_splits_70_30() {
+        let p = Prepared::new(&german_credit(), RunScale::quick(), 1);
+        let total = p.train.num_rows() + p.test.num_rows();
+        assert_eq!(total, 1_000); // German is never scaled below full size
+        assert!((p.train.num_rows() as f64 / total as f64 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(Duration::from_millis(1_500)), "1.50");
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

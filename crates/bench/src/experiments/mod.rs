@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper's evaluation (§6).
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod mitigation;
+pub mod tab1;
+pub mod tab2;
+pub mod tab8;
+pub mod tab9;
+pub mod topk;

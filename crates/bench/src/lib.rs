@@ -1,0 +1,19 @@
+//! # fume-bench
+//!
+//! The reproduction harness of the FUME workspace: one module per table
+//! and figure of the paper's evaluation, each regenerating the same
+//! rows/series the paper reports (on the synthetic dataset stand-ins —
+//! see `DESIGN.md` §2), plus Criterion micro-benchmarks of the hot
+//! primitives.
+//!
+//! Run `cargo run --release -p fume-bench --bin repro -- --exp all` to
+//! regenerate everything, or `--exp tab3`, `--exp fig4`, … individually;
+//! add `--full` for paper-scale datasets.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+pub mod scale;
+
+pub use scale::RunScale;

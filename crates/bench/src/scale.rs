@@ -1,0 +1,70 @@
+//! Run-scale presets: the paper's experiments at full size or at a
+//! CI-friendly fraction.
+//!
+//! Absolute runtimes are not the reproduction target (different language,
+//! hardware and data substrate); the *shape* of every experiment is. The
+//! default scale keeps each experiment in seconds-to-minutes on a laptop
+//! while preserving dataset proportions; `--full` re-runs at the paper's
+//! published sizes.
+
+use fume_forest::DareConfig;
+
+/// How large to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScale {
+    /// Multiplier on each dataset's published row count.
+    pub data_fraction: f64,
+    /// Trees per forest.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Subsets per cloud in the Figure 3 scatter.
+    pub fig3_subsets: usize,
+}
+
+impl RunScale {
+    /// Small, fast preset (default): ~10 % data, 25 trees.
+    pub fn quick() -> Self {
+        Self { data_fraction: 0.10, n_trees: 25, max_depth: 8, fig3_subsets: 60 }
+    }
+
+    /// The paper's scale: full datasets, 100 trees, 1 000 subsets.
+    pub fn full() -> Self {
+        Self { data_fraction: 1.0, n_trees: 100, max_depth: 10, fig3_subsets: 1_000 }
+    }
+
+    /// Forest hyperparameters for this scale.
+    pub fn forest(&self, seed: u64) -> DareConfig {
+        DareConfig::default()
+            .with_trees(self.n_trees)
+            .with_max_depth(self.max_depth)
+            .with_seed(seed)
+    }
+
+    /// Rows to generate for a dataset with `full_size` published rows.
+    /// Small datasets are never scaled below 1 000 rows (German's full
+    /// size) — below that, test-set fairness becomes too granular to rank
+    /// subsets meaningfully.
+    pub fn rows(&self, full_size: usize) -> usize {
+        ((full_size as f64 * self.data_fraction).round() as usize)
+            .max(1_000)
+            .min(full_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let q = RunScale::quick();
+        assert!(q.data_fraction < 1.0);
+        assert_eq!(q.rows(1_000), 1_000, "clamped to the 1k minimum, capped at full");
+        assert_eq!(q.rows(100_000), 10_000);
+        let f = RunScale::full();
+        assert_eq!(f.rows(45_222), 45_222);
+        assert_eq!(f.forest(3).n_trees, 100);
+        assert_eq!(f.forest(3).seed, 3);
+    }
+}

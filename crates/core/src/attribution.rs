@@ -1,0 +1,189 @@
+//! Subset attribution toward bias (paper Definitions 2.2/2.3 and Eq. 2),
+//! with parallel batch evaluation.
+
+use fume_fairness::FairnessMetric;
+use fume_lattice::{BatchEvaluator, EvalItem};
+use fume_tabular::{Dataset, GroupSpec};
+
+use crate::removal::RemovalMethod;
+
+/// The paper's subset attribution
+/// `φ_T = (|F(h_T)| − |F(h)|) / |F(h)|` (Definition 2.3): negative when
+/// removing the subset reduces bias.
+#[inline]
+pub fn phi(original_bias: f64, bias_without: f64) -> f64 {
+    debug_assert!(original_bias > 0.0, "caller checks for an actual violation");
+    (bias_without - original_bias) / original_bias
+}
+
+/// Parity reduction `ρ_T = −φ_T`: the fraction of the violation removed
+/// (what Tables 3–7 report as "Parity Reduction" percentages).
+#[inline]
+pub fn parity_reduction(original_bias: f64, bias_without: f64) -> f64 {
+    -phi(original_bias, bias_without)
+}
+
+/// Estimates subset attributions through a [`RemovalMethod`]: FUME's
+/// Equation 2 with `R` = DaRE unlearning, or the ground truth with `R` =
+/// retraining.
+pub struct AttributionEstimator<'a, R: RemovalMethod> {
+    removal: R,
+    metric: FairnessMetric,
+    test: &'a Dataset,
+    group: GroupSpec,
+    original_bias: f64,
+    n_jobs: usize,
+}
+
+impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
+    /// Builds an estimator around the deployed model's observed bias.
+    /// `original_bias` must be positive (there must *be* a violation).
+    pub fn new(
+        removal: R,
+        metric: FairnessMetric,
+        test: &'a Dataset,
+        group: GroupSpec,
+        original_bias: f64,
+        n_jobs: Option<usize>,
+    ) -> Self {
+        assert!(original_bias > 0.0, "no fairness violation to attribute");
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { removal, metric, test, group, original_bias, n_jobs: n_jobs.unwrap_or(avail).max(1) }
+    }
+
+    /// `ρ` for a single subset.
+    pub fn rho(&self, subset: &[u32]) -> f64 {
+        let model = self.removal.remove(subset);
+        let new_bias = self.metric.bias(&model, self.test, self.group);
+        parity_reduction(self.original_bias, new_bias)
+    }
+
+    /// `φ` for a single subset.
+    pub fn phi(&self, subset: &[u32]) -> f64 {
+        -self.rho(subset)
+    }
+
+    /// The observed bias of the deployed model.
+    pub fn original_bias(&self) -> f64 {
+        self.original_bias
+    }
+}
+
+impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
+    /// Evaluates a level's subsets in parallel: each worker clones/retrains
+    /// its own model, so items are fully independent.
+    fn evaluate(&self, items: &[EvalItem<'_>]) -> Vec<f64> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let jobs = self.n_jobs.min(items.len());
+        if jobs <= 1 {
+            return items.iter().map(|it| self.rho(it.rows)).collect();
+        }
+        let mut out: Vec<Option<f64>> = vec![None; items.len()];
+        let chunk = items.len().div_ceil(jobs);
+        crossbeam::scope(|scope| {
+            for (slots, work) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, item) in slots.iter_mut().zip(work) {
+                        *slot = Some(self.rho(item.rows));
+                    }
+                });
+            }
+        })
+        .expect("attribution workers do not panic");
+        out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::removal::DareRemoval;
+    use fume_forest::{DareConfig, DareForest};
+    use fume_lattice::{Literal, Predicate};
+    use fume_tabular::datasets::planted_toy;
+    use fume_tabular::split::train_test_split;
+
+    #[test]
+    fn phi_and_rho_are_negations() {
+        assert!((phi(0.2, 0.1) + 0.5).abs() < 1e-12);
+        assert!((parity_reduction(0.2, 0.1) - 0.5).abs() < 1e-12);
+        // Removing a subset that *increases* bias: ρ negative.
+        assert!(parity_reduction(0.2, 0.3) < 0.0);
+        // Complete bias removal: ρ = 1.
+        assert!((parity_reduction(0.2, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    fn setup() -> (Dataset, Dataset, GroupSpec, DareForest, f64) {
+        let (data, group) = planted_toy().generate_scaled(0.5, 71).unwrap();
+        let (train, test) = train_test_split(&data, 0.3, 71).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(71));
+        let bias = FairnessMetric::StatisticalParity.bias(&forest, &test, group);
+        (train, test, group, forest, bias)
+    }
+
+    #[test]
+    fn parallel_and_serial_evaluation_agree() {
+        let (train, test, group, forest, bias) = setup();
+        assert!(bias > 0.0, "toy model must show a violation (bias {bias})");
+        let preds: Vec<Predicate> = (0..3u16)
+            .map(|v| Predicate::single(Literal::eq(1, v)))
+            .collect();
+        let selections: Vec<Vec<u32>> = preds.iter().map(|p| p.select(&train)).collect();
+        let items: Vec<EvalItem<'_>> = preds
+            .iter()
+            .zip(&selections)
+            .map(|(p, s)| EvalItem { predicate: p, rows: s })
+            .collect();
+
+        let serial = AttributionEstimator::new(
+            DareRemoval::new(&forest, &train),
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            bias,
+            Some(1),
+        );
+        let parallel = AttributionEstimator::new(
+            DareRemoval::new(&forest, &train),
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            bias,
+            Some(4),
+        );
+        let a = serial.evaluate(&items);
+        let b = parallel.evaluate(&items);
+        assert_eq!(a, b, "parallelism must not change results");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (train, test, group, forest, bias) = setup();
+        let est = AttributionEstimator::new(
+            DareRemoval::new(&forest, &train),
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            bias,
+            None,
+        );
+        assert!(est.evaluate(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no fairness violation")]
+    fn zero_bias_rejected() {
+        let (train, test, group, forest, _) = setup();
+        AttributionEstimator::new(
+            DareRemoval::new(&forest, &train),
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            0.0,
+            None,
+        );
+    }
+}

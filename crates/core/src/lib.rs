@@ -1,0 +1,36 @@
+//! # fume-core
+//!
+//! **FUME** — *Explaining Fairness Violations using Machine Unlearning*
+//! (Surve & Pradhan, EDBT 2025) — identifies the top-k predicate-based
+//! training-data subsets attributable to a group-fairness violation of a
+//! random-forest classifier.
+//!
+//! The expensive primitive — *what would the model's fairness be had it
+//! been trained without subset T?* — is answered by **exact machine
+//! unlearning** on a [DaRE forest](fume_forest::DareForest)
+//! ([`DareRemoval`]) instead of retraining, and the
+//! exponential predicate space is navigated by the apriori-style
+//! [lattice search](fume_lattice) with the paper's five pruning rules.
+//!
+//! Entry point: [`Fume::explain`](algorithm::Fume::explain).
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod attribution;
+pub mod baseline;
+pub mod config;
+pub mod instance_attribution;
+pub mod path_mining;
+pub mod removal;
+pub mod report;
+pub mod slice_finder;
+
+pub use algorithm::{apply_removal, ExplainedSubset, Fume, FumeError, FumeReport};
+pub use attribution::{parity_reduction, phi, AttributionEstimator};
+pub use baseline::{drop_unpriv_unfavor, BaselineResult};
+pub use config::FumeConfig;
+pub use instance_attribution::{overlap_with_subset, rank_instances, InstanceAttribution};
+pub use path_mining::{mine_unfair_paths, MinedPattern};
+pub use removal::{DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval};
+pub use slice_finder::{find_slices, Slice};

@@ -1,0 +1,188 @@
+//! Removal methods `R(A(D), D, T)`: ways to obtain "the model had it been
+//! trained without subset T" (paper §3).
+//!
+//! Two implementations are provided:
+//! * [`DareRemoval`] — machine unlearning on a DaRE forest (FUME's fast
+//!   path): clone the trained forest, batch-delete the subset;
+//! * [`RetrainRemoval`] — the naive gold standard: fit a fresh forest on
+//!   `D \ T` from scratch (used as ground truth in the paper's Figure 3
+//!   and as the efficiency baseline).
+
+use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig};
+use fume_tabular::{Classifier, Dataset};
+
+/// Produces a model equivalent to training on `D \ subset`.
+pub trait RemovalMethod: Sync {
+    /// The model type produced.
+    type Model: Classifier;
+
+    /// Returns the model with `subset` (training-row ids) removed.
+    /// Must not mutate the deployed model.
+    fn remove(&self, subset: &[u32]) -> Self::Model;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Machine unlearning via DaRE: clone the deployed forest and exactly
+/// unlearn the subset.
+#[derive(Debug, Clone, Copy)]
+pub struct DareRemoval<'a> {
+    forest: &'a DareForest,
+    train: &'a Dataset,
+}
+
+impl<'a> DareRemoval<'a> {
+    /// Wraps a trained forest and its training data.
+    pub fn new(forest: &'a DareForest, train: &'a Dataset) -> Self {
+        Self { forest, train }
+    }
+}
+
+impl RemovalMethod for DareRemoval<'_> {
+    type Model = DareForest;
+
+    fn remove(&self, subset: &[u32]) -> DareForest {
+        let mut clone = self.forest.clone();
+        // Lattice selections come from the training universe the forest
+        // was fitted on, so the per-call presence scan is skipped.
+        clone.delete_unchecked(subset, self.train);
+        clone
+    }
+
+    fn name(&self) -> &'static str {
+        "DaRE unlearning"
+    }
+}
+
+/// The naive approach: retrain from scratch on the surviving rows with the
+/// same hyperparameters and seed.
+#[derive(Debug, Clone)]
+pub struct RetrainRemoval<'a> {
+    train: &'a Dataset,
+    config: DareConfig,
+}
+
+impl<'a> RetrainRemoval<'a> {
+    /// Wraps the training data and forest hyperparameters.
+    pub fn new(train: &'a Dataset, config: DareConfig) -> Self {
+        Self { train, config }
+    }
+}
+
+impl RemovalMethod for RetrainRemoval<'_> {
+    type Model = DareForest;
+
+    fn remove(&self, subset: &[u32]) -> DareForest {
+        let mut keep = vec![true; self.train.num_rows()];
+        for &id in subset {
+            keep[id as usize] = false;
+        }
+        let surviving: Vec<u32> = (0..self.train.num_rows() as u32)
+            .filter(|&r| keep[r as usize])
+            .collect();
+        // Retrains serially: the caller parallelizes across subsets.
+        let cfg = DareConfig { n_jobs: Some(1), ..self.config.clone() };
+        DareForest::fit_on(self.train, surviving, cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "retraining from scratch"
+    }
+}
+
+/// Model-agnostic removal for gradient-boosted trees: retrain on the
+/// complement. GBDT trees are sequential (each fits the previous
+/// ensemble's gradients), so a deletion invalidates every later tree and
+/// retraining *is* the exact removal method — which is precisely why the
+/// paper's fast path needs a model like DaRE, and why this impl exists:
+/// it demonstrates §5.1's claim that FUME runs unchanged on any model by
+/// swapping `EstimateAttribution`'s removal method.
+#[derive(Debug, Clone)]
+pub struct GbdtRetrainRemoval<'a> {
+    train: &'a Dataset,
+    config: GbdtConfig,
+}
+
+impl<'a> GbdtRetrainRemoval<'a> {
+    /// Wraps the training data and GBDT hyperparameters.
+    pub fn new(train: &'a Dataset, config: GbdtConfig) -> Self {
+        Self { train, config }
+    }
+}
+
+impl RemovalMethod for GbdtRetrainRemoval<'_> {
+    type Model = Gbdt;
+
+    fn remove(&self, subset: &[u32]) -> Gbdt {
+        let mut keep = vec![true; self.train.num_rows()];
+        for &id in subset {
+            keep[id as usize] = false;
+        }
+        let surviving: Vec<u32> = (0..self.train.num_rows() as u32)
+            .filter(|&r| keep[r as usize])
+            .collect();
+        Gbdt::fit_on(self.train, surviving, self.config.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "GBDT retraining"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::datasets::planted_toy;
+
+    #[test]
+    fn dare_removal_does_not_mutate_deployed_model() {
+        let (train, _) = planted_toy().generate_scaled(0.15, 61).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(61));
+        let snapshot = forest.clone();
+        let removal = DareRemoval::new(&forest, &train);
+        let unlearned = removal.remove(&[0, 1, 2, 3, 4]);
+        assert_eq!(forest, snapshot, "deployed model must be untouched");
+        assert_eq!(unlearned.num_instances() + 5, forest.num_instances());
+    }
+
+    #[test]
+    fn retrain_removal_trains_on_complement() {
+        let (train, _) = planted_toy().generate_scaled(0.15, 62).unwrap();
+        let removal = RetrainRemoval::new(&train, DareConfig::small(62).with_trees(5));
+        let model = removal.remove(&[0, 10, 20]);
+        assert_eq!(model.num_instances() as usize, train.num_rows() - 3);
+    }
+
+    #[test]
+    fn both_methods_agree_closely_on_small_deletions() {
+        use fume_fairness::FairnessMetric;
+        let (data, group) = planted_toy().generate_scaled(0.5, 63).unwrap();
+        let (train, test) =
+            fume_tabular::split::train_test_split(&data, 0.3, 63).unwrap();
+        let cfg = DareConfig::small(63);
+        let forest = DareForest::fit(&train, cfg.clone());
+        let dare = DareRemoval::new(&forest, &train);
+        let retrain = RetrainRemoval::new(&train, cfg);
+        let subset: Vec<u32> = (0..40).collect();
+        let b_dare =
+            FairnessMetric::StatisticalParity.bias(&dare.remove(&subset), &test, group);
+        let b_retrain =
+            FairnessMetric::StatisticalParity.bias(&retrain.remove(&subset), &test, group);
+        assert!(
+            (b_dare - b_retrain).abs() < 0.08,
+            "unlearned bias {b_dare} vs retrained {b_retrain}"
+        );
+    }
+
+    #[test]
+    fn names() {
+        let (train, _) = planted_toy().generate_scaled(0.1, 64).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(64).with_trees(2));
+        assert_eq!(DareRemoval::new(&forest, &train).name(), "DaRE unlearning");
+        assert_eq!(
+            RetrainRemoval::new(&train, DareConfig::small(64)).name(),
+            "retraining from scratch"
+        );
+    }
+}

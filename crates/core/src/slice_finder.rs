@@ -1,0 +1,193 @@
+//! A SliceFinder/SliceLine-style comparator (paper §7, "Debugging
+//! Data-based Systems").
+//!
+//! Those systems find predicate *slices of the data where the model
+//! performs worst* using additive performance metrics (error counts /
+//! log loss). They detect problematic regions but cannot attribute a
+//! *fairness* violation to training data: fairness metrics are not
+//! additive over rows, and a slice where the model errs is not the same
+//! thing as a training subset whose removal reduces bias. This module
+//! implements the slice-finding approach over the same lattice so the two
+//! can be compared head-to-head (see `tests/` and the workspace
+//! examples).
+
+use fume_lattice::{search, EvalItem, Predicate, SearchOutcome, SearchParams};
+use fume_tabular::{Classifier, Dataset};
+
+/// A slice where the model underperforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slice {
+    /// The slice's predicate, rendered.
+    pub pattern: String,
+    /// The underlying predicate.
+    pub predicate: Predicate,
+    /// Fraction of evaluation rows in the slice.
+    pub support: f64,
+    /// Model error rate inside the slice.
+    pub slice_error: f64,
+    /// Model error rate outside the slice.
+    pub rest_error: f64,
+}
+
+impl Slice {
+    /// SliceFinder's effect size analogue: how much worse the slice is
+    /// than the rest of the data.
+    pub fn error_gap(&self) -> f64 {
+        self.slice_error - self.rest_error
+    }
+}
+
+/// Finds the top-k slices of `eval_data` (by error-rate gap) where
+/// classifier `h` performs worse than on the rest, searching the same
+/// predicate lattice FUME uses. Because error counts are additive, no
+/// model updates are needed — one prediction pass suffices, which is
+/// exactly why slice finding is cheap but cannot answer FUME's question.
+pub fn find_slices<C: Classifier + ?Sized>(
+    h: &C,
+    eval_data: &Dataset,
+    params: &SearchParams,
+    k: usize,
+) -> Vec<Slice> {
+    let preds = h.predict(eval_data);
+    let errors: Vec<bool> = preds
+        .iter()
+        .zip(eval_data.labels())
+        .map(|(p, y)| p != y)
+        .collect();
+    let total_errors = errors.iter().filter(|&&e| e).count() as f64;
+    let n = eval_data.num_rows() as f64;
+
+    // Score a subset by its error gap; the lattice driver handles the
+    // level-wise expansion and pruning exactly as for FUME.
+    let evaluator = |_p: &Predicate, rows: &[u32]| -> f64 {
+        if rows.is_empty() || rows.len() == eval_data.num_rows() {
+            return 0.0;
+        }
+        let slice_errors =
+            rows.iter().filter(|&&r| errors[r as usize]).count() as f64;
+        let slice_error = slice_errors / rows.len() as f64;
+        let rest_error = (total_errors - slice_errors) / (n - rows.len() as f64);
+        slice_error - rest_error
+    };
+    let outcome: SearchOutcome = search(eval_data, params, &evaluator);
+
+    outcome
+        .top_k(k)
+        .into_iter()
+        .map(|s| {
+            let slice_errors =
+                s.rows.iter().filter(|&&r| errors[r as usize]).count() as f64;
+            let slice_error = if s.rows.is_empty() {
+                0.0
+            } else {
+                slice_errors / s.rows.len() as f64
+            };
+            let rest_n = n - s.rows.len() as f64;
+            let rest_error = if rest_n <= 0.0 {
+                0.0
+            } else {
+                (total_errors - slice_errors) / rest_n
+            };
+            Slice {
+                pattern: s.predicate.render(eval_data.schema()),
+                predicate: s.predicate.clone(),
+                support: s.support,
+                slice_error,
+                rest_error,
+            }
+        })
+        .collect()
+}
+
+/// The number of prediction-only evaluations a slice search performs —
+/// for the efficiency comparison against FUME's unlearning count.
+pub fn slice_search_evaluations(
+    eval_data: &Dataset,
+    params: &SearchParams,
+) -> usize {
+    let evaluator = |_p: &Predicate, _rows: &[u32]| 1.0;
+    let items_counter = |items: &[EvalItem<'_>]| items.len();
+    let _ = items_counter; // documentation aid
+    search(eval_data, params, &evaluator).evaluations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_lattice::{SupportRange};
+    use fume_tabular::classifier::ConstantClassifier;
+    use fume_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// Model errs exactly where attr0 == 1.
+    struct ErrOnOne;
+    impl Classifier for ErrOnOne {
+        fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+            // Predict the label, except flip it when attr0 == 1.
+            (0..data.num_rows())
+                .map(|r| {
+                    let y = data.label(r);
+                    let flip = data.code(r, 0) == 1;
+                    if y != flip {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn data() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("bad_region", vec!["no".into(), "yes".into(), "other".into()]),
+                Attribute::categorical("noise", vec!["a".into(), "b".into()]),
+            ])
+            .unwrap(),
+        );
+        let n = 300;
+        let c0: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        // Stride 6 keeps the noise column independent of the label's
+        // parity pattern (each block of 6 holds 3 odd and 3 even rows).
+        let c1: Vec<u16> = (0..n).map(|i| ((i / 6) % 2) as u16).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        Dataset::new(schema, vec![c0, c1], labels).unwrap()
+    }
+
+    fn params() -> SearchParams {
+        SearchParams::new(SupportRange::new(0.05, 0.6).unwrap(), 2).unwrap()
+    }
+
+    #[test]
+    fn finds_the_planted_bad_slice() {
+        let d = data();
+        let slices = find_slices(&ErrOnOne, &d, &params(), 3);
+        assert!(!slices.is_empty());
+        let top = &slices[0];
+        assert!(top.pattern.contains("bad_region = yes"), "{}", top.pattern);
+        assert!((top.slice_error - 1.0).abs() < 1e-12);
+        assert!(top.rest_error.abs() < 1e-12);
+        assert!((top.error_gap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_model_yields_no_positive_slices() {
+        let d = data();
+        // A constant classifier that errs uniformly: gaps hover near zero,
+        // so nothing should exceed them meaningfully.
+        let slices = find_slices(&ConstantClassifier { proba: 1.0 }, &d, &params(), 5);
+        for s in &slices {
+            assert!(s.error_gap() <= 0.25, "{} gap {}", s.pattern, s.error_gap());
+        }
+    }
+
+    #[test]
+    fn evaluation_count_is_search_bound() {
+        let d = data();
+        let evals = slice_search_evaluations(&d, &params());
+        assert!(evals > 0);
+        // Level 1 has 5 literals; level 2 at most 6 cross-attr pairs.
+        assert!(evals <= 11, "{evals}");
+    }
+}

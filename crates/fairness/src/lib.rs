@@ -1,0 +1,36 @@
+//! # fume-fairness
+//!
+//! Group-fairness metrics for the FUME workspace (EDBT 2025): the paper's
+//! three parity notions ([`FairnessMetric`]), the per-group
+//! [confusion statistics](confusion) behind them, and
+//! [permutation feature importance](importance) used to analyze *why*
+//! identified subsets are attributable to bias.
+//!
+//! ```
+//! use fume_fairness::FairnessMetric;
+//! use fume_tabular::classifier::ConstantClassifier;
+//! use fume_tabular::datasets::german_credit;
+//!
+//! let (data, group) = german_credit().generate_full(1).unwrap();
+//! // A constant classifier treats the groups identically.
+//! let h = ConstantClassifier { proba: 0.8 };
+//! assert_eq!(FairnessMetric::StatisticalParity.evaluate(&h, &data, group), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod importance;
+pub mod metrics;
+pub mod postprocess;
+pub mod preprocess;
+pub mod threshold_sweep;
+
+pub use confusion::{Confusion, GroupConfusion};
+pub use importance::{permutation_importance, Importances};
+pub use metrics::{fairness_report, FairnessMetric, FairnessReport};
+pub use postprocess::{
+    fit_group_thresholds, predict_with_thresholds, GroupThresholds, ThresholdFit,
+};
+pub use preprocess::{massage, Massaged};
+pub use threshold_sweep::{fairest_threshold, threshold_sweep, SweepPoint};

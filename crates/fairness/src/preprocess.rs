@@ -1,0 +1,200 @@
+//! Pre-processing bias mitigation: **massaging** (Kamiran & Calders,
+//! 2009 — the paper's related-work category "pre-processing", §7).
+//!
+//! Massaging equalizes the groups' base rates by flipping a minimal
+//! number of carefully chosen labels: *promote* the protected-negative
+//! instances a ranker scores highest, *demote* the privileged-positive
+//! ones it scores lowest. A model retrained on the massaged data exhibits
+//! less disparity. Like DropUnprivUnfavor it modifies training data
+//! globally; FUME instead points at the specific subsets responsible.
+
+use fume_tabular::{Classifier, Dataset, GroupSpec};
+
+/// The outcome of massaging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Massaged {
+    /// The training data with flipped labels.
+    pub data: Dataset,
+    /// Rows promoted (protected, label flipped false → true).
+    pub promoted: Vec<u32>,
+    /// Rows demoted (privileged, label flipped true → false).
+    pub demoted: Vec<u32>,
+}
+
+/// Number of promotion/demotion pairs needed so both groups reach the
+/// pooled base rate (the classic closed form).
+fn flips_needed(data: &Dataset, group: GroupSpec) -> usize {
+    let mask = data.privileged_mask(group);
+    let (mut n_priv, mut pos_priv, mut n_prot, mut pos_prot) = (0f64, 0f64, 0f64, 0f64);
+    for (row, &is_priv) in mask.iter().enumerate() {
+        let y = data.label(row);
+        if is_priv {
+            n_priv += 1.0;
+            pos_priv += f64::from(u8::from(y));
+        } else {
+            n_prot += 1.0;
+            pos_prot += f64::from(u8::from(y));
+        }
+    }
+    if n_priv == 0.0 || n_prot == 0.0 {
+        return 0;
+    }
+    let disc = pos_priv / n_priv - pos_prot / n_prot;
+    if disc <= 0.0 {
+        return 0; // no disparity against the protected group
+    }
+    ((disc * n_priv * n_prot) / (n_priv + n_prot)).ceil() as usize
+}
+
+/// Massages `data`: flips `M` labels each way, where `M` equalizes the
+/// base rates, choosing flip victims by the ranker's scores (most
+/// positive-looking protected negatives first; least positive-looking
+/// privileged positives first).
+pub fn massage<C: Classifier + ?Sized>(
+    data: &Dataset,
+    group: GroupSpec,
+    ranker: &C,
+) -> Massaged {
+    let m = flips_needed(data, group);
+    let scores = ranker.predict_proba(data);
+
+    let mut promotion_candidates: Vec<(f64, u32)> = (0..data.num_rows())
+        .filter(|&r| !data.is_privileged(r, group) && !data.label(r))
+        .map(|r| (scores[r], r as u32))
+        .collect();
+    promotion_candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut demotion_candidates: Vec<(f64, u32)> = (0..data.num_rows())
+        .filter(|&r| data.is_privileged(r, group) && data.label(r))
+        .map(|r| (scores[r], r as u32))
+        .collect();
+    demotion_candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let m = m
+        .min(promotion_candidates.len())
+        .min(demotion_candidates.len());
+    let promoted: Vec<u32> =
+        promotion_candidates[..m].iter().map(|&(_, r)| r).collect();
+    let demoted: Vec<u32> =
+        demotion_candidates[..m].iter().map(|&(_, r)| r).collect();
+
+    let mut labels = data.labels().to_vec();
+    for &r in &promoted {
+        labels[r as usize] = true;
+    }
+    for &r in &demoted {
+        labels[r as usize] = false;
+    }
+    let columns: Vec<Vec<u16>> =
+        (0..data.num_attributes()).map(|a| data.column(a).to_vec()).collect();
+    let massaged =
+        Dataset::new(data.schema_handle(), columns, labels).expect("same shape");
+
+    Massaged { data: massaged, promoted, demoted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::classifier::ConstantClassifier;
+    use fume_tabular::stats::group_base_rates as group_rates;
+    use fume_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn data() -> (Dataset, GroupSpec) {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "sex",
+                vec!["f".into(), "m".into()],
+            )])
+            .unwrap(),
+        );
+        let n = 200;
+        let sex: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        // Males positive 70%, females 30% — strong label disparity.
+        let labels: Vec<bool> = (0..n)
+            .map(|i| if i % 2 == 1 { i % 10 < 7 } else { i % 10 >= 7 })
+            .collect();
+        (
+            Dataset::new(schema, vec![sex], labels).unwrap(),
+            GroupSpec::new(0, 1),
+        )
+    }
+
+    #[test]
+    fn massaging_equalizes_base_rates() {
+        let (d, g) = data();
+        let (before_priv, before_prot) = group_rates(&d, g);
+        assert!(before_priv - before_prot > 0.3);
+        let out = massage(&d, g, &ConstantClassifier { proba: 0.5 });
+        let (after_priv, after_prot) = group_rates(&out.data, g);
+        assert!(
+            (after_priv - after_prot).abs() < 0.05,
+            "{after_priv} vs {after_prot}"
+        );
+        assert_eq!(out.promoted.len(), out.demoted.len());
+        assert!(!out.promoted.is_empty());
+        // Overall base rate is preserved (equal promotions/demotions).
+        assert!((out.data.base_rate() - d.base_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flips_target_the_right_rows() {
+        let (d, g) = data();
+        let out = massage(&d, g, &ConstantClassifier { proba: 0.5 });
+        for &r in &out.promoted {
+            assert!(!d.is_privileged(r as usize, g));
+            assert!(!d.label(r as usize));
+            assert!(out.data.label(r as usize));
+        }
+        for &r in &out.demoted {
+            assert!(d.is_privileged(r as usize, g));
+            assert!(d.label(r as usize));
+            assert!(!out.data.label(r as usize));
+        }
+    }
+
+    #[test]
+    fn no_disparity_means_no_flips() {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "sex",
+                vec!["f".into(), "m".into()],
+            )])
+            .unwrap(),
+        );
+        let d = Dataset::new(
+            schema,
+            vec![vec![0, 1, 0, 1]],
+            vec![true, true, false, false],
+        )
+        .unwrap();
+        let g = GroupSpec::new(0, 1);
+        let out = massage(&d, g, &ConstantClassifier { proba: 0.5 });
+        assert!(out.promoted.is_empty() && out.demoted.is_empty());
+        assert_eq!(out.data, d);
+    }
+
+    #[test]
+    fn ranker_scores_steer_the_selection() {
+        let (d, g) = data();
+        // A ranker that scores row id proportionally: highest protected
+        // negatives = largest row ids.
+        struct RowScorer;
+        impl Classifier for RowScorer {
+            fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+                (0..data.num_rows())
+                    .map(|r| r as f64 / data.num_rows() as f64)
+                    .collect()
+            }
+        }
+        let out = massage(&d, g, &RowScorer);
+        // Promotions should be drawn from the top of the id range,
+        // demotions from the bottom.
+        let avg_promoted =
+            out.promoted.iter().map(|&r| r as f64).sum::<f64>() / out.promoted.len() as f64;
+        let avg_demoted =
+            out.demoted.iter().map(|&r| r as f64).sum::<f64>() / out.demoted.len() as f64;
+        assert!(avg_promoted > avg_demoted);
+    }
+}

@@ -1,0 +1,144 @@
+//! Decision-threshold sweeps: how bias and accuracy trade off as the
+//! (shared) decision cut-off moves — the diagnostic view behind
+//! post-processing mitigation, and a quick check of whether a violation
+//! is threshold-artifact or structural.
+
+use fume_tabular::{Classifier, Dataset, GroupSpec};
+
+use crate::confusion::GroupConfusion;
+use crate::metrics::FairnessMetric;
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The shared decision threshold.
+    pub threshold: f64,
+    /// Signed fairness metric at this threshold.
+    pub fairness: f64,
+    /// Accuracy at this threshold.
+    pub accuracy: f64,
+    /// Fraction predicted positive overall.
+    pub selection_rate: f64,
+}
+
+/// Sweeps a shared decision threshold over `steps` equally spaced
+/// cut-offs in `(0, 1)`, evaluating `metric` and accuracy at each. One
+/// scoring pass; `O(steps × n)` thresholding.
+pub fn threshold_sweep<C: Classifier + ?Sized>(
+    h: &C,
+    data: &Dataset,
+    group: GroupSpec,
+    metric: FairnessMetric,
+    steps: usize,
+) -> Vec<SweepPoint> {
+    let steps = steps.max(1);
+    let scores = h.predict_proba(data);
+    let mask = data.privileged_mask(group);
+    let labels = data.labels();
+    let n = data.num_rows().max(1) as f64;
+
+    (1..=steps)
+        .map(|i| {
+            let threshold = i as f64 / (steps as f64 + 1.0);
+            let preds: Vec<bool> = scores.iter().map(|&s| s > threshold).collect();
+            let confusion = GroupConfusion::tally(&preds, labels, &mask);
+            let correct =
+                preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64;
+            let selected = preds.iter().filter(|&&p| p).count() as f64;
+            SweepPoint {
+                threshold,
+                fairness: metric.from_confusion(&confusion),
+                accuracy: correct / n,
+                selection_rate: selected / n,
+            }
+        })
+        .collect()
+}
+
+/// The sweep point with the smallest |fairness|, ties broken toward
+/// higher accuracy — "could a single shared threshold fix this?".
+pub fn fairest_threshold(sweep: &[SweepPoint]) -> Option<SweepPoint> {
+    sweep.iter().copied().min_by(|a, b| {
+        a.fairness
+            .abs()
+            .total_cmp(&b.fairness.abs())
+            .then(b.accuracy.total_cmp(&a.accuracy))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// Scores equal the row's "merit" with a constant group handicap for
+    /// protected rows — no shared threshold can be fair.
+    struct HandicapScorer;
+    impl Classifier for HandicapScorer {
+        fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+            (0..data.num_rows())
+                .map(|r| {
+                    let merit = if data.label(r) { 0.7 } else { 0.3 };
+                    if data.code(r, 0) == 1 {
+                        merit + 0.2
+                    } else {
+                        merit - 0.2
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn data() -> (Dataset, GroupSpec) {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "g",
+                vec!["prot".into(), "priv".into()],
+            )])
+            .unwrap(),
+        );
+        let n = 200;
+        let g: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let labels: Vec<bool> = (0..n).map(|i| (i / 2) % 2 == 0).collect();
+        (Dataset::new(schema, vec![g], labels).unwrap(), GroupSpec::new(0, 1))
+    }
+
+    #[test]
+    fn sweep_shape_and_monotone_selection() {
+        let (d, g) = data();
+        let sweep =
+            threshold_sweep(&HandicapScorer, &d, g, FairnessMetric::StatisticalParity, 20);
+        assert_eq!(sweep.len(), 20);
+        // Selection rate is non-increasing in the threshold.
+        assert!(sweep.windows(2).all(|w| w[0].selection_rate >= w[1].selection_rate));
+        // Thresholds are strictly increasing in (0, 1).
+        assert!(sweep.windows(2).all(|w| w[0].threshold < w[1].threshold));
+        assert!(sweep.iter().all(|p| p.threshold > 0.0 && p.threshold < 1.0));
+    }
+
+    #[test]
+    fn structural_bias_survives_every_shared_threshold() {
+        let (d, g) = data();
+        let sweep =
+            threshold_sweep(&HandicapScorer, &d, g, FairnessMetric::StatisticalParity, 30);
+        // In the informative threshold band (where the model actually
+        // separates), the group handicap shows up at every cut-off.
+        let informative: Vec<_> = sweep
+            .iter()
+            .filter(|p| p.selection_rate > 0.05 && p.selection_rate < 0.95)
+            .collect();
+        assert!(!informative.is_empty());
+        assert!(
+            informative.iter().all(|p| p.fairness < -0.05),
+            "a shared threshold cannot equalize a constant group handicap"
+        );
+        let best = fairest_threshold(&sweep).unwrap();
+        assert!(best.fairness.abs() <= sweep[10].fairness.abs());
+    }
+
+    #[test]
+    fn empty_sweep_handled() {
+        assert_eq!(fairest_threshold(&[]), None);
+    }
+}

@@ -1,0 +1,446 @@
+//! Tree construction: random upper layers + greedy Gini nodes with cached
+//! candidate-threshold statistics.
+
+use fume_tabular::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::DareConfig;
+use crate::gini::gini_gain;
+use crate::node::{Candidate, Internal, Leaf, Node};
+
+/// Tolerance for "strictly better" gain comparisons: build-time choice and
+/// delete-time re-evaluation must use the same epsilon or unlearning would
+/// retrain on floating-point noise.
+pub(crate) const GAIN_EPS: f64 = 1e-12;
+
+/// Per-attribute label histogram over a set of instance ids.
+pub(crate) struct Histogram {
+    /// `counts[c]` = instances with code `c`.
+    pub counts: Vec<u32>,
+    /// `pos[c]` = positive instances with code `c`.
+    pub pos: Vec<u32>,
+}
+
+impl Histogram {
+    pub(crate) fn compute(data: &Dataset, attr: usize, ids: &[u32]) -> Self {
+        let card = data.schema().attributes()[attr].cardinality() as usize;
+        let column = data.column(attr);
+        let labels = data.labels();
+        let mut counts = vec![0u32; card];
+        let mut pos = vec![0u32; card];
+        for &id in ids {
+            let c = column[id as usize] as usize;
+            counts[c] += 1;
+            pos[c] += u32::from(labels[id as usize]);
+        }
+        Self { counts, pos }
+    }
+
+    /// Distinct codes present, ascending.
+    pub(crate) fn present(&self) -> Vec<u16> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u16)
+            .collect()
+    }
+
+    /// `(n_left, n_left_pos)` of the cut `code <= threshold`.
+    pub(crate) fn left_stats(&self, threshold: u16) -> (u32, u32) {
+        let t = threshold as usize;
+        let n_left: u32 = self.counts[..=t].iter().sum();
+        let n_left_pos: u32 = self.pos[..=t].iter().sum();
+        (n_left, n_left_pos)
+    }
+}
+
+/// Stable partition of `ids` into (left, right) by `code <= threshold`.
+pub(crate) fn partition(
+    data: &Dataset,
+    ids: &[u32],
+    attr: u16,
+    threshold: u16,
+) -> (Vec<u32>, Vec<u32>) {
+    let column = data.column(attr as usize);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &id in ids {
+        if column[id as usize] <= threshold {
+            left.push(id);
+        } else {
+            right.push(id);
+        }
+    }
+    (left, right)
+}
+
+fn count_pos(data: &Dataset, ids: &[u32]) -> u32 {
+    let labels = data.labels();
+    ids.iter().filter(|&&id| labels[id as usize]).count() as u32
+}
+
+fn make_leaf(data: &Dataset, ids: Vec<u32>) -> Node {
+    let n_pos = count_pos(data, &ids);
+    Node::Leaf(Leaf { ids, n_pos })
+}
+
+/// Whether a candidate split separates the node's data while honoring the
+/// leaf-size minimum. Used identically at build time and unlearning time.
+#[inline]
+pub(crate) fn candidate_valid(c: &Candidate, n: u32, cfg: &DareConfig) -> bool {
+    c.n_left >= cfg.min_samples_leaf && (n - c.n_left) >= cfg.min_samples_leaf
+}
+
+/// Index of the best valid candidate by Gini gain (ties keep the earliest),
+/// or `None` if no candidate is valid. Zero-gain splits are allowed — like
+/// standard random forests, a mixed node keeps splitting until pure or
+/// depth-capped, because deeper splits may separate what this one cannot
+/// (e.g. XOR-shaped labels).
+pub(crate) fn best_candidate(
+    candidates: &[Candidate],
+    n: u32,
+    n_pos: u32,
+    cfg: &DareConfig,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        if !candidate_valid(c, n, cfg) {
+            continue;
+        }
+        let g = gini_gain(n, n_pos, c.n_left, c.n_left_pos);
+        match best {
+            Some((_, bg)) if g <= bg + GAIN_EPS => {}
+            _ => best = Some((i, g)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Samples up to `k` cut thresholds for `attr` from the histogram's present
+/// codes (every present code except the largest is a valid cut), without
+/// replacement, and computes their statistics. `exclude` suppresses cuts
+/// already cached (used when replenishing after unlearning).
+pub(crate) fn sample_candidates(
+    hist: &Histogram,
+    attr: u16,
+    k: usize,
+    exclude: &[u16],
+    rng: &mut StdRng,
+) -> Vec<Candidate> {
+    let present = hist.present();
+    if present.len() < 2 {
+        return Vec::new();
+    }
+    let mut cuts: Vec<u16> = present[..present.len() - 1]
+        .iter()
+        .copied()
+        .filter(|c| !exclude.contains(c))
+        .collect();
+    cuts.shuffle(rng);
+    cuts.truncate(k);
+    // Deterministic order within the node regardless of shuffle: sort the
+    // chosen cuts so equal RNG states give identical candidate layouts.
+    cuts.sort_unstable();
+    cuts.into_iter()
+        .map(|threshold| {
+            let (n_left, n_left_pos) = hist.left_stats(threshold);
+            Candidate { attr, threshold, n_left, n_left_pos }
+        })
+        .collect()
+}
+
+/// Recursively builds a (sub)tree over `ids` rooted at `depth`.
+pub(crate) fn build_node(
+    data: &Dataset,
+    ids: Vec<u32>,
+    depth: usize,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+) -> Node {
+    let n = ids.len() as u32;
+    let n_pos = count_pos(data, &ids);
+    if n < cfg.min_samples_split || n_pos == 0 || n_pos == n || depth >= cfg.max_depth {
+        return make_leaf(data, ids);
+    }
+
+    if depth < cfg.random_depth {
+        return build_random_node(data, ids, n, n_pos, depth, rng, cfg);
+    }
+    build_greedy_node(data, ids, n, n_pos, depth, rng, cfg)
+}
+
+/// A random upper-layer node: uniformly random attribute, uniformly random
+/// threshold within that attribute's observed code range. Both children are
+/// non-empty by construction (`threshold ∈ [min, max)`).
+fn build_random_node(
+    data: &Dataset,
+    ids: Vec<u32>,
+    n: u32,
+    n_pos: u32,
+    depth: usize,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+) -> Node {
+    let p = data.num_attributes();
+    let mut attrs: Vec<u16> = (0..p as u16).collect();
+    attrs.shuffle(rng);
+    for attr in attrs {
+        let column = data.column(attr as usize);
+        let (mut lo, mut hi) = (u16::MAX, 0u16);
+        for &id in &ids {
+            let c = column[id as usize];
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        if lo >= hi {
+            continue; // constant attribute in this node
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let (left_ids, right_ids) = partition(data, &ids, attr, threshold);
+        if (left_ids.len() as u32) < cfg.min_samples_leaf
+            || (right_ids.len() as u32) < cfg.min_samples_leaf
+        {
+            continue;
+        }
+        let left = build_node(data, left_ids, depth + 1, rng, cfg);
+        let right = build_node(data, right_ids, depth + 1, rng, cfg);
+        return Node::Internal(Box::new(Internal {
+            attr,
+            threshold,
+            is_random: true,
+            n,
+            n_pos,
+            candidates: Vec::new(),
+            chosen: 0,
+            left,
+            right,
+        }));
+    }
+    // No attribute can split this node's data.
+    make_leaf(data, ids)
+}
+
+/// A greedy node: samples `p̃` attributes and `k'` thresholds per attribute,
+/// caches every candidate's statistics, and splits on the best Gini gain.
+fn build_greedy_node(
+    data: &Dataset,
+    ids: Vec<u32>,
+    n: u32,
+    n_pos: u32,
+    depth: usize,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+) -> Node {
+    let p = data.num_attributes();
+    let p_tilde = cfg.max_features.resolve(p);
+    let mut attrs: Vec<u16> = (0..p as u16).collect();
+    attrs.shuffle(rng);
+    attrs.truncate(p_tilde);
+    attrs.sort_unstable(); // deterministic candidate layout
+
+    let mut candidates = Vec::new();
+    for attr in attrs {
+        let hist = Histogram::compute(data, attr as usize, &ids);
+        candidates.extend(sample_candidates(&hist, attr, cfg.n_thresholds, &[], rng));
+    }
+    // Only cache candidates the builder could actually choose: cuts that
+    // violate the leaf-size minimum would be dead weight and would break
+    // the "every cached candidate is valid" invariant that unlearning's
+    // replenishment step maintains.
+    candidates.retain(|c| candidate_valid(c, n, cfg));
+
+    match best_candidate(&candidates, n, n_pos, cfg) {
+        None => make_leaf(data, ids),
+        Some(chosen) => {
+            let (attr, threshold) = (candidates[chosen].attr, candidates[chosen].threshold);
+            let (left_ids, right_ids) = partition(data, &ids, attr, threshold);
+            let left = build_node(data, left_ids, depth + 1, rng, cfg);
+            let right = build_node(data, right_ids, depth + 1, rng, cfg);
+            Node::Internal(Box::new(Internal {
+                attr,
+                threshold,
+                is_random: false,
+                n,
+                n_pos,
+                candidates,
+                chosen: chosen as u32,
+                left,
+                right,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::{Attribute, Schema};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn xor_data() -> Dataset {
+        // label = a XOR b, plus a noise attribute.
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["0".into(), "1".into()]),
+                Attribute::categorical("b", vec!["0".into(), "1".into()]),
+                Attribute::categorical("noise", vec!["0".into(), "1".into(), "2".into()]),
+            ])
+            .unwrap(),
+        );
+        let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut labels = Vec::new();
+        for i in 0..64usize {
+            let a = (i % 2) as u16;
+            let b = ((i / 2) % 2) as u16;
+            cols[0].push(a);
+            cols[1].push(b);
+            cols[2].push((i % 3) as u16);
+            labels.push((a ^ b) == 1);
+        }
+        Dataset::new(schema, cols, labels).unwrap()
+    }
+
+    fn cfg() -> DareConfig {
+        DareConfig {
+            n_trees: 1,
+            max_depth: 8,
+            random_depth: 0,
+            n_thresholds: 5,
+            max_features: crate::config::MaxFeatures::All,
+            ..DareConfig::default()
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let d = xor_data();
+        let ids = d.all_row_ids();
+        let h = Histogram::compute(&d, 0, &ids);
+        assert_eq!(h.counts, vec![32, 32]);
+        assert_eq!(h.pos.iter().sum::<u32>(), 32);
+        assert_eq!(h.present(), vec![0, 1]);
+        assert_eq!(h.left_stats(0), (32, 16));
+        assert_eq!(h.left_stats(1), (64, 32));
+    }
+
+    #[test]
+    fn partition_is_stable_and_complete() {
+        let d = xor_data();
+        let ids = d.all_row_ids();
+        let (l, r) = partition(&d, &ids, 0, 0);
+        assert_eq!(l.len() + r.len(), ids.len());
+        assert!(l.windows(2).all(|w| w[0] < w[1]), "stable order");
+        assert!(l.iter().all(|&id| d.code(id as usize, 0) == 0));
+        assert!(r.iter().all(|&id| d.code(id as usize, 0) == 1));
+    }
+
+    #[test]
+    fn greedy_tree_learns_xor() {
+        let d = xor_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg());
+        for row in 0..d.num_rows() {
+            let p = root.predict_row(&d, row);
+            assert_eq!(p > 0.5, d.label(row), "row {row} proba {p}");
+        }
+    }
+
+    #[test]
+    fn node_statistics_are_consistent() {
+        let d = xor_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg());
+        fn check(node: &Node) {
+            if let Node::Internal(i) = node {
+                assert_eq!(i.n, i.left.n() + i.right.n());
+                assert_eq!(i.n_pos, i.left.n_pos() + i.right.n_pos());
+                let c = &i.candidates[i.chosen as usize];
+                assert_eq!((c.attr, c.threshold), (i.attr, i.threshold));
+                assert_eq!(c.n_left, i.left.n());
+                assert_eq!(c.n_left_pos, i.left.n_pos());
+                check(&i.left);
+                check(&i.right);
+            }
+        }
+        check(&root);
+    }
+
+    #[test]
+    fn random_layers_are_marked() {
+        let d = xor_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = cfg();
+        c.random_depth = 2;
+        let root = build_node(&d, d.all_row_ids(), 0, &mut rng, &c);
+        if let Node::Internal(i) = &root {
+            assert!(i.is_random);
+            assert!(i.candidates.is_empty());
+            // Random splits always separate.
+            assert!(i.left.n() > 0 && i.right.n() > 0);
+        } else {
+            panic!("expected split at root");
+        }
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let d = xor_data();
+        let pure_ids: Vec<u32> = (0..d.num_rows() as u32)
+            .filter(|&r| d.label(r as usize))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let root = build_node(&d, pure_ids.clone(), 0, &mut rng, &cfg());
+        match root {
+            Node::Leaf(l) => {
+                assert_eq!(l.ids.len(), pure_ids.len());
+                assert_eq!(l.proba(), 1.0);
+            }
+            _ => panic!("pure node must be a leaf"),
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_means_single_leaf() {
+        let d = xor_data();
+        let mut c = cfg();
+        c.max_depth = 0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let root = build_node(&d, d.all_row_ids(), 0, &mut rng, &c);
+        assert!(matches!(root, Node::Leaf(_)));
+    }
+
+    #[test]
+    fn sample_candidates_excludes_and_caps() {
+        let d = xor_data();
+        let h = Histogram::compute(&d, 2, &d.all_row_ids()); // codes 0,1,2
+        let mut rng = StdRng::seed_from_u64(6);
+        let all = sample_candidates(&h, 2, 10, &[], &mut rng);
+        assert_eq!(all.len(), 2); // cuts at 0 and 1
+        let excl = sample_candidates(&h, 2, 10, &[0], &mut rng);
+        assert_eq!(excl.len(), 1);
+        assert_eq!(excl[0].threshold, 1);
+        let capped = sample_candidates(&h, 2, 1, &[], &mut rng);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = xor_data();
+        let mut c = cfg();
+        c.min_samples_leaf = 8;
+        let mut rng = StdRng::seed_from_u64(7);
+        let root = build_node(&d, d.all_row_ids(), 0, &mut rng, &c);
+        fn check(node: &Node, msl: u32) {
+            if let Node::Internal(i) = node {
+                assert!(i.left.n() >= msl && i.right.n() >= msl);
+                check(&i.left, msl);
+                check(&i.right, msl);
+            }
+        }
+        check(&root, 8);
+    }
+}

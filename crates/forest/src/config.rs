@@ -1,0 +1,157 @@
+//! Forest hyperparameters.
+
+/// How many attributes a greedy node considers (the paper's `p̃`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// All attributes.
+    All,
+    /// `⌈√p⌉` attributes — the usual random-forest default.
+    Sqrt,
+    /// An explicit count (clamped to `p`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete count for `p` attributes (at least 1).
+    pub fn resolve(self, p: usize) -> usize {
+        match self {
+            Self::All => p.max(1),
+            Self::Sqrt => (p as f64).sqrt().ceil() as usize,
+            Self::Count(c) => c.clamp(1, p.max(1)),
+        }
+    }
+}
+
+/// Configuration of a [`DareForest`](crate::forest::DareForest).
+///
+/// Defaults follow the DaRE-RF paper's mid-range settings: 100 trees,
+/// depth 10, √p features per greedy node, k′ = 5 candidate thresholds per
+/// attribute, and one random layer at the top of every tree (`d_rand = 1`)
+/// so that deletions rarely invalidate the upper structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DareConfig {
+    /// Number of trees in the forest.
+    pub n_trees: usize,
+    /// Maximum tree depth (root at depth 0).
+    pub max_depth: usize,
+    /// Depth of the random upper layers (`d_rand`): nodes shallower than
+    /// this split on a uniformly random attribute/threshold and therefore
+    /// almost never need retraining on deletion. `0` disables random
+    /// layers (a plain greedy forest — the paper's "exact" extreme).
+    pub random_depth: usize,
+    /// Number of candidate thresholds sampled per attribute at greedy
+    /// nodes (the paper's `k'`). All candidates' statistics are cached.
+    pub n_thresholds: usize,
+    /// Attributes considered per greedy node.
+    pub max_features: MaxFeatures,
+    /// A node with fewer instances becomes a leaf.
+    pub min_samples_split: u32,
+    /// Every split must leave at least this many instances on each side.
+    pub min_samples_leaf: u32,
+    /// Seed for all structural randomness. Tree `i` derives its own
+    /// deterministic stream from `seed` and `i`.
+    pub seed: u64,
+    /// Worker threads for fitting/unlearning across trees
+    /// (`None` = all available cores).
+    pub n_jobs: Option<usize>,
+}
+
+impl Default for DareConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            max_depth: 10,
+            random_depth: 1,
+            n_thresholds: 5,
+            max_features: MaxFeatures::Sqrt,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            seed: 0,
+            n_jobs: None,
+        }
+    }
+}
+
+impl DareConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self { n_trees: 20, max_depth: 6, seed, ..Self::default() }
+    }
+
+    /// Builder-style setter for the number of trees.
+    pub fn with_trees(mut self, n: usize) -> Self {
+        self.n_trees = n;
+        self
+    }
+
+    /// Builder-style setter for the maximum depth.
+    pub fn with_max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
+    }
+
+    /// Builder-style setter for the random-layer depth.
+    pub fn with_random_depth(mut self, d: usize) -> Self {
+        self.random_depth = d;
+        self
+    }
+
+    /// Builder-style setter for `k'`.
+    pub fn with_thresholds(mut self, k: usize) -> Self {
+        self.n_thresholds = k;
+        self
+    }
+
+    /// Builder-style setter for the per-node feature budget.
+    pub fn with_max_features(mut self, m: MaxFeatures) -> Self {
+        self.max_features = m;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.n_jobs = Some(jobs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(16), 16);
+        assert_eq!(MaxFeatures::Sqrt.resolve(16), 4);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4); // ceil(3.16)
+        assert_eq!(MaxFeatures::Count(3).resolve(16), 3);
+        assert_eq!(MaxFeatures::Count(99).resolve(16), 16);
+        assert_eq!(MaxFeatures::Count(0).resolve(16), 1);
+        assert_eq!(MaxFeatures::All.resolve(0), 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DareConfig::default()
+            .with_trees(7)
+            .with_max_depth(3)
+            .with_random_depth(2)
+            .with_thresholds(9)
+            .with_max_features(MaxFeatures::All)
+            .with_seed(42)
+            .with_jobs(2);
+        assert_eq!(c.n_trees, 7);
+        assert_eq!(c.max_depth, 3);
+        assert_eq!(c.random_depth, 2);
+        assert_eq!(c.n_thresholds, 9);
+        assert_eq!(c.max_features, MaxFeatures::All);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.n_jobs, Some(2));
+    }
+}

@@ -1,0 +1,413 @@
+//! Exact unlearning: batch deletion of training instances from a tree.
+//!
+//! The saved statistics decide, top-down, whether each node can absorb the
+//! deletion by updating counts (cheap) or whether its subtree must be
+//! rebuilt from the surviving instances (rare). Decision rules mirror the
+//! build rules exactly, so an unlearned tree is always a tree the builder
+//! *could* have produced on the surviving data — DaRE's exactness
+//! guarantee.
+
+use fume_tabular::Dataset;
+use rand::rngs::StdRng;
+
+use crate::builder::{
+    best_candidate, build_node, candidate_valid, partition, sample_candidates, Histogram,
+    GAIN_EPS,
+};
+use crate::config::DareConfig;
+use crate::gini::gini_gain;
+use crate::node::{Internal, Node};
+
+/// Counters describing what one deletion did to a tree (aggregated over the
+/// forest by the caller). Useful for the paper's complexity discussion and
+/// the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeleteReport {
+    /// Decision nodes whose statistics were updated in place.
+    pub nodes_updated: usize,
+    /// Subtrees that had to be rebuilt.
+    pub subtrees_retrained: usize,
+    /// Leaves whose instance lists were edited.
+    pub leaves_updated: usize,
+    /// Greedy nodes that replenished invalidated candidate thresholds.
+    pub candidates_replenished: usize,
+}
+
+impl DeleteReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &DeleteReport) {
+        self.nodes_updated += other.nodes_updated;
+        self.subtrees_retrained += other.subtrees_retrained;
+        self.leaves_updated += other.leaves_updated;
+        self.candidates_replenished += other.candidates_replenished;
+    }
+}
+
+/// Removes the sorted id set `del` (all of which must be present) from the
+/// sorted-or-unsorted id list `ids`, in place.
+fn subtract_sorted(ids: &mut Vec<u32>, del: &[u32]) {
+    ids.retain(|id| del.binary_search(id).is_err());
+}
+
+/// Collects the subtree's ids and removes `del` (sorted) from them.
+fn surviving_ids(node: &Node, del: &[u32]) -> Vec<u32> {
+    let mut ids = Vec::with_capacity(node.n() as usize);
+    node.collect_ids(&mut ids);
+    subtract_sorted(&mut ids, del);
+    ids
+}
+
+/// Deletes `del` (sorted, deduplicated, all present under `node`) from the
+/// subtree rooted at `node` which sits at `depth`.
+pub(crate) fn delete_from_node(
+    node: &mut Node,
+    del: &[u32],
+    data: &Dataset,
+    depth: usize,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+    report: &mut DeleteReport,
+) {
+    if del.is_empty() {
+        return;
+    }
+    let labels = data.labels();
+    let del_pos = del.iter().filter(|&&id| labels[id as usize]).count() as u32;
+
+    match node {
+        Node::Leaf(leaf) => {
+            subtract_sorted(&mut leaf.ids, del);
+            leaf.n_pos -= del_pos;
+            report.leaves_updated += 1;
+        }
+        Node::Internal(internal) => {
+            let new_n = internal.n - del.len() as u32;
+            let new_n_pos = internal.n_pos - del_pos;
+
+            // The builder would now make this node a leaf: rebuild.
+            if new_n < cfg.min_samples_split || new_n_pos == 0 || new_n_pos == new_n {
+                let ids = surviving_ids(node, del);
+                *node = build_node(data, ids, depth, rng, cfg);
+                report.subtrees_retrained += 1;
+                return;
+            }
+
+            internal.n = new_n;
+            internal.n_pos = new_n_pos;
+            report.nodes_updated += 1;
+
+            let (del_left, del_right) =
+                partition(data, del, internal.attr, internal.threshold);
+
+            let retrain = if internal.is_random {
+                random_split_invalid(internal, &del_left, &del_right, cfg)
+            } else {
+                update_candidates(internal, del, data);
+                // The chosen split must stay valid and improving; if so,
+                // resample any invalidated candidate thresholds *before*
+                // re-checking optimality (a fresh candidate may win).
+                chosen_split_dead(internal, cfg) || {
+                    replenish_candidates(internal, del, data, rng, cfg, report);
+                    greedy_split_beaten(internal, cfg)
+                }
+            };
+
+            if retrain {
+                let ids = surviving_ids(node, del);
+                *node = build_node(data, ids, depth, rng, cfg);
+                report.subtrees_retrained += 1;
+                return;
+            }
+
+            delete_from_node(&mut internal.left, &del_left, data, depth + 1, rng, cfg, report);
+            delete_from_node(&mut internal.right, &del_right, data, depth + 1, rng, cfg, report);
+        }
+    }
+}
+
+/// A random node must be redrawn when the deletion empties one side (its
+/// threshold fell outside the surviving code range) or violates the
+/// leaf-size minimum the builder honored.
+fn random_split_invalid(
+    internal: &Internal,
+    del_left: &[u32],
+    del_right: &[u32],
+    cfg: &DareConfig,
+) -> bool {
+    let left_n = internal.left.n() - del_left.len() as u32;
+    let right_n = internal.right.n() - del_right.len() as u32;
+    left_n < cfg.min_samples_leaf.max(1) || right_n < cfg.min_samples_leaf.max(1)
+}
+
+/// Incrementally updates every cached candidate's statistics for the
+/// deletion of `del`.
+fn update_candidates(internal: &mut Internal, del: &[u32], data: &Dataset) {
+    let labels = data.labels();
+    for cand in &mut internal.candidates {
+        let column = data.column(cand.attr as usize);
+        for &id in del {
+            if column[id as usize] <= cand.threshold {
+                cand.n_left -= 1;
+                cand.n_left_pos -= u32::from(labels[id as usize]);
+            }
+        }
+    }
+}
+
+/// Whether the chosen split stopped being a split the builder could have
+/// made: it no longer separates the node's data within the leaf-size
+/// minimum. (Zero-gain splits are legal at build time, so gain alone never
+/// kills a split — only being strictly beaten does, see
+/// [`greedy_split_beaten`].)
+fn chosen_split_dead(internal: &Internal, cfg: &DareConfig) -> bool {
+    let chosen = &internal.candidates[internal.chosen as usize];
+    !candidate_valid(chosen, internal.n, cfg)
+}
+
+/// After replenishment, the node must be rebuilt when some other cached
+/// candidate now has a *strictly* better Gini gain (the paper's "improved
+/// splitting criterion"). Ties never retrain — the builder's earliest-max
+/// tie-break keeps the choice stable.
+fn greedy_split_beaten(internal: &Internal, cfg: &DareConfig) -> bool {
+    let chosen = &internal.candidates[internal.chosen as usize];
+    let chosen_gain = gini_gain(internal.n, internal.n_pos, chosen.n_left, chosen.n_left_pos);
+    match best_candidate(&internal.candidates, internal.n, internal.n_pos, cfg) {
+        None => true,
+        Some(best) => {
+            let b = &internal.candidates[best];
+            let best_gain = gini_gain(internal.n, internal.n_pos, b.n_left, b.n_left_pos);
+            best_gain > chosen_gain + GAIN_EPS
+        }
+    }
+}
+
+/// Replaces cached candidates that stopped separating the node's data with
+/// freshly sampled thresholds from the surviving instances, keeping the
+/// candidate pool full for future deletions (the `O(|D| log |D|)`
+/// threshold-resampling step of the DaRE paper).
+fn replenish_candidates(
+    internal: &mut Internal,
+    del: &[u32],
+    data: &Dataset,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+    report: &mut DeleteReport,
+) {
+    let n = internal.n;
+    let any_invalid = internal
+        .candidates
+        .iter()
+        .any(|c| !candidate_valid(c, n, cfg));
+    if !any_invalid {
+        return;
+    }
+    report.candidates_replenished += 1;
+
+    // Identify the chosen candidate before the vector is filtered.
+    let chosen_key = {
+        let c = &internal.candidates[internal.chosen as usize];
+        (c.attr, c.threshold)
+    };
+
+    // Count how many candidates each attribute lost.
+    let mut lost: Vec<(u16, usize)> = Vec::new();
+    for c in &internal.candidates {
+        if !candidate_valid(c, n, cfg) {
+            match lost.iter_mut().find(|(a, _)| *a == c.attr) {
+                Some((_, k)) => *k += 1,
+                None => lost.push((c.attr, 1)),
+            }
+        }
+    }
+    internal.candidates.retain(|c| candidate_valid(c, n, cfg));
+
+    // The surviving instances of this node, needed for fresh histograms.
+    let ids = {
+        let mut ids = Vec::with_capacity(internal.n as usize + del.len());
+        internal.left.collect_ids(&mut ids);
+        internal.right.collect_ids(&mut ids);
+        ids.retain(|id| del.binary_search(id).is_err());
+        ids
+    };
+
+    for (attr, k) in lost {
+        let existing: Vec<u16> = internal
+            .candidates
+            .iter()
+            .filter(|c| c.attr == attr)
+            .map(|c| c.threshold)
+            .collect();
+        let hist = Histogram::compute(data, attr as usize, &ids);
+        let fresh = sample_candidates(&hist, attr, k, &existing, rng);
+        internal
+            .candidates
+            .extend(fresh.into_iter().filter(|c| candidate_valid(c, n, cfg)));
+    }
+
+    // Re-locate the chosen candidate after the reshuffle.
+    internal.chosen = internal
+        .candidates
+        .iter()
+        .position(|c| (c.attr, c.threshold) == chosen_key)
+        .expect("chosen candidate is valid and therefore retained")
+        as u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaxFeatures;
+    use fume_tabular::{Attribute, Schema};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn data() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["0".into(), "1".into(), "2".into()]),
+                Attribute::categorical("b", vec!["0".into(), "1".into()]),
+            ])
+            .unwrap(),
+        );
+        let mut cols = vec![Vec::new(), Vec::new()];
+        let mut labels = Vec::new();
+        for i in 0..90usize {
+            let a = (i % 3) as u16;
+            let b = ((i / 3) % 2) as u16;
+            cols[0].push(a);
+            cols[1].push(b);
+            // labels depend on a: a==2 mostly positive.
+            labels.push(a == 2 || (a == 1 && i % 5 == 0));
+        }
+        Dataset::new(schema, cols, labels).unwrap()
+    }
+
+    fn cfg() -> DareConfig {
+        DareConfig {
+            random_depth: 0,
+            max_features: MaxFeatures::All,
+            max_depth: 6,
+            ..DareConfig::default()
+        }
+    }
+
+    fn validate(node: &Node, data: &Dataset, cfg: &DareConfig) {
+        if let Node::Internal(i) = node {
+            assert_eq!(i.n, i.left.n() + i.right.n(), "n consistency");
+            assert_eq!(i.n_pos, i.left.n_pos() + i.right.n_pos(), "n_pos consistency");
+            let mut left_ids = Vec::new();
+            i.left.collect_ids(&mut left_ids);
+            for id in left_ids {
+                assert!(data.code(id as usize, i.attr as usize) <= i.threshold);
+            }
+            if !i.is_random {
+                for c in &i.candidates {
+                    let mut ids = Vec::new();
+                    node.collect_ids(&mut ids);
+                    let col = data.column(c.attr as usize);
+                    let n_left = ids.iter().filter(|&&id| col[id as usize] <= c.threshold).count();
+                    assert_eq!(c.n_left as usize, n_left, "candidate n_left stale");
+                    assert!(candidate_valid(c, i.n, cfg), "invalid candidate retained");
+                }
+            }
+            validate(&i.left, data, cfg);
+            validate(&i.right, data, cfg);
+        }
+    }
+
+    #[test]
+    fn delete_keeps_statistics_exact() {
+        let d = data();
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg);
+        let mut report = DeleteReport::default();
+        // Delete a batch spread across the space.
+        let del: Vec<u32> = vec![0, 7, 14, 21, 28, 35, 42];
+        delete_from_node(&mut root, &del, &d, 0, &mut rng, &cfg, &mut report);
+        assert_eq!(root.n() as usize, d.num_rows() - del.len());
+        validate(&root, &d, &cfg);
+        let mut ids = Vec::new();
+        root.collect_ids(&mut ids);
+        for id in &del {
+            assert!(!ids.contains(id), "deleted id {id} survives");
+        }
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_leaf() {
+        let d = data();
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg);
+        let mut report = DeleteReport::default();
+        delete_from_node(&mut root, &d.all_row_ids(), &d, 0, &mut rng, &cfg, &mut report);
+        assert_eq!(root.n(), 0);
+        assert!(matches!(root, Node::Leaf(_)));
+        assert!(report.subtrees_retrained >= 1);
+    }
+
+    #[test]
+    fn delete_one_class_collapses_to_pure_leaf() {
+        let d = data();
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg);
+        let positives: Vec<u32> = (0..d.num_rows() as u32)
+            .filter(|&r| d.label(r as usize))
+            .collect();
+        let mut report = DeleteReport::default();
+        delete_from_node(&mut root, &positives, &d, 0, &mut rng, &cfg, &mut report);
+        assert!(matches!(root, Node::Leaf(_)), "pure data must collapse to a leaf");
+        assert_eq!(root.n_pos(), 0);
+        validate(&root, &d, &cfg);
+    }
+
+    #[test]
+    fn sequential_deletions_stay_consistent() {
+        let d = data();
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg);
+        let mut remaining: Vec<u32> = d.all_row_ids();
+        let mut report = DeleteReport::default();
+        for step in 0..30 {
+            let victim = remaining.remove((step * 7) % remaining.len());
+            delete_from_node(&mut root, &[victim], &d, 0, &mut rng, &cfg, &mut report);
+            assert_eq!(root.n() as usize, remaining.len(), "step {step}");
+            validate(&root, &d, &cfg);
+        }
+    }
+
+    #[test]
+    fn random_node_redrawn_when_side_empties() {
+        let d = data();
+        let mut cfg = cfg();
+        cfg.random_depth = 1;
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut root = build_node(&d, d.all_row_ids(), 0, &mut rng, &cfg);
+        let (attr, thr) = match &root {
+            Node::Internal(i) => {
+                assert!(i.is_random);
+                (i.attr, i.threshold)
+            }
+            _ => panic!("expected internal root"),
+        };
+        // Delete the entire left side of the random root.
+        let left_ids: Vec<u32> = (0..d.num_rows() as u32)
+            .filter(|&r| d.code(r as usize, attr as usize) <= thr)
+            .collect();
+        let mut report = DeleteReport::default();
+        delete_from_node(&mut root, &left_ids, &d, 0, &mut rng, &cfg, &mut report);
+        assert!(report.subtrees_retrained >= 1);
+        validate(&root, &d, &cfg);
+        assert_eq!(root.n() as usize, d.num_rows() - left_ids.len());
+    }
+
+    #[test]
+    fn subtract_sorted_removes_only_targets() {
+        let mut ids = vec![5, 1, 9, 3, 7];
+        subtract_sorted(&mut ids, &[3, 9]);
+        assert_eq!(ids, vec![5, 1, 7]);
+    }
+}

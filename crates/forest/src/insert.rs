@@ -1,0 +1,222 @@
+//! Incremental *addition* of training instances — the other half of the
+//! DaRE paper's adaptivity (deletions and additions share the same
+//! statistics machinery).
+//!
+//! Insertion mirrors deletion top-down:
+//! * decision nodes absorb the new instances into their cached counts;
+//! * a greedy node rebuilds its subtree when some cached candidate now has
+//!   a strictly better Gini gain than the chosen split (the same
+//!   criterion deletion uses);
+//! * a leaf that the builder would now have split (big enough, impure,
+//!   depth available) is rebuilt into a subtree.
+//!
+//! One documented approximation: random upper-layer nodes keep their
+//! threshold even when new instances extend an attribute's observed
+//! range, so the threshold's distribution can become slightly stale under
+//! heavy insertion (deletion does not have this issue — an emptied side
+//! always triggers a redraw). Greedy nodes, which carry all predictive
+//! structure, are re-checked exactly.
+
+use fume_tabular::Dataset;
+use rand::rngs::StdRng;
+
+use crate::builder::{build_node, partition};
+use crate::config::DareConfig;
+use crate::node::{Internal, Node};
+
+/// Counters describing what one insertion did to a tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Decision nodes whose statistics were updated in place.
+    pub nodes_updated: usize,
+    /// Subtrees (including grown leaves) that were rebuilt.
+    pub subtrees_rebuilt: usize,
+    /// Leaves that absorbed instances without structural change.
+    pub leaves_updated: usize,
+}
+
+impl InsertReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &InsertReport) {
+        self.nodes_updated += other.nodes_updated;
+        self.subtrees_rebuilt += other.subtrees_rebuilt;
+        self.leaves_updated += other.leaves_updated;
+    }
+}
+
+/// Whether the builder would split a leaf with these statistics at `depth`.
+fn leaf_should_split(n: u32, n_pos: u32, depth: usize, cfg: &DareConfig) -> bool {
+    n >= cfg.min_samples_split && n_pos > 0 && n_pos < n && depth < cfg.max_depth
+}
+
+/// Inserts the sorted id set `ins` into the subtree rooted at `node`.
+pub(crate) fn insert_into_node(
+    node: &mut Node,
+    ins: &[u32],
+    data: &Dataset,
+    depth: usize,
+    rng: &mut StdRng,
+    cfg: &DareConfig,
+    report: &mut InsertReport,
+) {
+    if ins.is_empty() {
+        return;
+    }
+    let labels = data.labels();
+    let ins_pos = ins.iter().filter(|&&id| labels[id as usize]).count() as u32;
+
+    match node {
+        Node::Leaf(leaf) => {
+            leaf.ids.extend_from_slice(ins);
+            leaf.n_pos += ins_pos;
+            let (n, n_pos) = (leaf.ids.len() as u32, leaf.n_pos);
+            if leaf_should_split(n, n_pos, depth, cfg) {
+                let ids = std::mem::take(&mut leaf.ids);
+                *node = build_node(data, ids, depth, rng, cfg);
+                report.subtrees_rebuilt += usize::from(matches!(node, Node::Internal(_)));
+                report.leaves_updated += usize::from(matches!(node, Node::Leaf(_)));
+            } else {
+                report.leaves_updated += 1;
+            }
+        }
+        Node::Internal(internal) => {
+            internal.n += ins.len() as u32;
+            internal.n_pos += ins_pos;
+            report.nodes_updated += 1;
+
+            let (ins_left, ins_right) =
+                partition(data, ins, internal.attr, internal.threshold);
+
+            if !internal.is_random {
+                update_candidates_add(internal, ins, data);
+                if greedy_split_beaten_after_insert(internal, cfg) {
+                    let mut ids = Vec::with_capacity(internal.n as usize);
+                    internal.left.collect_ids(&mut ids);
+                    internal.right.collect_ids(&mut ids);
+                    ids.extend_from_slice(ins);
+                    *node = build_node(data, ids, depth, rng, cfg);
+                    report.subtrees_rebuilt += 1;
+                    return;
+                }
+            }
+
+            insert_into_node(&mut internal.left, &ins_left, data, depth + 1, rng, cfg, report);
+            insert_into_node(&mut internal.right, &ins_right, data, depth + 1, rng, cfg, report);
+        }
+    }
+}
+
+fn update_candidates_add(internal: &mut Internal, ins: &[u32], data: &Dataset) {
+    let labels = data.labels();
+    for cand in &mut internal.candidates {
+        let column = data.column(cand.attr as usize);
+        for &id in ins {
+            if column[id as usize] <= cand.threshold {
+                cand.n_left += 1;
+                cand.n_left_pos += u32::from(labels[id as usize]);
+            }
+        }
+    }
+}
+
+fn greedy_split_beaten_after_insert(internal: &Internal, cfg: &DareConfig) -> bool {
+    use crate::builder::{best_candidate, candidate_valid, GAIN_EPS};
+    use crate::gini::gini_gain;
+    let chosen = &internal.candidates[internal.chosen as usize];
+    if !candidate_valid(chosen, internal.n, cfg) {
+        // Insertion only grows counts, but a chosen candidate can violate
+        // the leaf minimum transiently if min_samples_leaf semantics
+        // change; treat defensively.
+        return true;
+    }
+    let chosen_gain =
+        gini_gain(internal.n, internal.n_pos, chosen.n_left, chosen.n_left_pos);
+    match best_candidate(&internal.candidates, internal.n, internal.n_pos, cfg) {
+        None => true,
+        Some(best) => {
+            let b = &internal.candidates[best];
+            gini_gain(internal.n, internal.n_pos, b.n_left, b.n_left_pos)
+                > chosen_gain + GAIN_EPS
+        }
+    }
+}
+
+/// Dedicated leaf used when a forest is fitted on zero rows and instances
+/// arrive later.
+#[cfg(test)]
+pub(crate) fn empty_leaf() -> Node {
+    Node::Leaf(crate::node::Leaf { ids: Vec::new(), n_pos: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaxFeatures;
+    use crate::validate::validate_tree;
+    use crate::DareTree;
+    use fume_tabular::datasets::planted_toy;
+
+    fn cfg() -> DareConfig {
+        DareConfig {
+            max_depth: 7,
+            random_depth: 1,
+            max_features: MaxFeatures::All,
+            n_trees: 1,
+            ..DareConfig::default()
+        }
+    }
+
+    #[test]
+    fn inserting_held_out_rows_keeps_statistics_exact() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 71).unwrap();
+        let half: Vec<u32> = (0..(data.num_rows() / 2) as u32).collect();
+        let rest: Vec<u32> = ((data.num_rows() / 2) as u32..data.num_rows() as u32).collect();
+        let mut tree = DareTree::fit(&data, half, &cfg(), 71);
+        let report = tree.insert(&rest, &data, &cfg());
+        assert_eq!(tree.num_instances() as usize, data.num_rows());
+        assert!(report.nodes_updated + report.leaves_updated > 0);
+        let v = validate_tree(&tree, &data, &cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn leaves_split_as_they_grow() {
+        let (data, _) = planted_toy().generate_scaled(0.25, 72).unwrap();
+        // Start from a tiny seed set: mostly leaves.
+        let seed_ids: Vec<u32> = (0..4).collect();
+        let mut tree = DareTree::fit(&data, seed_ids, &cfg(), 72);
+        let depth_before = tree.root().depth();
+        let rest: Vec<u32> = (4..data.num_rows() as u32).collect();
+        let report = tree.insert(&rest, &data, &cfg());
+        assert!(report.subtrees_rebuilt > 0, "growth must split leaves");
+        assert!(tree.root().depth() >= depth_before);
+        let v = validate_tree(&tree, &data, &cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn delete_then_insert_roundtrip_stays_valid() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 73).unwrap();
+        let mut tree = DareTree::fit(&data, data.all_row_ids(), &cfg(), 73);
+        let batch: Vec<u32> = (50..120).collect();
+        tree.delete(&batch, &data, &cfg());
+        tree.insert(&batch, &data, &cfg());
+        assert_eq!(tree.num_instances() as usize, data.num_rows());
+        let v = validate_tree(&tree, &data, &cfg());
+        assert!(v.is_empty(), "{v:?}");
+        // Roundtrip preserves the *id set* (the model itself may differ in
+        // structure — both are draws from the same distribution).
+        assert_eq!(tree.instance_ids(), data.all_row_ids());
+    }
+
+    #[test]
+    fn empty_leaf_accepts_first_instances() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 74).unwrap();
+        let mut node = empty_leaf();
+        let mut rng = rand::SeedableRng::seed_from_u64(74);
+        let mut report = InsertReport::default();
+        let ids: Vec<u32> = (0..40).collect();
+        insert_into_node(&mut node, &ids, &data, 0, &mut rng, &cfg(), &mut report);
+        assert_eq!(node.n(), 40);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fume-forest
+//!
+//! **DaRE random forests** — Data Removal-Enabled random forests with
+//! *exact* machine unlearning (Brophy & Lowd, ICML 2021) — built from
+//! scratch as the model substrate for FUME (EDBT 2025).
+//!
+//! A [`DareForest`] is a binary random-forest classifier whose trees cache
+//! sufficient statistics at every node:
+//! * the top `random_depth` layers split on uniformly random
+//!   attribute/threshold pairs, so they almost never depend on any single
+//!   training instance;
+//! * deeper *greedy* nodes cache `k'` candidate thresholds per sampled
+//!   attribute together with their label counts;
+//! * leaves store their training-instance ids.
+//!
+//! [`DareForest::delete`] removes training instances by updating those
+//! statistics top-down and rebuilding exactly the subtrees whose cached
+//! split decision is no longer one the builder could have made — yielding
+//! a model from the same distribution as a full retrain on the surviving
+//! data, at a fraction of the cost.
+//!
+//! The [`validate`] module exposes the invariant checker used to test
+//! exactness, and [`extra_trees`] provides a HedgeCut-style extremely
+//! randomized variant for comparison.
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod config;
+pub mod delete;
+pub mod extra_trees;
+pub mod forest;
+pub mod gbdt;
+pub mod gini;
+pub mod insert;
+pub mod node;
+pub mod persist;
+pub mod tree;
+pub mod validate;
+
+pub use config::{DareConfig, MaxFeatures};
+pub use delete::DeleteReport;
+pub use forest::{DareForest, ForestError};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use insert::InsertReport;
+pub use tree::DareTree;

@@ -1,0 +1,408 @@
+//! Forest persistence: a compact, versioned binary format.
+//!
+//! A deployed unlearnable model must outlive the process that trained it —
+//! deletion requests (GDPR-style or FUME's what-if probes) arrive long
+//! after training. This module serializes a [`DareForest`] including all
+//! cached statistics, so a reloaded forest unlearns exactly as the saved
+//! one would.
+//!
+//! One caveat, stated loudly: the per-tree RNG **stream position** is not
+//! preserved (`StdRng` is deliberately opaque). A reloaded tree reseeds
+//! deterministically from `(config.seed, tree index, generation)`, so
+//! save→load→save is stable and reloaded behavior is reproducible, but a
+//! reloaded forest's *future* retrain draws differ from the never-saved
+//! original's. Both are draws from the same distribution — the exactness
+//! guarantee is unaffected.
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::config::{DareConfig, MaxFeatures};
+use crate::forest::DareForest;
+use crate::node::{Candidate, Internal, Leaf, Node};
+use crate::tree::DareTree;
+
+/// Magic header bytes.
+const MAGIC: &[u8; 4] = b"DARE";
+/// Format version.
+const VERSION: u16 = 1;
+/// Hard recursion guard while decoding untrusted input.
+const MAX_DECODE_DEPTH: usize = 512;
+
+/// Errors from encoding/decoding forests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The input does not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The input ended prematurely or a field is malformed.
+    Corrupt(&'static str),
+    /// An I/O error, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a DaRE forest file (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::Corrupt(what) => write!(f, "corrupt forest data: {what}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        Err(PersistError::Corrupt(what))
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_config(out: &mut Vec<u8>, cfg: &DareConfig) {
+    out.put_u32_le(cfg.n_trees as u32);
+    out.put_u32_le(cfg.max_depth as u32);
+    out.put_u32_le(cfg.random_depth as u32);
+    out.put_u32_le(cfg.n_thresholds as u32);
+    match cfg.max_features {
+        MaxFeatures::All => {
+            out.put_u8(0);
+            out.put_u32_le(0);
+        }
+        MaxFeatures::Sqrt => {
+            out.put_u8(1);
+            out.put_u32_le(0);
+        }
+        MaxFeatures::Count(c) => {
+            out.put_u8(2);
+            out.put_u32_le(c as u32);
+        }
+    }
+    out.put_u32_le(cfg.min_samples_split);
+    out.put_u32_le(cfg.min_samples_leaf);
+    out.put_u64_le(cfg.seed);
+    match cfg.n_jobs {
+        None => {
+            out.put_u8(0);
+            out.put_u32_le(0);
+        }
+        Some(j) => {
+            out.put_u8(1);
+            out.put_u32_le(j as u32);
+        }
+    }
+}
+
+fn decode_config(buf: &mut &[u8]) -> Result<DareConfig, PersistError> {
+    need(buf, 4 * 4 + 1 + 4 + 4 + 4 + 8 + 1 + 4, "config")?;
+    let n_trees = buf.get_u32_le() as usize;
+    let max_depth = buf.get_u32_le() as usize;
+    let random_depth = buf.get_u32_le() as usize;
+    let n_thresholds = buf.get_u32_le() as usize;
+    let mf_tag = buf.get_u8();
+    let mf_val = buf.get_u32_le() as usize;
+    let max_features = match mf_tag {
+        0 => MaxFeatures::All,
+        1 => MaxFeatures::Sqrt,
+        2 => MaxFeatures::Count(mf_val),
+        _ => return Err(PersistError::Corrupt("max_features tag")),
+    };
+    let min_samples_split = buf.get_u32_le();
+    let min_samples_leaf = buf.get_u32_le();
+    let seed = buf.get_u64_le();
+    let jobs_tag = buf.get_u8();
+    let jobs_val = buf.get_u32_le() as usize;
+    let n_jobs = match jobs_tag {
+        0 => None,
+        1 => Some(jobs_val),
+        _ => return Err(PersistError::Corrupt("n_jobs tag")),
+    };
+    Ok(DareConfig {
+        n_trees,
+        max_depth,
+        random_depth,
+        n_thresholds,
+        max_features,
+        min_samples_split,
+        min_samples_leaf,
+        seed,
+        n_jobs,
+    })
+}
+
+fn encode_node(out: &mut Vec<u8>, node: &Node) {
+    match node {
+        Node::Leaf(l) => {
+            out.put_u8(0);
+            out.put_u32_le(l.ids.len() as u32);
+            for &id in &l.ids {
+                out.put_u32_le(id);
+            }
+            out.put_u32_le(l.n_pos);
+        }
+        Node::Internal(i) => {
+            out.put_u8(1);
+            out.put_u16_le(i.attr);
+            out.put_u16_le(i.threshold);
+            out.put_u8(u8::from(i.is_random));
+            out.put_u32_le(i.n);
+            out.put_u32_le(i.n_pos);
+            out.put_u32_le(i.chosen);
+            out.put_u16_le(i.candidates.len() as u16);
+            for c in &i.candidates {
+                out.put_u16_le(c.attr);
+                out.put_u16_le(c.threshold);
+                out.put_u32_le(c.n_left);
+                out.put_u32_le(c.n_left_pos);
+            }
+            encode_node(out, &i.left);
+            encode_node(out, &i.right);
+        }
+    }
+}
+
+fn decode_node(buf: &mut &[u8], depth: usize) -> Result<Node, PersistError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(PersistError::Corrupt("node nesting too deep"));
+    }
+    need(buf, 1, "node tag")?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 4, "leaf id count")?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n * 4 + 4, "leaf body")?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(buf.get_u32_le());
+            }
+            let n_pos = buf.get_u32_le();
+            if (n_pos as usize) > n {
+                return Err(PersistError::Corrupt("leaf n_pos exceeds n"));
+            }
+            Ok(Node::Leaf(Leaf { ids, n_pos }))
+        }
+        1 => {
+            need(buf, 2 + 2 + 1 + 4 + 4 + 4 + 2, "internal header")?;
+            let attr = buf.get_u16_le();
+            let threshold = buf.get_u16_le();
+            let is_random = buf.get_u8() != 0;
+            let n = buf.get_u32_le();
+            let n_pos = buf.get_u32_le();
+            let chosen = buf.get_u32_le();
+            let n_cands = buf.get_u16_le() as usize;
+            need(buf, n_cands * (2 + 2 + 4 + 4), "candidates")?;
+            let mut candidates = Vec::with_capacity(n_cands);
+            for _ in 0..n_cands {
+                candidates.push(Candidate {
+                    attr: buf.get_u16_le(),
+                    threshold: buf.get_u16_le(),
+                    n_left: buf.get_u32_le(),
+                    n_left_pos: buf.get_u32_le(),
+                });
+            }
+            if !is_random && (chosen as usize) >= candidates.len() {
+                return Err(PersistError::Corrupt("chosen index out of range"));
+            }
+            let left = decode_node(buf, depth + 1)?;
+            let right = decode_node(buf, depth + 1)?;
+            if left.n() + right.n() != n || left.n_pos() + right.n_pos() != n_pos {
+                return Err(PersistError::Corrupt("node counts disagree with children"));
+            }
+            Ok(Node::Internal(Box::new(Internal {
+                attr,
+                threshold,
+                is_random,
+                n,
+                n_pos,
+                candidates,
+                chosen,
+                left,
+                right,
+            })))
+        }
+        _ => Err(PersistError::Corrupt("unknown node tag")),
+    }
+}
+
+/// Serializes a forest to bytes.
+pub fn to_bytes(forest: &DareForest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    encode_config(&mut out, forest.config());
+    out.put_u32_le(forest.num_instances());
+    out.put_u32_le(forest.trees().len() as u32);
+    for tree in forest.trees() {
+        encode_node(&mut out, tree.root());
+    }
+    out
+}
+
+/// Deserializes a forest from bytes.
+pub fn from_bytes(mut data: &[u8]) -> Result<DareForest, PersistError> {
+    let buf = &mut data;
+    need(buf, 4 + 2, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let config = decode_config(buf)?;
+    need(buf, 8, "tree counts")?;
+    let n_instances = buf.get_u32_le();
+    let n_trees = buf.get_u32_le() as usize;
+    // A corrupted count must not drive allocation: every tree needs at
+    // least one node tag byte, so more trees than remaining bytes is
+    // impossible in well-formed input.
+    if n_trees > buf.remaining() {
+        return Err(PersistError::Corrupt("tree count exceeds input size"));
+    }
+    let mut trees = Vec::with_capacity(n_trees);
+    for index in 0..n_trees {
+        let root = decode_node(buf, 0)?;
+        if root.n() != n_instances {
+            return Err(PersistError::Corrupt("tree instance count mismatch"));
+        }
+        trees.push(DareTree::from_saved(root, &config, index));
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    DareForest::from_saved(trees, config, n_instances)
+        .ok_or(PersistError::Corrupt("tree count disagrees with config"))
+}
+
+/// Saves a forest to a file.
+pub fn save(forest: &DareForest, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, to_bytes(forest))?;
+    Ok(())
+}
+
+/// Loads a forest from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<DareForest, PersistError> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_forest;
+    use fume_tabular::datasets::planted_toy;
+    use fume_tabular::Classifier;
+
+    fn forest() -> (DareForest, fume_tabular::Dataset) {
+        let (data, _) = planted_toy().generate_scaled(0.15, 81).unwrap();
+        let cfg = DareConfig { n_trees: 6, max_depth: 6, seed: 81, ..DareConfig::default() };
+        (DareForest::fit(&data, cfg), data)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_predictions() {
+        let (f, data) = forest();
+        let bytes = to_bytes(&f);
+        let g = from_bytes(&bytes).unwrap();
+        assert_eq!(g.num_instances(), f.num_instances());
+        assert_eq!(g.config(), f.config());
+        assert_eq!(g.trees().len(), f.trees().len());
+        for (a, b) in f.trees().iter().zip(g.trees()) {
+            assert_eq!(a.root(), b.root());
+        }
+        assert_eq!(f.predict_proba(&data), g.predict_proba(&data));
+        let v = validate_forest(&g, &data);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reloaded_forest_still_unlearns_exactly() {
+        let (f, data) = forest();
+        let mut g = from_bytes(&to_bytes(&f)).unwrap();
+        g.delete(&[0, 3, 9, 27], &data).unwrap();
+        assert_eq!(g.num_instances() + 4, f.num_instances());
+        let v = validate_forest(&g, &data);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn save_load_save_is_stable() {
+        let (f, _) = forest();
+        let b1 = to_bytes(&f);
+        let g = from_bytes(&b1).unwrap();
+        let b2 = to_bytes(&g);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicked() {
+        let (f, _) = forest();
+        let good = to_bytes(&f);
+        assert_eq!(from_bytes(b"nope!!"), Err(PersistError::BadMagic));
+        assert_eq!(from_bytes(b"hi"), Err(PersistError::Corrupt("header")));
+        assert!(matches!(
+            from_bytes(&good[..10]),
+            Err(PersistError::Corrupt(_)) | Err(PersistError::UnsupportedVersion(_))
+        ));
+        // Flip a version byte.
+        let mut bad = good.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(from_bytes(&bad), Err(PersistError::UnsupportedVersion(_))));
+        // Truncate mid-tree.
+        assert!(from_bytes(&good[..good.len() - 5]).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(7);
+        assert_eq!(from_bytes(&long), Err(PersistError::Corrupt("trailing bytes")));
+    }
+
+    #[test]
+    fn nondefault_config_variants_roundtrip() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 82).unwrap();
+        let cfg = DareConfig {
+            n_trees: 2,
+            max_depth: 4,
+            random_depth: 2,
+            n_thresholds: 3,
+            max_features: crate::config::MaxFeatures::Count(2),
+            min_samples_split: 6,
+            min_samples_leaf: 2,
+            seed: 123,
+            n_jobs: Some(1),
+        };
+        let f = DareForest::fit(&data, cfg.clone());
+        let g = from_bytes(&to_bytes(&f)).unwrap();
+        assert_eq!(g.config(), &cfg);
+        // And the All/Sqrt variants.
+        for mf in [crate::config::MaxFeatures::All, crate::config::MaxFeatures::Sqrt] {
+            let cfg2 = DareConfig { max_features: mf, n_jobs: None, ..cfg.clone() };
+            let f2 = DareForest::fit(&data, cfg2.clone());
+            let g2 = from_bytes(&to_bytes(&f2)).unwrap();
+            assert_eq!(g2.config(), &cfg2);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (f, data) = forest();
+        let dir = std::env::temp_dir().join("fume_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dare");
+        save(&f, &path).unwrap();
+        let g = load(&path).unwrap();
+        assert_eq!(f.predict_proba(&data), g.predict_proba(&data));
+    }
+}

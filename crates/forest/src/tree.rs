@@ -1,0 +1,141 @@
+//! A single DaRE tree: construction, prediction, unlearning and
+//! structural introspection.
+
+use fume_tabular::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::builder::build_node;
+use crate::config::DareConfig;
+use crate::delete::{delete_from_node, DeleteReport};
+use crate::insert::{insert_into_node, InsertReport};
+use crate::node::Node;
+
+/// A decision tree supporting exact unlearning of training instances.
+///
+/// The tree owns a deterministic RNG stream that is consumed both at build
+/// time and by deletion-triggered subtree retrains, so a cloned tree
+/// replays identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DareTree {
+    root: Node,
+    rng: StdRng,
+}
+
+impl DareTree {
+    /// Trains a tree on the instances `ids` of `data`.
+    pub fn fit(data: &Dataset, ids: Vec<u32>, cfg: &DareConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = build_node(data, ids, 0, &mut rng, cfg);
+        Self { root, rng }
+    }
+
+    /// Reconstructs a tree from a persisted root. The RNG stream restarts
+    /// from a seed derived deterministically from the forest seed and the
+    /// tree's `index` (see `persist` module docs for the reseeding
+    /// caveat).
+    pub(crate) fn from_saved(root: Node, cfg: &DareConfig, index: usize) -> Self {
+        let seed = cfg
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(index as u64)
+            .rotate_left(17);
+        Self { root, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Positive-class probability for `row` of `data`.
+    pub fn predict_row(&self, data: &Dataset, row: usize) -> f64 {
+        self.root.predict_row(data, row)
+    }
+
+    /// Unlearns the training instances `del` (must be sorted, deduplicated
+    /// and present in the tree). Statistics are updated in place; subtrees
+    /// are rebuilt from surviving instances only where the cached
+    /// statistics prove it necessary.
+    pub fn delete(&mut self, del: &[u32], data: &Dataset, cfg: &DareConfig) -> DeleteReport {
+        debug_assert!(del.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
+        let mut report = DeleteReport::default();
+        delete_from_node(&mut self.root, del, data, 0, &mut self.rng, cfg, &mut report);
+        report
+    }
+
+    /// Incrementally learns the additional training instances `ins`
+    /// (sorted, deduplicated, not already present). Leaves grow and split
+    /// as the builder would have; greedy nodes rebuild when a cached
+    /// candidate overtakes the chosen split.
+    pub fn insert(&mut self, ins: &[u32], data: &Dataset, cfg: &DareConfig) -> InsertReport {
+        debug_assert!(ins.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
+        let mut report = InsertReport::default();
+        insert_into_node(&mut self.root, ins, data, 0, &mut self.rng, cfg, &mut report);
+        report
+    }
+
+    /// The root node, for read-only structural walks (path mining,
+    /// validation).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of training instances currently in the tree.
+    pub fn num_instances(&self) -> u32 {
+        self.root.n()
+    }
+
+    /// All training-instance ids currently in the tree, sorted.
+    pub fn instance_ids(&self) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(self.root.n() as usize);
+        self.root.collect_ids(&mut ids);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaxFeatures;
+    use fume_tabular::datasets::planted_toy;
+
+    fn cfg() -> DareConfig {
+        DareConfig {
+            max_depth: 6,
+            random_depth: 1,
+            max_features: MaxFeatures::All,
+            ..DareConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 1).unwrap();
+        let a = DareTree::fit(&data, data.all_row_ids(), &cfg(), 5);
+        let b = DareTree::fit(&data, data.all_row_ids(), &cfg(), 5);
+        assert_eq!(a, b);
+        let c = DareTree::fit(&data, data.all_row_ids(), &cfg(), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instance_ids_track_deletions() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 2).unwrap();
+        let mut t = DareTree::fit(&data, data.all_row_ids(), &cfg(), 5);
+        assert_eq!(t.num_instances() as usize, data.num_rows());
+        let del = vec![0u32, 5, 10, 15];
+        t.delete(&del, &data, &cfg());
+        assert_eq!(t.num_instances() as usize, data.num_rows() - 4);
+        let ids = t.instance_ids();
+        for d in del {
+            assert!(ids.binary_search(&d).is_err());
+        }
+    }
+
+    #[test]
+    fn predictions_stay_in_unit_interval() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 3).unwrap();
+        let t = DareTree::fit(&data, data.all_row_ids(), &cfg(), 8);
+        for row in 0..data.num_rows() {
+            let p = t.predict_row(&data, row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

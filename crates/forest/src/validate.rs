@@ -1,0 +1,242 @@
+//! Structural invariant checking for DaRE trees.
+//!
+//! Exact unlearning hinges on cached statistics staying equal to what a
+//! from-scratch pass over the surviving data would compute. This module
+//! verifies that property and is used heavily by the workspace's tests
+//! (including property-based tests).
+
+use fume_tabular::Dataset;
+
+use crate::builder::candidate_valid;
+use crate::config::DareConfig;
+use crate::forest::DareForest;
+use crate::gini::gini_gain;
+use crate::node::Node;
+use crate::tree::DareTree;
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn check_node(
+    node: &Node,
+    data: &Dataset,
+    cfg: &DareConfig,
+    depth: usize,
+    out: &mut Vec<Violation>,
+) {
+    match node {
+        Node::Leaf(leaf) => {
+            let pos = leaf
+                .ids
+                .iter()
+                .filter(|&&id| data.label(id as usize))
+                .count() as u32;
+            if pos != leaf.n_pos {
+                out.push(Violation(format!(
+                    "leaf at depth {depth}: cached n_pos {} != recomputed {pos}",
+                    leaf.n_pos
+                )));
+            }
+        }
+        Node::Internal(i) => {
+            if i.n != i.left.n() + i.right.n() {
+                out.push(Violation(format!(
+                    "node at depth {depth}: n {} != children {}",
+                    i.n,
+                    i.left.n() + i.right.n()
+                )));
+            }
+            if i.n_pos != i.left.n_pos() + i.right.n_pos() {
+                out.push(Violation(format!(
+                    "node at depth {depth}: n_pos {} != children {}",
+                    i.n_pos,
+                    i.left.n_pos() + i.right.n_pos()
+                )));
+            }
+            // Routing: every id under `left` must satisfy the split.
+            let mut ids = Vec::new();
+            i.left.collect_ids(&mut ids);
+            for id in &ids {
+                if data.code(*id as usize, i.attr as usize) > i.threshold {
+                    out.push(Violation(format!(
+                        "node at depth {depth}: id {id} routed left violates split"
+                    )));
+                    break;
+                }
+            }
+            ids.clear();
+            i.right.collect_ids(&mut ids);
+            for id in &ids {
+                if data.code(*id as usize, i.attr as usize) <= i.threshold {
+                    out.push(Violation(format!(
+                        "node at depth {depth}: id {id} routed right violates split"
+                    )));
+                    break;
+                }
+            }
+
+            if depth >= cfg.max_depth {
+                out.push(Violation(format!(
+                    "internal node at depth {depth} exceeds max_depth {}",
+                    cfg.max_depth
+                )));
+            }
+
+            if i.is_random {
+                if !i.candidates.is_empty() {
+                    out.push(Violation(format!(
+                        "random node at depth {depth} carries candidates"
+                    )));
+                }
+                if depth >= cfg.random_depth {
+                    out.push(Violation(format!(
+                        "random node at depth {depth} below random_depth {}",
+                        cfg.random_depth
+                    )));
+                }
+            } else {
+                check_greedy_candidates(node, i, data, cfg, depth, out);
+            }
+
+            check_node(&i.left, data, cfg, depth + 1, out);
+            check_node(&i.right, data, cfg, depth + 1, out);
+        }
+    }
+}
+
+fn check_greedy_candidates(
+    node: &Node,
+    i: &crate::node::Internal,
+    data: &Dataset,
+    cfg: &DareConfig,
+    depth: usize,
+    out: &mut Vec<Violation>,
+) {
+    if i.candidates.is_empty() {
+        out.push(Violation(format!("greedy node at depth {depth} has no candidates")));
+        return;
+    }
+    let chosen = match i.candidates.get(i.chosen as usize) {
+        Some(c) => c,
+        None => {
+            out.push(Violation(format!(
+                "greedy node at depth {depth}: chosen index {} out of range",
+                i.chosen
+            )));
+            return;
+        }
+    };
+    if (chosen.attr, chosen.threshold) != (i.attr, i.threshold) {
+        out.push(Violation(format!(
+            "greedy node at depth {depth}: chosen candidate does not match split"
+        )));
+    }
+
+    let mut ids = Vec::new();
+    node.collect_ids(&mut ids);
+    let chosen_gain = gini_gain(i.n, i.n_pos, chosen.n_left, chosen.n_left_pos);
+    for (ci, c) in i.candidates.iter().enumerate() {
+        let column = data.column(c.attr as usize);
+        let n_left =
+            ids.iter().filter(|&&id| column[id as usize] <= c.threshold).count() as u32;
+        let n_left_pos = ids
+            .iter()
+            .filter(|&&id| {
+                column[id as usize] <= c.threshold && data.label(id as usize)
+            })
+            .count() as u32;
+        if (c.n_left, c.n_left_pos) != (n_left, n_left_pos) {
+            out.push(Violation(format!(
+                "greedy node at depth {depth}: candidate {ci} stats ({}, {}) != recomputed ({n_left}, {n_left_pos})",
+                c.n_left, c.n_left_pos
+            )));
+        }
+        if !candidate_valid(c, i.n, cfg) {
+            out.push(Violation(format!(
+                "greedy node at depth {depth}: candidate {ci} invalid but retained"
+            )));
+        }
+        let gain = gini_gain(i.n, i.n_pos, c.n_left, c.n_left_pos);
+        if gain > chosen_gain + 1e-9 {
+            out.push(Violation(format!(
+                "greedy node at depth {depth}: candidate {ci} gain {gain} beats chosen {chosen_gain}"
+            )));
+        }
+    }
+}
+
+/// Checks every invariant of `tree` against `data`, returning all
+/// violations (empty = valid).
+pub fn validate_tree(tree: &DareTree, data: &Dataset, cfg: &DareConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_node(tree.root(), data, cfg, 0, &mut out);
+    out
+}
+
+/// Checks every tree of `forest`; returns all violations across trees.
+pub fn validate_forest(forest: &DareForest, data: &Dataset) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ti, tree) in forest.trees().iter().enumerate() {
+        for v in validate_tree(tree, data, forest.config()) {
+            out.push(Violation(format!("tree {ti}: {v}")));
+        }
+        if tree.num_instances() != forest.num_instances() {
+            out.push(Violation(format!(
+                "tree {ti}: holds {} instances, forest says {}",
+                tree.num_instances(),
+                forest.num_instances()
+            )));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DareConfig;
+    use fume_tabular::datasets::planted_toy;
+
+    #[test]
+    fn fresh_forest_is_valid() {
+        let (data, _) = planted_toy().generate_scaled(0.2, 31).unwrap();
+        let forest = DareForest::fit(&data, DareConfig::small(31));
+        let v = validate_forest(&forest, &data);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn forest_stays_valid_under_batch_deletions() {
+        let (data, _) = planted_toy().generate_scaled(0.3, 32).unwrap();
+        let mut forest = DareForest::fit(&data, DareConfig::small(32));
+        // Three waves of deletions, including a coherent block.
+        let waves: Vec<Vec<u32>> = vec![
+            (0..40).collect(),
+            (100..160).step_by(2).collect(),
+            (200..230).collect(),
+        ];
+        for wave in waves {
+            forest.delete(&wave, &data).unwrap();
+            let v = validate_forest(&forest, &data);
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn forest_stays_valid_under_many_single_deletions() {
+        let (data, _) = planted_toy().generate_scaled(0.15, 33).unwrap();
+        let mut forest = DareForest::fit(&data, DareConfig::small(33).with_trees(5));
+        for id in (0..120u32).step_by(3) {
+            forest.delete(&[id], &data).unwrap();
+        }
+        let v = validate_forest(&forest, &data);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Lattice node generation: level-1 literals and the apriori join.
+
+use fume_tabular::{AttrKind, Dataset};
+
+use crate::literal::{Literal, Op};
+use crate::predicate::{intersect_sorted, Predicate};
+
+/// How level-1 literals are generated.
+///
+/// The paper's lattice uses equality literals only (`d × p` level-1
+/// nodes); `WithRanges` additionally generates `≤ v` / `≥ v` literals for
+/// *ordinal* (binned numeric) attributes — an extension that lets
+/// explanations express intervals like `Age >= [45, 60)` directly instead
+/// of unions of bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiteralGen {
+    /// Equality literals only (the paper's scheme).
+    #[default]
+    EqOnly,
+    /// Equality literals plus `≤`/`≥` range literals on ordinal attributes.
+    WithRanges,
+}
+
+/// A node of the search lattice: a predicate, the rows it selects, and —
+/// once evaluated — its parity reduction `ρ` (the negated subset
+/// attribution `−φ`; positive means removing the subset reduces bias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatticeNode {
+    /// The predicate this node represents.
+    pub predicate: Predicate,
+    /// Sorted training-row ids selected by the predicate.
+    pub rows: Vec<u32>,
+    /// Parity reduction, `None` until evaluated (oversized nodes are
+    /// expanded without evaluation, see Rule 2).
+    pub rho: Option<f64>,
+    /// The larger of the parents' parity reductions — Rule 4's quality
+    /// floor: once this node's own `ρ` is known, the node is only expanded
+    /// if `ρ` reaches the floor. Level-1 nodes and children of unevaluated
+    /// (oversized) parents have `-∞`.
+    pub parent_floor: f64,
+}
+
+impl LatticeNode {
+    /// Support of the node within a training set of `n` rows.
+    pub fn support(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / n as f64
+        }
+    }
+}
+
+/// Generates every level-1 node: one `attr = value` literal per
+/// attribute/value pair of the schema (the paper's `d × p` leaves of the
+/// lattice root), excluding `exclude_attrs`. Selections are computed with
+/// one scan per attribute.
+pub fn level1_nodes(data: &Dataset, exclude_attrs: &[u16]) -> Vec<LatticeNode> {
+    level1_nodes_with(data, exclude_attrs, LiteralGen::EqOnly)
+}
+
+/// [`level1_nodes`] with an explicit literal-generation strategy.
+pub fn level1_nodes_with(
+    data: &Dataset,
+    exclude_attrs: &[u16],
+    gen: LiteralGen,
+) -> Vec<LatticeNode> {
+    let mut nodes = Vec::new();
+    for attr in 0..data.num_attributes() as u16 {
+        if exclude_attrs.contains(&attr) {
+            continue;
+        }
+        let Ok(attribute) = data.schema().attribute(attr as usize) else {
+            continue;
+        };
+        let card = attribute.cardinality();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); card as usize];
+        for (row, &code) in data.column(attr as usize).iter().enumerate() {
+            buckets[code as usize].push(row as u32);
+        }
+
+        if gen == LiteralGen::WithRanges
+            && attribute.kind() == AttrKind::Ordinal
+            && card >= 3
+        {
+            // Prefix/suffix unions of the equality buckets give the range
+            // selections in one extra pass.
+            for v in 0..card - 1 {
+                let mut rows: Vec<u32> = buckets[..=v as usize].concat();
+                rows.sort_unstable();
+                nodes.push(LatticeNode {
+                    predicate: Predicate::single(Literal { attr, op: Op::Le, value: v }),
+                    rows,
+                    rho: None,
+                    parent_floor: f64::NEG_INFINITY,
+                });
+            }
+            for v in 1..card {
+                let mut rows: Vec<u32> = buckets[v as usize..].concat();
+                rows.sort_unstable();
+                nodes.push(LatticeNode {
+                    predicate: Predicate::single(Literal { attr, op: Op::Ge, value: v }),
+                    rows,
+                    rho: None,
+                    parent_floor: f64::NEG_INFINITY,
+                });
+            }
+        }
+
+        for (value, rows) in buckets.into_iter().enumerate() {
+            nodes.push(LatticeNode {
+                predicate: Predicate::single(Literal::eq(attr, value as u16)),
+                rows,
+                rho: None,
+                parent_floor: f64::NEG_INFINITY,
+            });
+        }
+    }
+    nodes
+}
+
+/// The outcome of expanding one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    /// The surviving child nodes (satisfiable, with selections).
+    pub children: Vec<LatticeNode>,
+    /// Number of parent pairs considered (`C(|frontier|, 2)` — the
+    /// paper's "possible subsets" accounting of Table 9).
+    pub possible: usize,
+    /// Candidates discarded by Rule 1 (contradictory predicates).
+    pub pruned_rule1: usize,
+    /// Candidates discarded as *redundant*: the child selects exactly the
+    /// same rows as one of its parents, so it explains nothing the
+    /// (simpler) parent doesn't. Only arises with overlapping literals,
+    /// e.g. `Age <= 2 ∧ Age <= 3` or a literal subsumed by another
+    /// attribute's selection.
+    pub pruned_redundant: usize,
+}
+
+/// Expands a frontier of level-`l` nodes into level-`l+1` children via the
+/// apriori join (shared `l−1`-literal prefix). Each child's selection is
+/// the intersection of its parents'. When `check_satisfiability` is set
+/// (Rule 1), contradictory children are dropped without materializing
+/// selections.
+pub fn expand_level(
+    data: &Dataset,
+    frontier: &[LatticeNode],
+    check_satisfiability: bool,
+) -> Expansion {
+    // The paper's rule set has no redundancy pruning; it is opt-in via
+    // [`expand_level_with`] / `RuleToggles::prune_redundant`.
+    expand_level_with(data, frontier, check_satisfiability, false)
+}
+
+/// [`expand_level`] with explicit redundancy pruning control.
+pub fn expand_level_with(
+    data: &Dataset,
+    frontier: &[LatticeNode],
+    check_satisfiability: bool,
+    prune_redundant: bool,
+) -> Expansion {
+    let n = frontier.len();
+    let possible = n * n.saturating_sub(1) / 2;
+    let mut children = Vec::new();
+    let mut pruned_rule1 = 0;
+    let mut pruned_redundant = 0;
+
+    // Canonical join requires sorted frontier predicates; joins only fire
+    // for pairs sharing their (l−1)-prefix, so sort and sweep prefix groups.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| frontier[a].predicate.cmp(&frontier[b].predicate));
+
+    let mut group_start = 0;
+    while group_start < n {
+        let prefix_of = |idx: usize| {
+            let lits = frontier[order[idx]].predicate.literals();
+            &lits[..lits.len() - 1]
+        };
+        let mut group_end = group_start + 1;
+        while group_end < n && prefix_of(group_end) == prefix_of(group_start) {
+            group_end += 1;
+        }
+        for i in group_start..group_end {
+            for j in (i + 1)..group_end {
+                let (a, b) = (&frontier[order[i]], &frontier[order[j]]);
+                let Some(child) = a.predicate.join(&b.predicate) else {
+                    continue;
+                };
+                if check_satisfiability && !child.is_satisfiable(data.schema()) {
+                    pruned_rule1 += 1;
+                    continue;
+                }
+                let rows = intersect_sorted(&a.rows, &b.rows);
+                // A child selecting exactly a parent's rows adds literals
+                // without changing the subset — keep the simpler parent.
+                if prune_redundant
+                    && (rows.len() == a.rows.len() || rows.len() == b.rows.len())
+                {
+                    pruned_redundant += 1;
+                    continue;
+                }
+                let parent_floor = match (a.rho, b.rho) {
+                    (Some(x), Some(y)) => x.max(y),
+                    (Some(x), None) | (None, Some(x)) => x,
+                    (None, None) => f64::NEG_INFINITY,
+                };
+                children.push(LatticeNode {
+                    predicate: child,
+                    rows,
+                    rho: None,
+                    parent_floor,
+                });
+            }
+        }
+        group_start = group_end;
+    }
+    Expansion { children, possible, pruned_rule1, pruned_redundant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn data() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["x".into(), "y".into()]),
+                // Ordinal so the range-literal generation tests have a
+                // rangeable attribute.
+                Attribute::ordinal("b", vec!["p".into(), "q".into(), "r".into()]),
+            ])
+            .unwrap(),
+        );
+        Dataset::new(
+            schema,
+            vec![vec![0, 0, 1, 1], vec![0, 1, 2, 0]],
+            vec![true, false, true, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn level1_enumerates_attr_value_pairs() {
+        let d = data();
+        let nodes = level1_nodes(&d, &[]);
+        assert_eq!(nodes.len(), 5); // 2 + 3 values
+        // Selections partition the rows per attribute.
+        let total_attr0: usize =
+            nodes.iter().take(2).map(|n| n.rows.len()).sum();
+        assert_eq!(total_attr0, d.num_rows());
+        // a = x selects rows 0, 1.
+        assert_eq!(nodes[0].rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn level1_respects_exclusions() {
+        let d = data();
+        let nodes = level1_nodes(&d, &[0]);
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes.iter().all(|n| n.predicate.literals()[0].attr == 1));
+    }
+
+    #[test]
+    fn expansion_counts_and_prunes_contradictions() {
+        let d = data();
+        let frontier = level1_nodes(&d, &[]);
+        let exp = expand_level(&d, &frontier, true);
+        assert_eq!(exp.possible, 5 * 4 / 2);
+        // Same-attribute equality pairs are contradictory:
+        // 1 pair within attr a, 3 pairs within attr b.
+        assert_eq!(exp.pruned_rule1, 4);
+        // Cross-attribute children: 2 × 3.
+        assert_eq!(exp.children.len(), 6);
+        for c in &exp.children {
+            assert_eq!(c.predicate.len(), 2);
+            // Selection equals a fresh scan.
+            assert_eq!(c.rows, c.predicate.select(&d));
+        }
+    }
+
+    #[test]
+    fn without_rule1_contradictions_survive_with_empty_selections() {
+        let d = data();
+        let frontier = level1_nodes(&d, &[]);
+        let exp = expand_level(&d, &frontier, false);
+        assert_eq!(exp.pruned_rule1, 0);
+        assert_eq!(exp.children.len(), 10);
+        // 4 contradictory children plus 2 satisfiable-but-empty ones
+        // (value combinations absent from this tiny dataset).
+        let empties = exp.children.iter().filter(|c| c.rows.is_empty()).count();
+        assert_eq!(empties, 6);
+    }
+
+    #[test]
+    fn level3_join_requires_shared_prefix() {
+        let d = data();
+        let l1 = level1_nodes(&d, &[]);
+        let l2 = expand_level(&d, &l1, true).children;
+        let exp = expand_level(&d, &l2, true);
+        // Only 2 attributes exist, so every 3-literal candidate repeats an
+        // attribute and is contradictory.
+        assert!(exp.children.is_empty());
+        assert!(exp.pruned_rule1 > 0);
+    }
+
+    #[test]
+    fn range_literals_generated_for_ordinal_attributes() {
+        let d = data(); // "a" categorical(2), "b" ordinal(3)
+        let nodes = level1_nodes_with(&d, &[], LiteralGen::WithRanges);
+        // Eq: 2 + 3; ranges on "b" (card 3): Le{0,1} + Ge{1,2} = 4.
+        assert_eq!(nodes.len(), 9);
+        let ranges: Vec<&LatticeNode> = nodes
+            .iter()
+            .filter(|n| n.predicate.literals()[0].op != crate::literal::Op::Eq)
+            .collect();
+        assert_eq!(ranges.len(), 4);
+        for node in ranges {
+            assert_eq!(node.predicate.literals()[0].attr, 1, "only ordinal attr");
+            // Selection consistent with a fresh scan.
+            assert_eq!(node.rows, node.predicate.select(&d));
+            // Ranges are proper subsets of everything — never empty, never all
+            // (card 3, cuts strictly inside).
+            assert!(!node.rows.is_empty());
+        }
+        // Binary ordinal / categorical attributes get no ranges.
+        let eq_only = level1_nodes_with(&d, &[], LiteralGen::EqOnly);
+        assert_eq!(eq_only.len(), 5);
+    }
+
+    #[test]
+    fn redundancy_pruning_drops_subsumed_children() {
+        let d = data();
+        let frontier = level1_nodes_with(&d, &[], LiteralGen::WithRanges);
+        let with = expand_level_with(&d, &frontier, true, true);
+        let without = expand_level_with(&d, &frontier, true, false);
+        assert!(with.pruned_redundant > 0);
+        assert_eq!(
+            with.children.len() + with.pruned_redundant,
+            without.children.len(),
+            "redundancy pruning only removes, never adds"
+        );
+        // The canonical redundancy: (b <= 0) ∧ (b <= 1) ≡ (b <= 0); it must
+        // have been pruned.
+        use crate::literal::Op;
+        let subsumed = Predicate::new(vec![
+            Literal { attr: 1, op: Op::Le, value: 0 },
+            Literal { attr: 1, op: Op::Le, value: 1 },
+        ]);
+        assert!(with.children.iter().all(|c| c.predicate != subsumed));
+        assert!(without.children.iter().any(|c| c.predicate == subsumed));
+    }
+
+    #[test]
+    fn node_support() {
+        let node = LatticeNode {
+            predicate: Predicate::single(Literal::eq(0, 0)),
+            rows: vec![1, 2],
+            rho: None,
+            parent_floor: f64::NEG_INFINITY,
+        };
+        assert!((node.support(4) - 0.5).abs() < 1e-12);
+        assert_eq!(node.support(0), 0.0);
+    }
+}

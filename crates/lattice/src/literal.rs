@@ -1,0 +1,151 @@
+//! Single-attribute literals: the atoms of predicate-based subsets.
+
+use fume_tabular::{AttrKind, Schema};
+
+/// Comparison operator of a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl Op {
+    /// Evaluates `code op value`.
+    #[inline]
+    pub fn eval(self, code: u16, value: u16) -> bool {
+        match self {
+            Op::Eq => code == value,
+            Op::Ne => code != value,
+            Op::Lt => code < value,
+            Op::Le => code <= value,
+            Op::Gt => code > value,
+            Op::Ge => code >= value,
+        }
+    }
+
+    /// Display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// A literal `attribute op value` over coded data, e.g. `Housing = Rent`
+/// or (for ordinal attributes) `Age >= [45, 60)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// Attribute index.
+    pub attr: u16,
+    /// Comparison operator.
+    pub op: Op,
+    /// Code the attribute is compared against.
+    pub value: u16,
+}
+
+impl Literal {
+    /// Equality literal.
+    pub fn eq(attr: u16, value: u16) -> Self {
+        Self { attr, op: Op::Eq, value }
+    }
+
+    /// Whether `code` satisfies the literal.
+    #[inline]
+    pub fn matches(&self, code: u16) -> bool {
+        self.op.eval(code, self.value)
+    }
+
+    /// Renders against a schema, e.g. `Housing = Rent`.
+    /// Ordinal attributes comparing with inequality render the bin label.
+    pub fn render(&self, schema: &Schema) -> String {
+        let attr = match schema.attribute(self.attr as usize) {
+            Ok(a) => a,
+            Err(_) => return format!("attr#{} {} {}", self.attr, self.op.symbol(), self.value),
+        };
+        let value = attr
+            .value_label(self.value)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", self.value));
+        format!("{} {} {}", attr.name(), self.op.symbol(), value)
+    }
+
+    /// Whether the literal can be satisfied by any code of an attribute
+    /// with the given cardinality.
+    pub fn satisfiable(&self, cardinality: u16) -> bool {
+        (0..cardinality).any(|c| self.matches(c))
+    }
+
+    /// Whether inequality operators make sense for this attribute
+    /// (ordering is only meaningful for ordinal/binned attributes).
+    pub fn op_fits_kind(&self, kind: AttrKind) -> bool {
+        matches!(self.op, Op::Eq | Op::Ne) || kind == AttrKind::Ordinal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fume_tabular::Attribute;
+
+    #[test]
+    fn op_semantics() {
+        assert!(Op::Eq.eval(3, 3) && !Op::Eq.eval(3, 4));
+        assert!(Op::Ne.eval(3, 4) && !Op::Ne.eval(3, 3));
+        assert!(Op::Lt.eval(2, 3) && !Op::Lt.eval(3, 3));
+        assert!(Op::Le.eval(3, 3) && !Op::Le.eval(4, 3));
+        assert!(Op::Gt.eval(4, 3) && !Op::Gt.eval(3, 3));
+        assert!(Op::Ge.eval(3, 3) && !Op::Ge.eval(2, 3));
+    }
+
+    #[test]
+    fn literal_ordering_is_by_attr_first() {
+        let a = Literal::eq(0, 5);
+        let b = Literal::eq(1, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn render_uses_schema_labels() {
+        let schema = Schema::with_default_label(vec![Attribute::categorical(
+            "Housing",
+            vec!["Rent".into(), "Own".into()],
+        )])
+        .unwrap();
+        assert_eq!(Literal::eq(0, 0).render(&schema), "Housing = Rent");
+        let out_of_domain = Literal::eq(0, 9).render(&schema);
+        assert!(out_of_domain.contains("#9"));
+    }
+
+    #[test]
+    fn satisfiability_over_domain() {
+        // attr with 3 codes: 0,1,2
+        assert!(Literal { attr: 0, op: Op::Lt, value: 1 }.satisfiable(3));
+        assert!(!Literal { attr: 0, op: Op::Lt, value: 0 }.satisfiable(3));
+        assert!(!Literal { attr: 0, op: Op::Gt, value: 2 }.satisfiable(3));
+        assert!(Literal { attr: 0, op: Op::Ne, value: 0 }.satisfiable(3));
+        assert!(!Literal { attr: 0, op: Op::Ne, value: 0 }.satisfiable(1));
+    }
+
+    #[test]
+    fn op_kind_compatibility() {
+        use fume_tabular::AttrKind::*;
+        assert!(Literal::eq(0, 0).op_fits_kind(Categorical));
+        assert!(!Literal { attr: 0, op: Op::Le, value: 1 }.op_fits_kind(Categorical));
+        assert!(Literal { attr: 0, op: Op::Le, value: 1 }.op_fits_kind(Ordinal));
+    }
+}

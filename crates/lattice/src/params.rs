@@ -1,0 +1,178 @@
+//! Search-space parameters: support range (Rule 2), interpretability cap
+//! (Rule 3) and ablation toggles for the attribution-based rules.
+
+use std::fmt;
+
+/// Errors from invalid lattice parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeError {
+    /// `min`/`max` do not describe a valid sub-range of `[0, 1]`.
+    InvalidSupportRange {
+        /// Requested minimum.
+        min: f64,
+        /// Requested maximum.
+        max: f64,
+    },
+    /// `max_literals` must be at least 1.
+    ZeroMaxLiterals,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSupportRange { min, max } => {
+                write!(f, "invalid support range [{min}, {max}]: need 0 <= min < max <= 1")
+            }
+            Self::ZeroMaxLiterals => write!(f, "max_literals must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// The support range `[τ_min, τ_max]` of Rule 2, as fractions of the
+/// training set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupportRange {
+    /// Minimum support (subsets below are dropped and never expanded).
+    pub min: f64,
+    /// Maximum support (subsets above are not reported but still expanded,
+    /// since their children may re-enter the range).
+    pub max: f64,
+}
+
+impl SupportRange {
+    /// Validates and builds a support range.
+    pub fn new(min: f64, max: f64) -> Result<Self, LatticeError> {
+        if !(0.0..=1.0).contains(&min) || !(0.0..=1.0).contains(&max) || min >= max {
+            return Err(LatticeError::InvalidSupportRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// The paper's default medium range, 5–15 %.
+    pub fn medium() -> Self {
+        Self { min: 0.05, max: 0.15 }
+    }
+
+    /// The paper's small range, 0–5 %.
+    pub fn small() -> Self {
+        Self { min: 0.0, max: 0.05 }
+    }
+
+    /// The paper's large range, ≥ 30 %.
+    pub fn large() -> Self {
+        Self { min: 0.30, max: 1.0 }
+    }
+
+    /// Whether `support` lies inside `[min, max]`.
+    pub fn contains(&self, support: f64) -> bool {
+        support >= self.min && support <= self.max
+    }
+}
+
+/// Ablation switches for the pruning rules that depend on computed
+/// attributions. Rules 2 and 3 are inherent search parameters
+/// ([`SupportRange`], `max_literals`) and cannot be disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleToggles {
+    /// Rule 1: skip contradictory (unsatisfiable) predicates at merge time.
+    pub rule1_satisfiability: bool,
+    /// Rule 4: expand a node only if its attribution is at least both
+    /// parents'.
+    pub rule4_parent_dominance: bool,
+    /// Rule 5: expand a node only if its attribution is positive.
+    pub rule5_positive_only: bool,
+    /// Extension (not in the paper's rule set, default off): skip children
+    /// that select exactly the same rows as one of their parents — they
+    /// add literals without changing the subset. Worth enabling together
+    /// with range literals, which create many subsumed conjunctions.
+    pub prune_redundant: bool,
+}
+
+impl Default for RuleToggles {
+    fn default() -> Self {
+        Self {
+            rule1_satisfiability: true,
+            rule4_parent_dominance: true,
+            rule5_positive_only: true,
+            prune_redundant: false,
+        }
+    }
+}
+
+/// All parameters of a lattice search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchParams {
+    /// Rule 2's support range.
+    pub support: SupportRange,
+    /// Rule 3's interpretability cap `η`: maximum literals per subset.
+    pub max_literals: usize,
+    /// Rule ablation switches.
+    pub toggles: RuleToggles,
+    /// Attributes never used in literals (e.g. to exclude the sensitive
+    /// attribute itself from explanations, if desired).
+    pub exclude_attrs: Vec<u16>,
+    /// Level-1 literal generation strategy.
+    pub literal_gen: crate::expand::LiteralGen,
+}
+
+impl SearchParams {
+    /// Builds validated parameters with default toggles.
+    pub fn new(support: SupportRange, max_literals: usize) -> Result<Self, LatticeError> {
+        if max_literals == 0 {
+            return Err(LatticeError::ZeroMaxLiterals);
+        }
+        Ok(Self {
+            support,
+            max_literals,
+            toggles: RuleToggles::default(),
+            exclude_attrs: Vec::new(),
+            literal_gen: crate::expand::LiteralGen::EqOnly,
+        })
+    }
+
+    /// The paper's defaults: 5–15 % support, 2-literal subsets.
+    pub fn paper_defaults() -> Self {
+        Self::new(SupportRange::medium(), 2).expect("static params valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_range_validation() {
+        assert!(SupportRange::new(0.05, 0.15).is_ok());
+        assert!(SupportRange::new(0.15, 0.05).is_err());
+        assert!(SupportRange::new(0.1, 0.1).is_err());
+        assert!(SupportRange::new(-0.1, 0.5).is_err());
+        assert!(SupportRange::new(0.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn support_range_contains_is_inclusive() {
+        let r = SupportRange::medium();
+        assert!(r.contains(0.05));
+        assert!(r.contains(0.15));
+        assert!(!r.contains(0.0499));
+        assert!(!r.contains(0.1501));
+    }
+
+    #[test]
+    fn named_ranges_match_paper() {
+        assert_eq!(SupportRange::small(), SupportRange { min: 0.0, max: 0.05 });
+        assert_eq!(SupportRange::medium(), SupportRange { min: 0.05, max: 0.15 });
+        assert_eq!(SupportRange::large(), SupportRange { min: 0.30, max: 1.0 });
+    }
+
+    #[test]
+    fn params_reject_zero_literals() {
+        assert_eq!(
+            SearchParams::new(SupportRange::medium(), 0).unwrap_err(),
+            LatticeError::ZeroMaxLiterals
+        );
+        assert_eq!(SearchParams::paper_defaults().max_literals, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Conjunctive predicates over coded datasets.
+
+use fume_tabular::{Dataset, Schema};
+
+use crate::literal::Literal;
+
+/// A conjunction of [`Literal`]s in canonical (sorted, deduplicated) order —
+/// the paper's predicate-based training-data subsets `T = ⋀ⱼ (Xⱼ op vⱼ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    literals: Vec<Literal>,
+}
+
+impl Predicate {
+    /// Builds a predicate, canonicalizing literal order and removing exact
+    /// duplicates.
+    pub fn new(mut literals: Vec<Literal>) -> Self {
+        literals.sort_unstable();
+        literals.dedup();
+        Self { literals }
+    }
+
+    /// A single-literal predicate.
+    pub fn single(literal: Literal) -> Self {
+        Self { literals: vec![literal] }
+    }
+
+    /// The literals in canonical order.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Number of literals (the paper's interpretability measure, Rule 3).
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether the predicate has no literals (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Whether `row` of `data` satisfies every literal.
+    pub fn matches(&self, data: &Dataset, row: usize) -> bool {
+        self.literals
+            .iter()
+            .all(|l| l.matches(data.code(row, l.attr as usize)))
+    }
+
+    /// Sorted row ids of `data` satisfying the predicate.
+    pub fn select(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.num_rows() as u32)
+            .filter(|&r| self.matches(data, r as usize))
+            .collect()
+    }
+
+    /// Fraction of `data`'s rows satisfying the predicate
+    /// (the paper's `sup(T) = |T| / |D|`).
+    pub fn support(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        self.select(data).len() as f64 / data.num_rows() as f64
+    }
+
+    /// Whether some assignment of codes (within the schema's cardinalities)
+    /// satisfies every literal — Rule 1's "irrelevant subset" check, e.g.
+    /// `(Age < 50) ∧ (Age > 70)` is unsatisfiable. Per-attribute domains
+    /// are scanned exhaustively; cardinalities are small by construction.
+    pub fn is_satisfiable(&self, schema: &Schema) -> bool {
+        let mut i = 0;
+        while i < self.literals.len() {
+            let attr = self.literals[i].attr;
+            let mut j = i;
+            while j < self.literals.len() && self.literals[j].attr == attr {
+                j += 1;
+            }
+            let group = &self.literals[i..j];
+            let card = schema
+                .attribute(attr as usize)
+                .map(|a| a.cardinality())
+                .unwrap_or(0);
+            if !(0..card).any(|code| group.iter().all(|l| l.matches(code))) {
+                return false;
+            }
+            i = j;
+        }
+        true
+    }
+
+    /// Apriori join: merges two canonical predicates of equal length `l`
+    /// that share their first `l − 1` literals, producing their length-
+    /// `l + 1` union — the paper's "merging two nodes of level l−1 having
+    /// exactly (l−2) literals in common". Returns `None` when the shapes
+    /// don't join or the result would repeat a literal.
+    pub fn join(&self, other: &Predicate) -> Option<Predicate> {
+        let l = self.literals.len();
+        if l == 0 || other.literals.len() != l {
+            return None;
+        }
+        let (head_a, last_a) = self.literals.split_at(l - 1);
+        let (head_b, last_b) = other.literals.split_at(l - 1);
+        if head_a != head_b || last_a[0] >= last_b[0] {
+            return None;
+        }
+        let mut literals = self.literals.clone();
+        literals.push(last_b[0]);
+        Some(Predicate { literals })
+    }
+
+    /// Renders against a schema, e.g.
+    /// `Housing = Rent AND Status and sex = Female divorced/separated/married`.
+    pub fn render(&self, schema: &Schema) -> String {
+        if self.literals.is_empty() {
+            return "<all rows>".into();
+        }
+        self.literals
+            .iter()
+            .map(|l| l.render(schema))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+}
+
+/// Intersects two sorted id slices (ascending, unique) — used to derive a
+/// child node's selection from its parents'.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Op;
+    use fume_tabular::Attribute;
+    use std::sync::Arc;
+
+    fn data() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["x".into(), "y".into()]),
+                Attribute::ordinal("b", vec!["lo".into(), "mid".into(), "hi".into()]),
+            ])
+            .unwrap(),
+        );
+        Dataset::new(
+            schema,
+            vec![vec![0, 0, 1, 1, 0], vec![0, 1, 2, 0, 2]],
+            vec![true, false, true, false, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonicalization_sorts_and_dedupes() {
+        let p = Predicate::new(vec![
+            Literal::eq(1, 0),
+            Literal::eq(0, 1),
+            Literal::eq(1, 0),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.literals()[0].attr, 0);
+    }
+
+    #[test]
+    fn selection_and_support() {
+        let d = data();
+        let p = Predicate::single(Literal::eq(0, 0));
+        assert_eq!(p.select(&d), vec![0, 1, 4]);
+        assert!((p.support(&d) - 0.6).abs() < 1e-12);
+
+        let q = Predicate::new(vec![Literal::eq(0, 0), Literal::eq(1, 2)]);
+        assert_eq!(q.select(&d), vec![4]);
+
+        let empty = Predicate::new(vec![]);
+        assert_eq!(empty.select(&d).len(), 5, "empty predicate matches all");
+    }
+
+    #[test]
+    fn satisfiability_detects_contradictions() {
+        let d = data();
+        let schema = d.schema();
+        // a = x AND a = y is contradictory.
+        let p = Predicate::new(vec![Literal::eq(0, 0), Literal::eq(0, 1)]);
+        assert!(!p.is_satisfiable(schema));
+        // b < mid AND b > mid is the paper's Age example.
+        let q = Predicate::new(vec![
+            Literal { attr: 1, op: Op::Lt, value: 1 },
+            Literal { attr: 1, op: Op::Gt, value: 1 },
+        ]);
+        assert!(!q.is_satisfiable(schema));
+        // b >= mid AND b <= mid pins b = mid: satisfiable.
+        let r = Predicate::new(vec![
+            Literal { attr: 1, op: Op::Ge, value: 1 },
+            Literal { attr: 1, op: Op::Le, value: 1 },
+        ]);
+        assert!(r.is_satisfiable(schema));
+    }
+
+    #[test]
+    fn join_requires_shared_prefix() {
+        let ab = Predicate::new(vec![Literal::eq(0, 0), Literal::eq(1, 0)]);
+        let ac = Predicate::new(vec![Literal::eq(0, 0), Literal::eq(1, 2)]);
+        let joined = ab.join(&ac).unwrap();
+        assert_eq!(joined.len(), 3);
+        // Reversed order does not join (canonical pairing only once).
+        assert!(ac.join(&ab).is_none());
+        // Different prefixes do not join.
+        let bd = Predicate::new(vec![Literal::eq(0, 1), Literal::eq(1, 0)]);
+        assert!(ab.join(&bd).is_none());
+        // Identical predicates do not join.
+        assert!(ab.join(&ab).is_none());
+    }
+
+    #[test]
+    fn level1_joins_any_two_distinct_literals() {
+        let a = Predicate::single(Literal::eq(0, 0));
+        let b = Predicate::single(Literal::eq(1, 1));
+        assert_eq!(a.join(&b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn render_readable() {
+        let d = data();
+        let p = Predicate::new(vec![Literal::eq(0, 1), Literal::eq(1, 0)]);
+        assert_eq!(p.render(d.schema()), "a = y AND b = lo");
+        assert_eq!(Predicate::new(vec![]).render(d.schema()), "<all rows>");
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn join_preserves_selection_intersection() {
+        let d = data();
+        let a = Predicate::single(Literal::eq(0, 0));
+        let b = Predicate::single(Literal::eq(1, 2));
+        let child = a.join(&b).unwrap();
+        assert_eq!(
+            child.select(&d),
+            intersect_sorted(&a.select(&d), &b.select(&d))
+        );
+    }
+}

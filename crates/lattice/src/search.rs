@@ -1,0 +1,435 @@
+//! The level-wise lattice search driving FUME's Algorithm 1.
+//!
+//! The driver is generic over *how* a subset's attribution is computed: it
+//! hands each level's in-range nodes to a [`BatchEvaluator`] (FUME's core
+//! plugs in machine unlearning; tests plug in toy closures) and applies
+//! the pruning rules of §4 between levels.
+
+use fume_tabular::Dataset;
+
+use crate::expand::{expand_level_with, level1_nodes_with, LatticeNode};
+use crate::params::SearchParams;
+use crate::predicate::Predicate;
+
+/// One subset to evaluate: its predicate and selected training rows.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalItem<'a> {
+    /// The predicate.
+    pub predicate: &'a Predicate,
+    /// Sorted training-row ids it selects.
+    pub rows: &'a [u32],
+}
+
+/// Computes parity reductions `ρ` for a batch of subsets. Implementations
+/// may evaluate the batch in parallel; results must be index-aligned with
+/// the input.
+pub trait BatchEvaluator {
+    /// Returns `ρ` for each item (positive = removing the subset reduces
+    /// the fairness violation).
+    fn evaluate(&self, items: &[EvalItem<'_>]) -> Vec<f64>;
+}
+
+/// Any `Sync` closure is a sequential evaluator.
+impl<F> BatchEvaluator for F
+where
+    F: Fn(&Predicate, &[u32]) -> f64 + Sync,
+{
+    fn evaluate(&self, items: &[EvalItem<'_>]) -> Vec<f64> {
+        items.iter().map(|it| self(it.predicate, it.rows)).collect()
+    }
+}
+
+/// An evaluated subset emitted by the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedSubset {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// Sorted training-row ids it selects.
+    pub rows: Vec<u32>,
+    /// Its support in the training set.
+    pub support: f64,
+    /// Its parity reduction `ρ = −φ` (positive = attributable).
+    pub rho: f64,
+    /// The lattice level (number of literals).
+    pub level: usize,
+}
+
+/// Per-level exploration statistics (the paper's Table 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelStats {
+    /// Lattice level (1-based).
+    pub level: usize,
+    /// Merge pairs considered (level 1: all attribute/value pairs).
+    pub possible: usize,
+    /// Nodes generated after Rule 1.
+    pub generated: usize,
+    /// Candidates discarded as contradictory (Rule 1).
+    pub pruned_rule1: usize,
+    /// Candidates discarded as redundant (extension toggle).
+    pub pruned_redundant: usize,
+    /// Nodes dropped for support below `τ_min` (Rule 2).
+    pub pruned_support_low: usize,
+    /// Nodes above `τ_max`: expanded but not evaluated/reported (Rule 2).
+    pub oversized: usize,
+    /// Nodes whose attribution was estimated.
+    pub explored: usize,
+    /// Evaluated nodes not expanded because a parent had higher `ρ`
+    /// (Rule 4).
+    pub pruned_rule4: usize,
+    /// Evaluated nodes not expanded because `ρ ≤ 0` (Rule 5).
+    pub pruned_rule5: usize,
+}
+
+impl LevelStats {
+    /// Fraction of possible subsets pruned before evaluation, in percent
+    /// (the paper's "Subsets pruned (%)" row).
+    pub fn pruned_percent(&self) -> f64 {
+        if self.possible == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.explored as f64 / self.possible as f64)
+    }
+}
+
+/// Result of a lattice search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Every subset whose attribution was estimated, with its `ρ`.
+    pub evaluated: Vec<EvaluatedSubset>,
+    /// Per-level statistics.
+    pub levels: Vec<LevelStats>,
+    /// Total number of evaluator calls (= unlearning operations in FUME).
+    pub evaluations: usize,
+}
+
+impl SearchOutcome {
+    /// The top-`k` attributable subsets: `ρ > 0`, sorted by decreasing
+    /// `ρ` (ties broken toward fewer literals, then smaller support —
+    /// the more interpretable subset first).
+    pub fn top_k(&self, k: usize) -> Vec<&EvaluatedSubset> {
+        let mut attributable: Vec<&EvaluatedSubset> =
+            self.evaluated.iter().filter(|s| s.rho > 0.0).collect();
+        attributable.sort_by(|a, b| {
+            b.rho
+                .total_cmp(&a.rho)
+                .then(a.level.cmp(&b.level))
+                .then(a.support.total_cmp(&b.support))
+        });
+        attributable.truncate(k);
+        attributable
+    }
+}
+
+/// Runs the level-wise search over `data`'s training rows.
+///
+/// This is the search skeleton of the paper's Algorithm 1: generate level
+/// 1, then per level — Rule 2 support filtering, attribution estimation
+/// for in-range nodes, Rules 4/5 expansion gating — until the
+/// interpretability cap `η` (Rule 3), an empty frontier, or too few nodes
+/// left to merge.
+pub fn search<E: BatchEvaluator>(
+    data: &Dataset,
+    params: &SearchParams,
+    evaluator: &E,
+) -> SearchOutcome {
+    let n = data.num_rows();
+    let mut evaluated = Vec::new();
+    let mut levels = Vec::new();
+    let mut evaluations = 0usize;
+
+    let mut frontier =
+        level1_nodes_with(data, &params.exclude_attrs, params.literal_gen);
+    let mut possible = frontier.len();
+    let mut pruned_rule1 = 0usize;
+    let mut pruned_redundant = 0usize;
+
+    for level in 1..=params.max_literals {
+        let mut stats = LevelStats {
+            level,
+            possible,
+            pruned_rule1,
+            pruned_redundant,
+            ..LevelStats::default()
+        };
+        stats.generated = frontier.len();
+
+        // --- Rule 2: support filtering ---
+        let mut in_range: Vec<LatticeNode> = Vec::new();
+        let mut expandable: Vec<LatticeNode> = Vec::new();
+        for node in frontier {
+            let support = node.support(n);
+            if support < params.support.min {
+                stats.pruned_support_low += 1;
+            } else if support > params.support.max {
+                stats.oversized += 1;
+                expandable.push(node); // expanded, never evaluated/reported
+            } else {
+                in_range.push(node);
+            }
+        }
+
+        // --- estimate attribution of in-range nodes (the expensive step) ---
+        let items: Vec<EvalItem<'_>> = in_range
+            .iter()
+            .map(|nd| EvalItem { predicate: &nd.predicate, rows: &nd.rows })
+            .collect();
+        let rhos = if items.is_empty() { Vec::new() } else { evaluator.evaluate(&items) };
+        assert_eq!(rhos.len(), items.len(), "evaluator must align with its input");
+        stats.explored = in_range.len();
+        evaluations += in_range.len();
+
+        // --- Rules 4 & 5: expansion gating (evaluated nodes are always
+        //     reported; the rules only decide who gets children) ---
+        for (mut node, rho) in in_range.into_iter().zip(rhos) {
+            node.rho = Some(rho);
+            evaluated.push(EvaluatedSubset {
+                predicate: node.predicate.clone(),
+                rows: node.rows.clone(),
+                support: node.support(n),
+                rho,
+                level,
+            });
+            if params.toggles.rule5_positive_only && rho <= 0.0 {
+                stats.pruned_rule5 += 1;
+                continue;
+            }
+            if params.toggles.rule4_parent_dominance && rho < node.parent_floor {
+                stats.pruned_rule4 += 1;
+                continue;
+            }
+            expandable.push(node);
+        }
+
+        levels.push(stats);
+
+        if level == params.max_literals || expandable.len() < 2 {
+            break;
+        }
+
+        // --- merge to the next level (Rule 1 inside) ---
+        let expansion = expand_level_with(
+            data,
+            &expandable,
+            params.toggles.rule1_satisfiability,
+            params.toggles.prune_redundant,
+        );
+        possible = expansion.possible;
+        pruned_rule1 = expansion.pruned_rule1;
+        pruned_redundant = expansion.pruned_redundant;
+        frontier = expansion.children;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    SearchOutcome { evaluated, levels, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use crate::params::{RuleToggles, SupportRange};
+    use fume_tabular::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// 3 binary attributes, 64 rows, uniform marginals.
+    fn data() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["0".into(), "1".into()]),
+                Attribute::categorical("b", vec!["0".into(), "1".into()]),
+                Attribute::categorical("c", vec!["0".into(), "1".into()]),
+            ])
+            .unwrap(),
+        );
+        let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut labels = Vec::new();
+        for i in 0..64usize {
+            cols[0].push((i % 2) as u16);
+            cols[1].push(((i / 2) % 2) as u16);
+            cols[2].push(((i / 4) % 2) as u16);
+            labels.push(i % 3 == 0);
+        }
+        Dataset::new(schema, cols, labels).unwrap()
+    }
+
+    fn params(min: f64, max: f64, eta: usize) -> SearchParams {
+        SearchParams::new(SupportRange::new(min, max).unwrap(), eta).unwrap()
+    }
+
+    /// ρ = best contained literal weight minus a per-literal complexity
+    /// penalty; predicates without a rewarding literal score −1. With
+    /// weights (a=1 → 0.5, b=1 → 0.4, c=1 → 0.3) every level-2 node scores
+    /// strictly below both parents, so Rule 4 stops expansion at level 2.
+    fn toy_eval(pred: &Predicate, _rows: &[u32]) -> f64 {
+        let w = |l: &Literal| match (l.attr, l.value) {
+            (0, 1) => 0.5,
+            (1, 1) => 0.4,
+            (2, 1) => 0.3,
+            _ => f64::NEG_INFINITY,
+        };
+        let best = pred.literals().iter().map(w).fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() {
+            best - 0.1 * (pred.len() as f64 - 1.0)
+        } else {
+            -1.0
+        }
+    }
+
+    #[test]
+    fn level1_only_when_eta_is_one() {
+        let d = data();
+        let out = search(&d, &params(0.0, 1.0, 1), &toy_eval);
+        assert_eq!(out.levels.len(), 1);
+        assert!(out.evaluated.iter().all(|s| s.level == 1));
+        // 3 binary attrs → 6 level-1 nodes, all in [0,1] support.
+        assert_eq!(out.levels[0].explored, 6);
+        assert_eq!(out.evaluations, 6);
+    }
+
+    #[test]
+    fn top_k_ranks_by_rho() {
+        let d = data();
+        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval);
+        let top = out.top_k(3);
+        assert!(!top.is_empty());
+        // Best is the level-1 node `a = 1` with ρ = 1.0.
+        assert_eq!(top[0].predicate.literals(), &[Literal::eq(0, 1)]);
+        assert!(top.windows(2).all(|w| w[0].rho >= w[1].rho));
+        // All reported are attributable.
+        assert!(top.iter().all(|s| s.rho > 0.0));
+    }
+
+    #[test]
+    fn rule5_blocks_expansion_of_nonattributable_nodes() {
+        let d = data();
+        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval);
+        // Level-1: the three `x = 0` nodes score −1 → pruned by rule 5.
+        assert_eq!(out.levels[0].pruned_rule5, 3);
+        // Level-2 children exist and descend only from rewarding literals.
+        let level2: Vec<_> = out.evaluated.iter().filter(|s| s.level == 2).collect();
+        assert_eq!(level2.len(), 3);
+        for s in &level2 {
+            assert!(
+                s.predicate.literals().iter().all(|l| l.value == 1),
+                "{:?}",
+                s.predicate
+            );
+        }
+    }
+
+    #[test]
+    fn rule4_prunes_children_below_parent_rho() {
+        let d = data();
+        // Every level-2 node scores below both parents: with η=3 no
+        // level-3 node may exist when rule 4 is on.
+        let out = search(&d, &params(0.0, 1.0, 3), &toy_eval);
+        assert!(out.evaluated.iter().all(|s| s.level <= 2));
+        assert_eq!(out.levels[1].pruned_rule4, 3);
+
+        // With rule 4 off, level 3 is reached.
+        let mut p = params(0.0, 1.0, 3);
+        p.toggles = RuleToggles { rule4_parent_dominance: false, ..RuleToggles::default() };
+        let out = search(&d, &p, &toy_eval);
+        assert!(out.evaluated.iter().any(|s| s.level == 3));
+    }
+
+    #[test]
+    fn support_range_gates_evaluation_but_not_expansion() {
+        let d = data();
+        // Level-1 nodes all have support 0.5 (> max 0.3): oversized,
+        // expanded but unevaluated. Level-2 nodes have support 0.25.
+        let out = search(&d, &params(0.1, 0.3, 2), &toy_eval);
+        assert_eq!(out.levels[0].explored, 0);
+        assert_eq!(out.levels[0].oversized, 6);
+        assert!(out.levels[1].explored > 0);
+        assert!(out.evaluated.iter().all(|s| s.level == 2));
+    }
+
+    #[test]
+    fn below_min_support_kills_subtree() {
+        let d = data();
+        // min 0.6: every level-1 node (support .5) is dropped; search ends.
+        let out = search(&d, &params(0.6, 1.0, 3), &toy_eval);
+        assert!(out.evaluated.is_empty());
+        assert_eq!(out.levels[0].pruned_support_low, 6);
+        assert_eq!(out.levels.len(), 1);
+    }
+
+    #[test]
+    fn excluded_attributes_never_appear() {
+        let d = data();
+        let mut p = params(0.0, 1.0, 2);
+        p.exclude_attrs = vec![0];
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0);
+        assert!(out
+            .evaluated
+            .iter()
+            .all(|s| s.predicate.literals().iter().all(|l| l.attr != 0)));
+    }
+
+    #[test]
+    fn evaluations_counter_matches_explored_sum() {
+        let d = data();
+        let out = search(&d, &params(0.0, 1.0, 3), &|_: &Predicate, _: &[u32]| 1.0);
+        let explored: usize = out.levels.iter().map(|l| l.explored).sum();
+        assert_eq!(out.evaluations, explored);
+    }
+
+    #[test]
+    fn search_with_range_literals_evaluates_interval_subsets() {
+        use crate::expand::LiteralGen;
+        use crate::literal::Op;
+        use fume_tabular::AttrKind;
+        // Dataset with an ordinal attribute of 4 bins.
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::ordinal(
+                    "age",
+                    vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                ),
+                Attribute::categorical("x", vec!["0".into(), "1".into()]),
+            ])
+            .unwrap(),
+        );
+        assert_eq!(schema.attribute(0).unwrap().kind(), AttrKind::Ordinal);
+        let n = 80usize;
+        let cols = vec![
+            (0..n).map(|i| (i % 4) as u16).collect(),
+            (0..n).map(|i| ((i / 4) % 2) as u16).collect(),
+        ];
+        let labels = (0..n).map(|i| i % 2 == 0).collect();
+        let d = Dataset::new(schema, cols, labels).unwrap();
+
+        let mut p = params(0.0, 1.0, 2);
+        p.literal_gen = LiteralGen::WithRanges;
+        p.toggles.prune_redundant = true;
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0);
+        let has_range = out.evaluated.iter().any(|s| {
+            s.predicate
+                .literals()
+                .iter()
+                .any(|l| matches!(l.op, Op::Le | Op::Ge))
+        });
+        assert!(has_range, "range literals must be searched");
+        // Redundant range conjunctions never surface.
+        for s in &out.evaluated {
+            let lits = s.predicate.literals();
+            if lits.len() == 2 && lits[0].attr == lits[1].attr {
+                // Same-attribute pairs must genuinely narrow the selection
+                // relative to each constituent literal.
+                let a = Predicate::single(lits[0]).select(&d).len();
+                let b = Predicate::single(lits[1]).select(&d).len();
+                assert!(s.rows.len() < a && s.rows.len() < b, "{:?}", s.predicate);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_percent_formula() {
+        let s = LevelStats { possible: 200, explored: 50, ..Default::default() };
+        assert!((s.pruned_percent() - 75.0).abs() < 1e-12);
+        assert_eq!(LevelStats::default().pruned_percent(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The minimal classifier abstraction shared by the whole workspace.
+//!
+//! The fairness crate computes metrics over predictions, and FUME's core
+//! algorithm treats the model behind a removal method as a black box; both
+//! need only this trait. `fume-forest` implements it for DaRE forests.
+
+use crate::dataset::Dataset;
+
+/// A binary classifier over coded datasets.
+pub trait Classifier {
+    /// Predicted probability of the positive class for each row of `data`.
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64>;
+
+    /// Hard predictions, thresholded at 0.5 by default.
+    fn predict(&self, data: &Dataset) -> Vec<bool> {
+        self.predict_proba(data).into_iter().map(|p| p > 0.5).collect()
+    }
+
+    /// Fraction of rows whose hard prediction matches the label.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(data);
+        let correct = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, y)| *p == *y)
+            .count();
+        correct as f64 / data.num_rows() as f64
+    }
+}
+
+/// A trivial classifier that always answers a constant probability.
+/// Useful as a baseline and in tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantClassifier {
+    /// The probability returned for every row.
+    pub proba: f64,
+}
+
+impl Classifier for ConstantClassifier {
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        vec![self.proba; data.num_rows()]
+    }
+}
+
+/// A classifier that predicts the majority label of its training data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityClassifier {
+    /// The positive-class rate observed at fit time.
+    pub positive_rate: f64,
+}
+
+impl MajorityClassifier {
+    /// Fits the majority baseline to `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        Self { positive_rate: data.base_rate() }
+    }
+}
+
+impl Classifier for MajorityClassifier {
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        vec![self.positive_rate; data.num_rows()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn toy() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "x",
+                vec!["a".into(), "b".into()],
+            )])
+            .unwrap(),
+        );
+        Dataset::new(schema, vec![vec![0, 1, 0, 1]], vec![true, true, true, false]).unwrap()
+    }
+
+    #[test]
+    fn constant_classifier_thresholds() {
+        let d = toy();
+        let c = ConstantClassifier { proba: 0.9 };
+        assert_eq!(c.predict(&d), vec![true; 4]);
+        assert!((c.accuracy(&d) - 0.75).abs() < 1e-12);
+        let c = ConstantClassifier { proba: 0.1 };
+        assert!((c.accuracy(&d) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_classifier_fits_base_rate() {
+        let d = toy();
+        let m = MajorityClassifier::fit(&d);
+        assert!((m.positive_rate - 0.75).abs() < 1e-12);
+        assert_eq!(m.predict(&d), vec![true; 4]);
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_zero() {
+        let d = toy().select_rows(&[]).unwrap();
+        assert_eq!(ConstantClassifier { proba: 0.7 }.accuracy(&d), 0.0);
+    }
+}

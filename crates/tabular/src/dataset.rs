@@ -1,0 +1,382 @@
+//! The central columnar, fully-discretized dataset type.
+
+use std::sync::Arc;
+
+use crate::error::{Result, TabularError};
+use crate::schema::Schema;
+
+/// Identifies the sensitive attribute and which of its codes is the
+/// *privileged* group (the paper's `S = 1`); every other code is treated as
+/// the *protected* group (`S = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Index of the sensitive attribute in the schema.
+    pub attr: usize,
+    /// Code of the privileged group.
+    pub privileged_code: u16,
+}
+
+impl GroupSpec {
+    /// Creates a group spec.
+    pub fn new(attr: usize, privileged_code: u16) -> Self {
+        Self { attr, privileged_code }
+    }
+}
+
+/// A fully discretized binary-labeled dataset stored column-major.
+///
+/// Every attribute value is a `u16` code whose meaning is given by the
+/// shared [`Schema`]. Labels are `bool` with `true` the favorable
+/// (positive) outcome. The schema is reference-counted so train/test
+/// splits and subset copies share it cheaply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    /// `columns[attr][row]` — column-major for cache-friendly per-attribute
+    /// scans (threshold statistics, discretization, predicate evaluation).
+    columns: Vec<Vec<u16>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Builds a dataset from column-major codes and labels, validating
+    /// lengths and code domains.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Vec<u16>>, labels: Vec<bool>) -> Result<Self> {
+        if columns.len() != schema.num_attributes() {
+            return Err(TabularError::ColumnLengthMismatch {
+                column: "<column count>".into(),
+                got: columns.len(),
+                expected: schema.num_attributes(),
+            });
+        }
+        let n = labels.len();
+        for (i, col) in columns.iter().enumerate() {
+            let attr = schema.attribute(i)?;
+            if col.len() != n {
+                return Err(TabularError::ColumnLengthMismatch {
+                    column: attr.name().to_string(),
+                    got: col.len(),
+                    expected: n,
+                });
+            }
+            let card = attr.cardinality();
+            if let Some(&bad) = col.iter().find(|&&c| c >= card) {
+                return Err(TabularError::CodeOutOfDomain {
+                    attribute: attr.name().to_string(),
+                    code: bad,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(Self { schema, columns, labels })
+    }
+
+    /// Builds a dataset from row-major records.
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<u16>], labels: Vec<bool>) -> Result<Self> {
+        let p = schema.num_attributes();
+        let mut columns = vec![Vec::with_capacity(rows.len()); p];
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != p {
+                return Err(TabularError::ColumnLengthMismatch {
+                    column: format!("<row {r}>"),
+                    got: row.len(),
+                    expected: p,
+                });
+            }
+            for (j, &code) in row.iter().enumerate() {
+                columns[j].push(code);
+            }
+        }
+        Self::new(schema, columns, labels)
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A clone of the schema handle (cheap).
+    pub fn schema_handle(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of rows (the paper's `n`).
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of attributes (the paper's `p`).
+    pub fn num_attributes(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The paper's *dataset dimension*, `n × p` (Table 8).
+    pub fn dimension(&self) -> usize {
+        self.num_rows() * self.num_attributes()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The code of `attr` at `row`. Panics if out of bounds (hot path:
+    /// callers iterate validated ranges).
+    #[inline]
+    pub fn code(&self, row: usize, attr: usize) -> u16 {
+        self.columns[attr][row]
+    }
+
+    /// The full code column of `attr`.
+    pub fn column(&self, attr: usize) -> &[u16] {
+        &self.columns[attr]
+    }
+
+    /// The label of `row`.
+    #[inline]
+    pub fn label(&self, row: usize) -> bool {
+        self.labels[row]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Whether `row` belongs to the privileged group under `group`.
+    #[inline]
+    pub fn is_privileged(&self, row: usize, group: GroupSpec) -> bool {
+        self.columns[group.attr][row] == group.privileged_code
+    }
+
+    /// A `Vec<bool>` group-membership mask (`true` = privileged).
+    pub fn privileged_mask(&self, group: GroupSpec) -> Vec<bool> {
+        self.columns[group.attr]
+            .iter()
+            .map(|&c| c == group.privileged_code)
+            .collect()
+    }
+
+    /// Copies the given rows (by index, in the given order) into a new dataset.
+    pub fn select_rows(&self, rows: &[u32]) -> Result<Self> {
+        for &r in rows {
+            if r as usize >= self.num_rows() {
+                return Err(TabularError::RowOutOfBounds { row: r as usize, len: self.num_rows() });
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+            .collect();
+        let labels = rows.iter().map(|&r| self.labels[r as usize]).collect();
+        Ok(Self { schema: Arc::clone(&self.schema), columns, labels })
+    }
+
+    /// Copies all rows *except* the given ones into a new dataset, preserving
+    /// order. `removed` need not be sorted; duplicates are tolerated.
+    pub fn without_rows(&self, removed: &[u32]) -> Result<Self> {
+        let n = self.num_rows();
+        let mut keep = vec![true; n];
+        for &r in removed {
+            if r as usize >= n {
+                return Err(TabularError::RowOutOfBounds { row: r as usize, len: n });
+            }
+            keep[r as usize] = false;
+        }
+        let surviving: Vec<u32> =
+            (0..n as u32).filter(|&r| keep[r as usize]).collect();
+        self.select_rows(&surviving)
+    }
+
+    /// The row indices `0..n` as `u32`, the id universe used by the forest
+    /// and the lattice.
+    pub fn all_row_ids(&self) -> Vec<u32> {
+        (0..self.num_rows() as u32).collect()
+    }
+
+    /// Fraction of rows with the positive label (the *base rate*).
+    pub fn base_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&y| y).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Appends the rows of `other` (same schema required).
+    pub fn concat(&self, other: &Dataset) -> Result<Self> {
+        if self.schema != other.schema {
+            return Err(TabularError::SchemaMismatch);
+        }
+        let columns = self
+            .columns
+            .iter()
+            .zip(&other.columns)
+            .map(|(a, b)| {
+                let mut c = a.clone();
+                c.extend_from_slice(b);
+                c
+            })
+            .collect();
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Ok(Self { schema: Arc::clone(&self.schema), columns, labels })
+    }
+
+    /// Replaces the column of `attr` (used by permutation importance);
+    /// validates length and domain.
+    pub fn with_column(&self, attr: usize, column: Vec<u16>) -> Result<Self> {
+        let a = self.schema.attribute(attr)?;
+        if column.len() != self.num_rows() {
+            return Err(TabularError::ColumnLengthMismatch {
+                column: a.name().to_string(),
+                got: column.len(),
+                expected: self.num_rows(),
+            });
+        }
+        let card = a.cardinality();
+        if let Some(&bad) = column.iter().find(|&&c| c >= card) {
+            return Err(TabularError::CodeOutOfDomain {
+                attribute: a.name().to_string(),
+                code: bad,
+                cardinality: card,
+            });
+        }
+        let mut columns = self.columns.clone();
+        columns[attr] = column;
+        Ok(Self { schema: Arc::clone(&self.schema), columns, labels: self.labels.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    pub(crate) fn toy() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("color", vec!["red".into(), "blue".into()]),
+                Attribute::ordinal("size", vec!["s".into(), "m".into(), "l".into()]),
+            ])
+            .unwrap(),
+        );
+        Dataset::new(
+            schema,
+            vec![vec![0, 1, 1, 0, 1], vec![0, 1, 2, 2, 1]],
+            vec![true, false, true, false, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths_and_domains() {
+        let schema = toy().schema_handle();
+        // wrong column count
+        assert!(Dataset::new(Arc::clone(&schema), vec![vec![0]], vec![true]).is_err());
+        // ragged column
+        assert!(Dataset::new(
+            Arc::clone(&schema),
+            vec![vec![0, 1], vec![0]],
+            vec![true, false]
+        )
+        .is_err());
+        // out-of-domain code
+        let err = Dataset::new(
+            Arc::clone(&schema),
+            vec![vec![0, 7], vec![0, 1]],
+            vec![true, false],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TabularError::CodeOutOfDomain { code: 7, .. }));
+    }
+
+    #[test]
+    fn row_major_construction_matches_columnar() {
+        let d = toy();
+        let rows: Vec<Vec<u16>> = (0..d.num_rows())
+            .map(|r| (0..d.num_attributes()).map(|a| d.code(r, a)).collect())
+            .collect();
+        let d2 = Dataset::from_rows(d.schema_handle(), &rows, d.labels().to_vec()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.num_rows(), 5);
+        assert_eq!(d.num_attributes(), 2);
+        assert_eq!(d.dimension(), 10);
+        assert_eq!(d.code(2, 1), 2);
+        assert_eq!(d.column(0), &[0, 1, 1, 0, 1]);
+        assert!(d.label(0));
+        assert!((d.base_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_membership() {
+        let d = toy();
+        let g = GroupSpec::new(0, 1); // blue is privileged
+        assert!(!d.is_privileged(0, g));
+        assert!(d.is_privileged(1, g));
+        assert_eq!(d.privileged_mask(g), vec![false, true, true, false, true]);
+    }
+
+    #[test]
+    fn select_and_without_rows() {
+        let d = toy();
+        let sel = d.select_rows(&[4, 0]).unwrap();
+        assert_eq!(sel.num_rows(), 2);
+        assert_eq!(sel.code(0, 0), 1); // row 4's color
+        assert_eq!(sel.code(1, 0), 0); // row 0's color
+        assert!(sel.label(0) && sel.label(1));
+
+        let rest = d.without_rows(&[1, 3, 3]).unwrap();
+        assert_eq!(rest.num_rows(), 3);
+        assert_eq!(rest.labels(), &[true, true, true]);
+
+        assert!(d.select_rows(&[9]).is_err());
+        assert!(d.without_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn without_all_rows_yields_empty() {
+        let d = toy();
+        let empty = d.without_rows(&d.all_row_ids()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.base_rate(), 0.0);
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let d = toy();
+        let a = d.select_rows(&[0, 1]).unwrap();
+        let b = d.select_rows(&[2, 3, 4]).unwrap();
+        assert_eq!(a.concat(&b).unwrap(), d);
+    }
+
+    #[test]
+    fn concat_schema_mismatch_rejected() {
+        let d = toy();
+        let other_schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "x",
+                vec!["a".into()],
+            )])
+            .unwrap(),
+        );
+        let other = Dataset::new(other_schema, vec![vec![0]], vec![true]).unwrap();
+        assert!(matches!(d.concat(&other), Err(TabularError::SchemaMismatch)));
+    }
+
+    #[test]
+    fn with_column_validates() {
+        let d = toy();
+        let d2 = d.with_column(0, vec![1, 1, 1, 1, 1]).unwrap();
+        assert_eq!(d2.column(0), &[1, 1, 1, 1, 1]);
+        assert_eq!(d2.column(1), d.column(1));
+        assert!(d.with_column(0, vec![0, 0]).is_err());
+        assert!(d.with_column(0, vec![3, 0, 0, 0, 0]).is_err());
+        assert!(d.with_column(7, vec![0; 5]).is_err());
+    }
+}

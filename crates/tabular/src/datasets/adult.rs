@@ -1,0 +1,196 @@
+//! Synthetic stand-in for the **Adult Census Income** dataset
+//! (45 222 rows after the usual NA-drop, 10 attributes, sensitive
+//! attribute *sex*).
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+/// Builds the Adult stand-in.
+pub fn adult() -> PaperDataset {
+    let attributes = vec![
+        // 0
+        AttributeSpec {
+            name: "Age".into(),
+            values: s(&["Young", "Middle-aged", "Senior"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.30, 0.50, 0.20],
+            protected_distribution: None,
+            label_weights: vec![-0.8, 0.3, 0.2],
+        },
+        // 1
+        AttributeSpec {
+            name: "Workclass".into(),
+            values: s(&[
+                "Private",
+                "Self employed no income",
+                "Self employed incorporated",
+                "Government",
+                "Other",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.69, 0.12, 0.04, 0.13, 0.02],
+            protected_distribution: None,
+            label_weights: vec![0.0, -0.2, 0.5, 0.2, -0.3],
+        },
+        // 2
+        AttributeSpec {
+            name: "Education".into(),
+            values: s(&["HS or less", "Some college", "Bachelors", "Masters", "Doctorate/Prof"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.45, 0.25, 0.19, 0.08, 0.03],
+            protected_distribution: None,
+            label_weights: vec![-0.7, -0.1, 0.6, 1.0, 1.4],
+        },
+        // 3
+        AttributeSpec {
+            name: "Marital status".into(),
+            values: s(&["Married", "Never married", "Divorced/Separated/Widowed"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.47, 0.33, 0.20],
+            protected_distribution: None,
+            label_weights: vec![0.8, -0.7, -0.3],
+        },
+        // 4
+        AttributeSpec {
+            name: "Occupation".into(),
+            values: s(&[
+                "Clerical administration",
+                "Sales",
+                "Executive managerial",
+                "Professional specialty",
+                "Craft repair",
+                "Other service",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.13, 0.11, 0.13, 0.13, 0.13, 0.37],
+            // Women over-represented in clerical/service work (real-data pattern).
+            protected_distribution: Some(vec![0.24, 0.11, 0.08, 0.13, 0.03, 0.41]),
+            label_weights: vec![-0.1, 0.2, 0.7, 0.6, 0.1, -0.5],
+        },
+        // 5
+        AttributeSpec {
+            name: "Relationship".into(),
+            values: s(&["Husband", "Wife", "Own child", "Unmarried", "Not in family"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.40, 0.05, 0.15, 0.11, 0.29],
+            protected_distribution: Some(vec![0.00, 0.16, 0.15, 0.25, 0.44]),
+            label_weights: vec![0.5, 0.4, -0.9, -0.4, -0.2],
+        },
+        // 6
+        AttributeSpec {
+            name: "Race".into(),
+            values: s(&["White", "Black", "Other"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.86, 0.09, 0.05],
+            protected_distribution: None,
+            label_weights: vec![0.1, -0.2, 0.0],
+        },
+        // 7: sensitive
+        AttributeSpec {
+            name: "Sex".into(),
+            values: s(&["Female", "Male"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.325, 0.675],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+        // 8
+        AttributeSpec {
+            name: "Hours per week".into(),
+            values: s(&["Part-time", "Full-time", "Overtime"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.17, 0.57, 0.26],
+            protected_distribution: Some(vec![0.30, 0.56, 0.14]),
+            label_weights: vec![-0.8, 0.1, 0.6],
+        },
+        // 9
+        AttributeSpec {
+            name: "Native country".into(),
+            values: s(&["United States", "Other"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.91, 0.09],
+            protected_distribution: None,
+            label_weights: vec![0.1, -0.1],
+        },
+    ];
+
+    // Cohorts of Table 4. AS1 boosts privileged men with Bachelors degrees;
+    // the rest depress protected rows.
+    let planted = vec![
+        // AS1: Sex = Male ∧ Education = Bachelors (~11.7 % incl. the sex literal)
+        PlantedBias::favoring_privileged(vec![(2, 2)], 1.4),
+        // AS2: Occupation = Sales ∧ Age = Middle-aged (~6.5 %)
+        PlantedBias::against_protected(vec![(4, 1), (0, 1)], 1.8),
+        // AS3: Occupation = Clerical administration (~12.3 %)
+        PlantedBias::against_protected(vec![(4, 0)], 1.4),
+        // AS4: Age = Middle-aged ∧ Workclass = Self employed no income (~6 %)
+        PlantedBias::against_protected(vec![(0, 1), (1, 1)], 1.6),
+        // AS5: Relationship = Unmarried (~10.6 %)
+        PlantedBias::against_protected(vec![(5, 3)], 1.2),
+    ];
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: "Adult Census Income".into(),
+            attributes,
+            sensitive_attr: 7,
+            privileged_code: 1,
+            protected_fraction: 0.3250,
+            base_rate_privileged: 0.3124,
+            base_rate_protected: 0.1135,
+            planted,
+            label_values: ["<= 50k".into(), "> 50k".into()],
+        }
+        .with_weight_scale(2.0),
+        full_size: 45_222,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn occupation_correlates_with_sex() {
+        let ds = adult();
+        let (data, group) = generate(&ds.spec, 20_000, 11).unwrap();
+        let clerical_rate = |privileged: bool| {
+            let (mut n, mut m) = (0usize, 0usize);
+            for r in 0..data.num_rows() {
+                if data.is_privileged(r, group) == privileged {
+                    n += 1;
+                    if data.code(r, 4) == 0 {
+                        m += 1;
+                    }
+                }
+            }
+            m as f64 / n as f64
+        };
+        assert!(
+            clerical_rate(false) > clerical_rate(true) + 0.05,
+            "protected clerical {} vs privileged {}",
+            clerical_rate(false),
+            clerical_rate(true)
+        );
+    }
+
+    #[test]
+    fn married_earn_more() {
+        let ds = adult();
+        let (data, _) = generate(&ds.spec, 20_000, 12).unwrap();
+        let rate = |code: u16| {
+            let ids: Vec<u32> = (0..data.num_rows() as u32)
+                .filter(|&r| data.code(r as usize, 3) == code)
+                .collect();
+            data.select_rows(&ids).unwrap().base_rate()
+        };
+        assert!(rate(0) > rate(1) + 0.1, "married {} vs never {}", rate(0), rate(1));
+    }
+}

@@ -1,0 +1,295 @@
+//! Synthetic stand-in for the UCI **German Credit** dataset
+//! (1 000 rows, 21 attributes, sensitive attribute *age*).
+//!
+//! Attribute names and domains follow the UCI documentation; sampling
+//! weights are chosen so the cohorts the paper reports in Table 3 fall in
+//! the 5–15 % support range, and label bias against the protected group
+//! (age < 45) is planted inside those cohorts.
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+/// Builds the German Credit stand-in.
+pub fn german_credit() -> PaperDataset {
+    let attributes = vec![
+        // 0: most predictive feature in the real data
+        AttributeSpec {
+            name: "Status of checking account".into(),
+            values: s(&["< 0 DM", "0 <= ... < 200 DM", ">= 200 DM", "No checking account"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.27, 0.27, 0.06, 0.40],
+            protected_distribution: Some(vec![0.34, 0.28, 0.04, 0.34]),
+            label_weights: vec![-0.9, -0.3, 0.5, 1.0],
+        },
+        // 1
+        AttributeSpec {
+            name: "Duration".into(),
+            values: s(&["<= 12 months", "13-24 months", "> 24 months"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.35, 0.40, 0.25],
+            protected_distribution: Some(vec![0.28, 0.40, 0.32]),
+            label_weights: vec![0.5, 0.0, -0.6],
+        },
+        // 2
+        AttributeSpec {
+            name: "Credit history".into(),
+            values: s(&[
+                "No credits taken",
+                "All credits paid back duly",
+                "Existing credits paid back duly",
+                "Delay in paying off",
+                "Critical account",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.04, 0.05, 0.53, 0.09, 0.29],
+            protected_distribution: None,
+            label_weights: vec![-0.4, -0.3, 0.2, -0.5, 0.4],
+        },
+        // 3
+        AttributeSpec {
+            name: "Purpose".into(),
+            values: s(&["Car (new)", "Car (used)", "Furniture", "Radio/TV", "Education", "Business"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.24, 0.10, 0.19, 0.28, 0.09, 0.10],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.3, -0.1, 0.1, -0.2, 0.0],
+        },
+        // 4
+        AttributeSpec {
+            name: "Credit amount".into(),
+            values: s(&["Low", "Medium", "High"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.45, 0.35, 0.20],
+            protected_distribution: None,
+            label_weights: vec![0.3, 0.0, -0.4],
+        },
+        // 5
+        AttributeSpec {
+            name: "Savings".into(),
+            values: s(&[
+                "< 100 DM",
+                "100 <= ... < 500 DM",
+                "500 <= ... < 1000 DM",
+                ">= 1000 DM",
+                "Unknown / none",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.42, 0.25, 0.06, 0.08, 0.19],
+            protected_distribution: Some(vec![0.50, 0.24, 0.05, 0.05, 0.16]),
+            label_weights: vec![-0.4, -0.1, 0.2, 0.6, 0.2],
+        },
+        // 6
+        AttributeSpec {
+            name: "Employment since".into(),
+            values: s(&["Unemployed", "< 1 year", "1-4 years", "4-7 years", ">= 7 years"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.06, 0.17, 0.34, 0.17, 0.26],
+            protected_distribution: Some(vec![0.10, 0.24, 0.36, 0.14, 0.16]),
+            label_weights: vec![-0.5, -0.2, 0.0, 0.2, 0.3],
+        },
+        // 7
+        AttributeSpec {
+            name: "Installment rate".into(),
+            values: s(&["Low", "Medium", "High"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.30, 0.40, 0.30],
+            protected_distribution: None,
+            label_weights: vec![0.2, 0.0, -0.2],
+        },
+        // 8
+        AttributeSpec {
+            name: "Status and sex".into(),
+            values: s(&[
+                "Male divorced/separated",
+                "Female divorced/separated/married",
+                "Male single",
+                "Male married/widowed",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.05, 0.33, 0.52, 0.10],
+            protected_distribution: None,
+            label_weights: vec![-0.1, -0.1, 0.1, 0.0],
+        },
+        // 9
+        AttributeSpec {
+            name: "Debtors".into(),
+            values: s(&["None", "Co-applicant", "Guarantor"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.50, 0.25, 0.25],
+            protected_distribution: None,
+            label_weights: vec![0.0, -0.2, 0.3],
+        },
+        // 10
+        AttributeSpec {
+            name: "Residence since".into(),
+            values: s(&["< 2 years", "2-4 years", "> 4 years"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.30, 0.40, 0.30],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0, 0.0],
+        },
+        // 11
+        AttributeSpec {
+            name: "Property".into(),
+            values: s(&["Real estate", "Building society savings", "Car or other", "Unknown / no property"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.28, 0.23, 0.27, 0.22],
+            protected_distribution: Some(vec![0.22, 0.21, 0.28, 0.29]),
+            label_weights: vec![0.3, 0.1, 0.0, -0.4],
+        },
+        // 12: sensitive attribute (protected = age < 45)
+        AttributeSpec {
+            name: "Age".into(),
+            values: s(&["< 45", ">= 45"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.411, 0.589],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+        // 13
+        AttributeSpec {
+            name: "Installment plans".into(),
+            values: s(&["Bank", "Stores", "None"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.25, 0.05, 0.70],
+            protected_distribution: None,
+            label_weights: vec![-0.3, -0.2, 0.2],
+        },
+        // 14
+        AttributeSpec {
+            name: "Housing".into(),
+            values: s(&["Rent", "Own", "For free"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.30, 0.60, 0.10],
+            protected_distribution: Some(vec![0.42, 0.47, 0.11]),
+            label_weights: vec![-0.2, 0.2, 0.0],
+        },
+        // 15
+        AttributeSpec {
+            name: "Existing credits".into(),
+            values: s(&["1", ">= 2"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.63, 0.37],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+        // 16
+        AttributeSpec {
+            name: "Job".into(),
+            values: s(&[
+                "Unemployed / unskilled non-resident",
+                "Unskilled resident",
+                "Skilled employee / official",
+                "Management / self-employed",
+            ]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.05, 0.20, 0.30, 0.45],
+            protected_distribution: None,
+            label_weights: vec![-0.3, -0.1, 0.1, 0.2],
+        },
+        // 17
+        AttributeSpec {
+            name: "Number of people liable".into(),
+            values: s(&["Low", "High"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.80, 0.20],
+            protected_distribution: None,
+            label_weights: vec![0.1, -0.2],
+        },
+        // 18
+        AttributeSpec {
+            name: "Telephone".into(),
+            values: s(&["None", "Registered"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.60, 0.40],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.1],
+        },
+        // 19
+        AttributeSpec {
+            name: "Foreign worker".into(),
+            values: s(&["Yes", "No"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.96, 0.04],
+            protected_distribution: None,
+            label_weights: vec![-0.1, 0.3],
+        },
+        // 20
+        AttributeSpec {
+            name: "Gender".into(),
+            values: s(&["Female", "Male"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.31, 0.69],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+    ];
+
+    // Cohorts of Table 3, biased against the protected (young) group.
+    let planted = vec![
+        // GS1: checking < 0 DM ∧ people liable = High     (~5.4 %)
+        PlantedBias::against_protected(vec![(0, 0), (17, 1)], 2.6),
+        // GS2: savings 100–500 DM ∧ job = skilled         (~7.5 %)
+        PlantedBias::against_protected(vec![(5, 1), (16, 2)], 2.4),
+        // GS3: installment plans = Bank ∧ debtors = None  (~12.5 %)
+        PlantedBias::against_protected(vec![(13, 0), (9, 0)], 2.2),
+        // GS4: no checking account ∧ property unknown     (~8.8 %)
+        PlantedBias::against_protected(vec![(0, 3), (11, 3)], 2.0),
+        // GS5: housing = Rent ∧ female div/sep/married    (~9.9 %)
+        PlantedBias::against_protected(vec![(14, 0), (8, 1)], 1.8),
+    ];
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: "German Credit".into(),
+            attributes,
+            sensitive_attr: 12,
+            privileged_code: 1,
+            protected_fraction: 0.4110,
+            base_rate_privileged: 0.7419,
+            base_rate_protected: 0.6399,
+            planted,
+            label_values: ["bad credit".into(), "good credit".into()],
+        }
+        // Sharpen the label signal so a forest's predicted probabilities
+        // spread across the 0.5 threshold — the precondition for the
+        // label-level group gap to surface as prediction disparity.
+        .with_weight_scale(2.2),
+        full_size: 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn planted_cohorts_fall_in_support_range() {
+        let ds = german_credit();
+        let (data, _) = generate(&ds.spec, 20_000, 3).unwrap();
+        for (i, bias) in ds.spec.planted.iter().enumerate() {
+            let matches = (0..data.num_rows())
+                .filter(|&r| bias.literals.iter().all(|&(a, c)| data.code(r, a) == c))
+                .count();
+            let support = matches as f64 / data.num_rows() as f64;
+            assert!(
+                (0.04..=0.15).contains(&support),
+                "cohort {i} support {support}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitive_attribute_is_age() {
+        let ds = german_credit();
+        assert_eq!(ds.spec.attributes[ds.spec.sensitive_attr].name, "Age");
+        assert_eq!(ds.spec.privileged_code, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Synthetic stand-in for the **Medical Expenditure Panel Survey**
+//! (MEPS, 2015 Panel 19; 11 081 rows, 42 attributes, sensitive attribute
+//! *race*; the positive label means high utilization of medical care).
+//!
+//! The real extract (as preprocessed by AIF360's `MEPSDataset19`) carries
+//! dozens of diagnosis/limitation flags; we model the ones the paper's
+//! Table 7 mentions explicitly and fill the remainder with weakly
+//! predictive clinical flags so the attribute count matches.
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+/// Builds the MEPS stand-in.
+pub fn meps() -> PaperDataset {
+    let mut attributes = vec![
+        // 0: sensitive — race (privileged = White per AIF360's encoding)
+        AttributeSpec {
+            name: "Race".into(),
+            values: s(&["Non-White", "White"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.6407, 0.3593],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+        // 1
+        AttributeSpec {
+            name: "Age".into(),
+            values: s(&["Under 18", "18-44", "45-64", "65 plus"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.26, 0.36, 0.25, 0.13],
+            protected_distribution: None,
+            label_weights: vec![-0.5, -0.3, 0.3, 0.6],
+        },
+        // 2
+        AttributeSpec {
+            name: "Sex".into(),
+            values: s(&["Male", "Female"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.48, 0.52],
+            protected_distribution: None,
+            label_weights: vec![-0.1, 0.1],
+        },
+        // 3
+        AttributeSpec {
+            name: "Region".into(),
+            values: s(&["Northeast", "Midwest", "South", "West"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.16, 0.20, 0.39, 0.25],
+            protected_distribution: None,
+            label_weights: vec![0.1, 0.1, -0.1, 0.0],
+        },
+        // 4
+        AttributeSpec {
+            name: "Marital status".into(),
+            values: s(&["Married", "Never married", "Other"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.40, 0.43, 0.17],
+            protected_distribution: None,
+            label_weights: vec![0.1, -0.2, 0.1],
+        },
+        // 5
+        AttributeSpec {
+            name: "Education".into(),
+            values: s(&["No degree", "High school", "College or higher"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.35, 0.40, 0.25],
+            protected_distribution: None,
+            label_weights: vec![-0.2, 0.0, 0.3],
+        },
+        // 6
+        AttributeSpec {
+            name: "Employment Status".into(),
+            values: s(&["Employed", "Unemployed", "Not in labor force"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.55, 0.12, 0.33],
+            protected_distribution: None,
+            label_weights: vec![-0.2, -0.1, 0.3],
+        },
+        // 7
+        AttributeSpec::flag("Health insurance coverage", 0.88, 0.6),
+        // 8
+        AttributeSpec {
+            name: "Income".into(),
+            values: s(&["Poor", "Middle", "High"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.28, 0.42, 0.30],
+            protected_distribution: None,
+            label_weights: vec![-0.1, 0.0, 0.2],
+        },
+        // 9
+        AttributeSpec {
+            name: "Perceived health status".into(),
+            values: s(&["Excellent", "Good", "Fair/Poor"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.33, 0.47, 0.20],
+            protected_distribution: None,
+            label_weights: vec![-0.6, 0.0, 0.8],
+        },
+        // 10: cancer — the dominant Table 7 pattern (support ≈ 6.2 %)
+        AttributeSpec::flag("Cancer diagnosis", 0.062, 2.0),
+        // 11
+        AttributeSpec::flag("Emphysema diagnosis", 0.016, 0.8),
+        // 12
+        AttributeSpec::flag("Chronic bronchitis", 0.031, 0.8),
+        // 13
+        AttributeSpec::flag("High blood pressure", 0.26, 0.5),
+        // 14
+        AttributeSpec::flag("Heart disease", 0.075, 0.8),
+        // 15
+        AttributeSpec::flag("Stroke", 0.028, 0.8),
+        // 16
+        AttributeSpec::flag("Asthma", 0.10, 0.5),
+        // 17
+        AttributeSpec::flag("Diabetes", 0.086, 0.7),
+        // 18
+        AttributeSpec::flag("Arthritis", 0.20, 0.5),
+        // 19
+        AttributeSpec::flag("Joint pain", 0.28, 0.4),
+        // 20
+        AttributeSpec::flag("ADHD diagnosis", 0.04, 0.3),
+        // 21
+        AttributeSpec::flag("Cognitive limitations", 0.045, 0.6),
+        // 22: ACTLIM — the paper highlights its importance gain
+        AttributeSpec::flag("Any limitation (work/household/school)", 0.12, 0.9),
+        // 23
+        AttributeSpec::flag("Social limitations", 0.06, 0.6),
+        // 24
+        AttributeSpec::flag("Physical limitations", 0.14, 0.7),
+        // 25
+        AttributeSpec::flag("Vision problems", 0.08, 0.3),
+        // 26
+        AttributeSpec::flag("Hearing problems", 0.06, 0.3),
+        // 27
+        AttributeSpec::flag("Pregnant", 0.03, 0.5),
+        // 28
+        AttributeSpec::flag("Walking limitation", 0.11, 0.6),
+        // 29
+        AttributeSpec::flag("Activities of daily living help", 0.035, 0.8),
+    ];
+    // Fill to 42 attributes with weakly informative clinical flags, as the
+    // real extract carries many sparsely populated indicator columns.
+    for i in attributes.len()..42 {
+        let p = 0.05 + 0.02 * ((i * 7) % 10) as f64;
+        let w = 0.05 * ((i % 5) as f64 - 2.0);
+        attributes.push(AttributeSpec::flag(format!("Clinical flag {i}"), p, w));
+    }
+
+    // Cohorts of Table 7: high expenditure "invariably related to the
+    // protected group" inside cancer-positive cohorts.
+    // The three cancer cohorts overlap almost entirely (their "No"
+    // literals cover ~95 % of rows), so their deltas stack on a typical
+    // protected cancer row; keep each modest so the flag's +2.0 weight
+    // still leaves cancer positively predictive overall.
+    let planted = vec![
+        // ME1: Chronic bronchitis = No ∧ Cancer = True
+        PlantedBias::against_protected(vec![(12, 0), (10, 1)], 1.0),
+        // ME2: Insurance = True ∧ Employment = Unemployed
+        PlantedBias::against_protected(vec![(7, 1), (6, 1)], 1.8),
+        // ME3/ME4/ME5 share the cancer pattern.
+        PlantedBias::against_protected(vec![(11, 0), (10, 1)], 0.9),
+        PlantedBias::against_protected(vec![(21, 0), (10, 1)], 0.8),
+    ];
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: "MEPS".into(),
+            attributes,
+            sensitive_attr: 0,
+            privileged_code: 1,
+            protected_fraction: 0.6407,
+            base_rate_privileged: 0.2549,
+            base_rate_protected: 0.1236,
+            planted,
+            label_values: ["low utilization".into(), "high utilization".into()],
+        }
+        .with_weight_scale(2.0),
+        full_size: 11_081,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn has_42_attributes_with_unique_names() {
+        let ds = meps();
+        assert_eq!(ds.spec.attributes.len(), 42);
+        let mut names: Vec<&str> =
+            ds.spec.attributes.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 42);
+    }
+
+    #[test]
+    fn cancer_support_matches_table7() {
+        let ds = meps();
+        let (data, _) = generate(&ds.spec, 20_000, 41).unwrap();
+        let support = (0..data.num_rows())
+            .filter(|&r| data.code(r, 10) == 1)
+            .count() as f64
+            / data.num_rows() as f64;
+        // ME5 (Cancer diagnosis = True) has support 6.17 % in the paper.
+        assert!((0.045..=0.08).contains(&support), "cancer support {support}");
+    }
+
+    #[test]
+    fn cancer_predicts_high_utilization() {
+        let ds = meps();
+        let (data, _) = generate(&ds.spec, 20_000, 42).unwrap();
+        let rate = |code: u16| {
+            let ids: Vec<u32> = (0..data.num_rows() as u32)
+                .filter(|&r| data.code(r as usize, 10) == code)
+                .collect();
+            data.select_rows(&ids).unwrap().base_rate()
+        };
+        assert!(rate(1) > rate(0) + 0.1, "cancer {} vs none {}", rate(1), rate(0));
+    }
+}

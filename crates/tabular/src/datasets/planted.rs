@@ -1,0 +1,102 @@
+//! A tiny dataset with a *known* responsible cohort, used throughout the
+//! workspace's tests: FUME should recover the planted subset.
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+/// Builds a 4-attribute toy whose fairness violation is caused (by
+/// construction) by protected rows with `city = urban ∧ job = manual`:
+/// those rows have their positive-label odds strongly depressed, while
+/// the groups are otherwise exchangeable.
+pub fn planted_toy() -> PaperDataset {
+    let attributes = vec![
+        AttributeSpec {
+            name: "sex".into(),
+            values: vec!["female".into(), "male".into()],
+            kind: AttrKind::Categorical,
+            distribution: vec![0.5, 0.5],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0],
+        },
+        AttributeSpec {
+            name: "city".into(),
+            values: vec!["urban".into(), "suburban".into(), "rural".into()],
+            kind: AttrKind::Categorical,
+            distribution: vec![0.4, 0.35, 0.25],
+            protected_distribution: None,
+            label_weights: vec![0.2, 0.0, -0.2],
+        },
+        AttributeSpec {
+            name: "job".into(),
+            values: vec!["manual".into(), "office".into(), "none".into()],
+            kind: AttrKind::Categorical,
+            distribution: vec![0.3, 0.5, 0.2],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.6, -0.6],
+        },
+        AttributeSpec {
+            name: "savings".into(),
+            values: vec!["low".into(), "high".into()],
+            kind: AttrKind::Categorical,
+            distribution: vec![0.6, 0.4],
+            protected_distribution: None,
+            label_weights: vec![-0.4, 0.4],
+        },
+    ];
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: "planted toy".into(),
+            attributes,
+            sensitive_attr: 0,
+            privileged_code: 1,
+            protected_fraction: 0.5,
+            // Equal *global* base-rate targets: the disparity the model
+            // learns comes almost entirely from the planted cohort.
+            base_rate_privileged: 0.55,
+            base_rate_protected: 0.45,
+            planted: vec![PlantedBias::against_protected(vec![(1, 0), (2, 0)], 3.5)],
+            label_values: ["denied".into(), "approved".into()],
+        },
+        full_size: 2_000,
+    }
+}
+
+/// The planted cohort's literals, `(attribute index, code)`:
+/// `city = urban ∧ job = manual`.
+pub const PLANTED_TOY_COHORT: &[(usize, u16)] = &[(1, 0), (2, 0)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::stats::group_base_rates;
+
+    #[test]
+    fn cohort_concentrates_the_disparity() {
+        let ds = planted_toy();
+        let (data, group) = generate(&ds.spec, 20_000, 13).unwrap();
+        let in_cohort: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| {
+                PLANTED_TOY_COHORT
+                    .iter()
+                    .all(|&(a, c)| data.code(r as usize, a) == c)
+            })
+            .collect();
+        let out_cohort: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| !in_cohort.contains(&r))
+            .collect();
+        let (pi, pr) =
+            group_base_rates(&data.select_rows(&in_cohort).unwrap(), group);
+        let (qi, qr) =
+            group_base_rates(&data.select_rows(&out_cohort).unwrap(), group);
+        let gap_in = pi - pr;
+        let gap_out = qi - qr;
+        assert!(
+            gap_in > gap_out + 0.2,
+            "cohort gap {gap_in} should dwarf outside gap {gap_out}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic stand-in for the NYPD **Stop-Question-Frisk** dataset
+//! (72 546 rows, 16 attributes, sensitive attribute *race*; the positive
+//! label means the stopped individual was frisked).
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+fn flag(name: &str, p_yes: f64, w_yes: f64) -> AttributeSpec {
+    AttributeSpec::flag(name, p_yes, w_yes)
+}
+
+/// Builds the SQF stand-in.
+pub fn sqf() -> PaperDataset {
+    let attributes = vec![
+        // 0: sensitive — race
+        AttributeSpec {
+            name: "Race".into(),
+            values: s(&["Black", "White", "Hispanic", "Other"]),
+            kind: AttrKind::Categorical,
+            // Within the protected pool, most stops are of Black or
+            // Hispanic individuals.
+            distribution: vec![0.60, 1.0, 0.30, 0.10],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0, 0.0, 0.0],
+        },
+        // 1: sex is highly correlated with race in the stop data — the
+        // paper's SS1 finding hinges on this.
+        AttributeSpec {
+            name: "Sex".into(),
+            values: s(&["Male", "Female"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.955, 0.045],
+            protected_distribution: Some(vec![0.91, 0.09]),
+            label_weights: vec![0.3, -0.5],
+        },
+        // 2
+        AttributeSpec {
+            name: "Weight".into(),
+            values: s(&["Light", "Medium", "Heavy"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.14, 0.61, 0.25],
+            protected_distribution: None,
+            label_weights: vec![-0.2, 0.0, 0.1],
+        },
+        // 3
+        AttributeSpec {
+            name: "Build".into(),
+            values: s(&["Thin", "Medium", "Heavy"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.25, 0.55, 0.20],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.0, 0.1],
+        },
+        // 4
+        flag("Casing a victim", 0.13, 0.6),
+        // 5
+        flag("Fits a relevant description", 0.16, 0.5),
+        // 6
+        flag("Suspect acting as a lookout", 0.12, 0.5),
+        // 7
+        flag("Actions indicative of a drug transaction", 0.11, 0.7),
+        // 8
+        flag("Furtive movements", 0.45, 0.6),
+        // 9
+        flag("Suspicious bulge", 0.08, 0.9),
+        // 10
+        flag("Violent crime suspected", 0.18, 0.5),
+        // 11
+        flag("Evasive response", 0.25, 0.3),
+        // 12
+        AttributeSpec {
+            name: "Time of day".into(),
+            values: s(&["Morning", "Afternoon", "Evening", "Night"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.15, 0.25, 0.30, 0.30],
+            protected_distribution: None,
+            label_weights: vec![-0.2, -0.1, 0.1, 0.2],
+        },
+        // 13
+        AttributeSpec {
+            name: "Borough".into(),
+            values: s(&["Manhattan", "Brooklyn", "Bronx", "Queens", "Staten Island"]),
+            kind: AttrKind::Categorical,
+            distribution: vec![0.20, 0.33, 0.20, 0.21, 0.06],
+            protected_distribution: None,
+            label_weights: vec![0.0, 0.1, 0.1, -0.1, 0.0],
+        },
+        // 14
+        flag("Inside location", 0.22, -0.2),
+        // 15
+        AttributeSpec {
+            name: "Age group".into(),
+            values: s(&["Under 21", "21-35", "Over 35"]),
+            kind: AttrKind::Ordinal,
+            distribution: vec![0.30, 0.45, 0.25],
+            protected_distribution: None,
+            label_weights: vec![0.3, 0.1, -0.3],
+        },
+    ];
+
+    // Cohorts of Table 5 (note SS1 = Sex=Female is a *single literal* whose
+    // support ≈ 6.5 %; the correlation with race lets its removal break the
+    // model's dependence on both).
+    let planted = vec![
+        // SS1/SS5 driver: frisk bias against protected light-weight and
+        // female stops.
+        PlantedBias::against_protected(vec![(1, 1)], 2.2),
+        // SS2: Weight = Light ∧ Casing a victim = False
+        PlantedBias::against_protected(vec![(2, 0), (4, 0)], 1.6),
+        // SS3: Build = Heavy ∧ Fits a relevant description = False
+        PlantedBias::against_protected(vec![(3, 2), (5, 0)], 1.5),
+        // SS4: Lookout = False ∧ Drug transaction = True
+        PlantedBias::against_protected(vec![(6, 0), (7, 1)], 1.7),
+    ];
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: "SQF".into(),
+            attributes,
+            sensitive_attr: 0,
+            // "White" is the privileged group.
+            privileged_code: 1,
+            protected_fraction: 0.3594,
+            base_rate_privileged: 0.3832,
+            base_rate_protected: 0.3016,
+            planted,
+            label_values: ["not frisked".into(), "frisked".into()],
+        }
+        .with_weight_scale(2.0),
+        full_size: 72_546,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn female_fraction_matches_paper_support() {
+        let ds = sqf();
+        let (data, _) = generate(&ds.spec, 30_000, 21).unwrap();
+        let female =
+            (0..data.num_rows()).filter(|&r| data.code(r, 1) == 1).count() as f64
+                / data.num_rows() as f64;
+        // Paper reports SS1 (Sex = Female) support 6.51 %.
+        assert!((0.04..=0.09).contains(&female), "female fraction {female}");
+    }
+
+    #[test]
+    fn sex_correlates_with_race() {
+        let ds = sqf();
+        let (data, group) = generate(&ds.spec, 30_000, 22).unwrap();
+        let female_rate = |privileged: bool| {
+            let (mut n, mut m) = (0usize, 0usize);
+            for r in 0..data.num_rows() {
+                if data.is_privileged(r, group) == privileged {
+                    n += 1;
+                    m += usize::from(data.code(r, 1) == 1);
+                }
+            }
+            m as f64 / n as f64
+        };
+        assert!(female_rate(false) > female_rate(true) * 1.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Parameterized synthetic datasets for the scalability experiments
+//! (paper Figure 5: runtime vs #instances/#attributes/#distinct values).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
+use crate::schema::AttrKind;
+
+use super::PaperDataset;
+
+/// Shape of a synthetic dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of attributes, including the sensitive one (the paper's `p`).
+    pub num_attributes: usize,
+    /// Distinct values per non-sensitive attribute (the paper's `d`).
+    pub values_per_attribute: usize,
+    /// Seed controlling the randomly drawn distributions and label weights.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self { num_attributes: 10, values_per_attribute: 2, seed: 0 }
+    }
+}
+
+/// Builds a synthetic [`PaperDataset`] with `cfg.num_attributes` attributes
+/// of `cfg.values_per_attribute` distinct values each. Attribute 0 is a
+/// binary sensitive attribute; one planted cohort carries label bias
+/// against the protected group so FUME always has something to find.
+pub fn synthetic(cfg: SyntheticConfig) -> PaperDataset {
+    assert!(cfg.num_attributes >= 2, "need at least sensitive + one attribute");
+    assert!(cfg.values_per_attribute >= 2, "need at least binary attributes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_5eed);
+    let d = cfg.values_per_attribute;
+
+    let mut attributes = vec![AttributeSpec {
+        name: "group".into(),
+        values: vec!["protected".into(), "privileged".into()],
+        kind: AttrKind::Categorical,
+        distribution: vec![0.4, 0.6],
+        protected_distribution: None,
+        label_weights: vec![0.0, 0.0],
+    }];
+    for j in 1..cfg.num_attributes {
+        let values = (0..d).map(|v| format!("v{v}")).collect();
+        let distribution = (0..d).map(|_| 0.5 + rng.gen::<f64>()).collect();
+        let label_weights = (0..d).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        attributes.push(AttributeSpec {
+            name: format!("attr{j}"),
+            values,
+            kind: AttrKind::Categorical,
+            distribution,
+            protected_distribution: None,
+            label_weights,
+        });
+    }
+
+    // Plant bias in a one- or two-literal cohort over the first attributes.
+    let planted = if cfg.num_attributes > 2 && d >= 2 {
+        vec![
+            PlantedBias::against_protected(vec![(1, 0)], 1.5),
+            PlantedBias::against_protected(vec![(1, 1), (2, 0)], 1.8),
+        ]
+    } else {
+        vec![PlantedBias::against_protected(vec![(1, 0)], 1.5)]
+    };
+
+    PaperDataset {
+        spec: GeneratorSpec {
+            name: format!("synthetic(p={}, d={})", cfg.num_attributes, d),
+            attributes,
+            sensitive_attr: 0,
+            privileged_code: 1,
+            protected_fraction: 0.4,
+            base_rate_privileged: 0.6,
+            base_rate_protected: 0.45,
+            planted,
+            label_values: ["negative".into(), "positive".into()],
+        },
+        full_size: 30_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn respects_shape_parameters() {
+        let ds = synthetic(SyntheticConfig {
+            num_attributes: 7,
+            values_per_attribute: 4,
+            seed: 3,
+        });
+        assert_eq!(ds.spec.attributes.len(), 7);
+        for a in &ds.spec.attributes[1..] {
+            assert_eq!(a.values.len(), 4);
+        }
+        let (data, group) = generate(&ds.spec, 1_000, 5).unwrap();
+        assert_eq!(data.num_attributes(), 7);
+        assert_eq!(group.attr, 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic(SyntheticConfig { seed: 1, ..Default::default() });
+        let b = synthetic(SyntheticConfig { seed: 2, ..Default::default() });
+        let (da, _) = generate(&a.spec, 500, 9).unwrap();
+        let (db, _) = generate(&b.spec, 500, 9).unwrap();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least binary")]
+    fn rejects_unary_attributes() {
+        synthetic(SyntheticConfig {
+            num_attributes: 3,
+            values_per_attribute: 1,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,311 @@
+//! Raw (pre-discretization) data and binning strategies.
+//!
+//! The paper preprocesses every dataset so that "the numerical columns in
+//! each dataset have been discretized to explore subsets". This module
+//! provides that preprocessing step: a [`RawDataset`] mixes numeric and
+//! categorical columns, and a [`Discretizer`] turns it into a fully coded
+//! [`Dataset`] whose schema carries human-readable bin labels such as
+//! `[18.0, 34.5)`.
+
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::error::{Result, TabularError};
+use crate::schema::{Attribute, Schema};
+
+/// A raw column: either numeric values or already-coded categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawColumn {
+    /// Continuous or integer-valued data to be binned.
+    Numeric(Vec<f64>),
+    /// Categorical codes plus their display labels.
+    Categorical {
+        /// Per-row category codes.
+        codes: Vec<u16>,
+        /// `labels[c]` names code `c`.
+        labels: Vec<String>,
+    },
+}
+
+impl RawColumn {
+    fn len(&self) -> usize {
+        match self {
+            Self::Numeric(v) => v.len(),
+            Self::Categorical { codes, .. } => codes.len(),
+        }
+    }
+}
+
+/// A named raw column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawAttribute {
+    /// Column name.
+    pub name: String,
+    /// Column contents.
+    pub column: RawColumn,
+}
+
+/// A dataset before discretization: numeric and categorical columns plus
+/// binary labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawDataset {
+    attributes: Vec<RawAttribute>,
+    labels: Vec<bool>,
+}
+
+impl RawDataset {
+    /// Builds a raw dataset, validating column lengths and name uniqueness.
+    pub fn new(attributes: Vec<RawAttribute>, labels: Vec<bool>) -> Result<Self> {
+        let n = labels.len();
+        for a in &attributes {
+            if a.column.len() != n {
+                return Err(TabularError::ColumnLengthMismatch {
+                    column: a.name.clone(),
+                    got: a.column.len(),
+                    expected: n,
+                });
+            }
+        }
+        for i in 0..attributes.len() {
+            for j in (i + 1)..attributes.len() {
+                if attributes[i].name == attributes[j].name {
+                    return Err(TabularError::DuplicateAttribute(attributes[i].name.clone()));
+                }
+            }
+        }
+        Ok(Self { attributes, labels })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The raw attributes.
+    pub fn attributes(&self) -> &[RawAttribute] {
+        &self.attributes
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+}
+
+/// A numeric binning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discretizer {
+    /// `k` equal-width bins spanning `[min, max]`.
+    EqualWidth(usize),
+    /// `k` (approximately) equal-frequency bins using sample quantiles.
+    /// Duplicate cut points (heavy ties) are merged, so the realized number
+    /// of bins may be smaller than `k`.
+    Quantile(usize),
+}
+
+impl Discretizer {
+    /// Computes the interior cut points for `values`. A value `v` falls in
+    /// bin `i` where `i` = number of cuts `<= v`.
+    pub fn cut_points(&self, values: &[f64]) -> Result<Vec<f64>> {
+        let k = match self {
+            Self::EqualWidth(k) | Self::Quantile(k) => *k,
+        };
+        if k < 2 {
+            return Err(TabularError::InvalidBinCount(k));
+        }
+        if values.is_empty() {
+            return Err(TabularError::EmptyDataset);
+        }
+        let mut cuts = match self {
+            Self::EqualWidth(_) => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in values {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi <= lo {
+                    // Constant column: a single bin, no cuts.
+                    return Ok(Vec::new());
+                }
+                let w = (hi - lo) / k as f64;
+                (1..k).map(|i| lo + w * i as f64).collect::<Vec<_>>()
+            }
+            Self::Quantile(_) => {
+                let mut sorted = values.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let n = sorted.len();
+                (1..k)
+                    .map(|i| {
+                        // Nearest-rank quantile.
+                        let rank = (i * n) / k;
+                        sorted[rank.min(n - 1)]
+                    })
+                    .collect::<Vec<_>>()
+            }
+        };
+        cuts.dedup_by(|a, b| a == b);
+        Ok(cuts)
+    }
+
+    /// Assigns each value to its bin given `cuts` from [`Self::cut_points`].
+    pub fn assign(values: &[f64], cuts: &[f64]) -> Vec<u16> {
+        values
+            .iter()
+            .map(|&v| cuts.iter().take_while(|&&c| c <= v).count() as u16)
+            .collect()
+    }
+
+    /// Renders the display label of bin `i` out of `cuts.len() + 1` bins.
+    pub fn bin_label(cuts: &[f64], i: usize) -> String {
+        let fmt = |x: f64| {
+            if (x - x.round()).abs() < 1e-9 {
+                format!("{}", x.round() as i64)
+            } else {
+                format!("{x:.2}")
+            }
+        };
+        match (i == 0, i == cuts.len()) {
+            (true, true) => "all".to_string(),
+            (true, false) => format!("< {}", fmt(cuts[0])),
+            (false, true) => format!(">= {}", fmt(cuts[cuts.len() - 1])),
+            (false, false) => format!("[{}, {})", fmt(cuts[i - 1]), fmt(cuts[i])),
+        }
+    }
+}
+
+/// Discretizes a [`RawDataset`] into a coded [`Dataset`]: numeric columns are
+/// binned with `disc` and become [ordinal](crate::schema::AttrKind::Ordinal)
+/// attributes; categorical columns pass through.
+pub fn discretize(raw: &RawDataset, disc: Discretizer) -> Result<Dataset> {
+    let mut attrs = Vec::with_capacity(raw.attributes().len());
+    let mut columns = Vec::with_capacity(raw.attributes().len());
+    for a in raw.attributes() {
+        match &a.column {
+            RawColumn::Categorical { codes, labels } => {
+                attrs.push(Attribute::categorical(a.name.clone(), labels.clone()));
+                columns.push(codes.clone());
+            }
+            RawColumn::Numeric(values) => {
+                let cuts = disc.cut_points(values)?;
+                let labels: Vec<String> =
+                    (0..=cuts.len()).map(|i| Discretizer::bin_label(&cuts, i)).collect();
+                attrs.push(Attribute::ordinal(a.name.clone(), labels));
+                columns.push(Discretizer::assign(values, &cuts));
+            }
+        }
+    }
+    let schema = Arc::new(Schema::with_default_label(attrs)?);
+    Dataset::new(schema, columns, raw.labels().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_cuts() {
+        let d = Discretizer::EqualWidth(4);
+        let cuts = d.cut_points(&[0.0, 1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cuts, vec![1.0, 2.0, 3.0]);
+        assert_eq!(Discretizer::assign(&[0.0, 1.0, 2.5, 4.0], &cuts), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn quantile_cuts_balance_mass() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::Quantile(4);
+        let cuts = d.cut_points(&vals).unwrap();
+        let codes = Discretizer::assign(&vals, &cuts);
+        for bin in 0..4u16 {
+            let c = codes.iter().filter(|&&b| b == bin).count();
+            assert!((20..=30).contains(&c), "bin {bin} has {c}");
+        }
+    }
+
+    #[test]
+    fn quantile_merges_tied_cuts() {
+        // 90% of mass at value 5 → several quantiles coincide.
+        let mut vals = vec![5.0; 90];
+        vals.extend((0..10).map(|i| i as f64));
+        let cuts = Discretizer::Quantile(4).cut_points(&vals).unwrap();
+        let mut sorted = cuts.clone();
+        sorted.dedup();
+        assert_eq!(cuts, sorted, "cuts must be deduplicated");
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let cuts = Discretizer::EqualWidth(5).cut_points(&[7.0, 7.0, 7.0]).unwrap();
+        assert!(cuts.is_empty());
+        assert_eq!(Discretizer::assign(&[7.0, 7.0], &cuts), vec![0, 0]);
+        assert_eq!(Discretizer::bin_label(&cuts, 0), "all");
+    }
+
+    #[test]
+    fn invalid_bin_count_rejected() {
+        assert!(matches!(
+            Discretizer::EqualWidth(1).cut_points(&[1.0]),
+            Err(TabularError::InvalidBinCount(1))
+        ));
+        assert!(matches!(
+            Discretizer::Quantile(3).cut_points(&[]),
+            Err(TabularError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn bin_labels_render_ranges() {
+        let cuts = vec![10.0, 20.0];
+        assert_eq!(Discretizer::bin_label(&cuts, 0), "< 10");
+        assert_eq!(Discretizer::bin_label(&cuts, 1), "[10, 20)");
+        assert_eq!(Discretizer::bin_label(&cuts, 2), ">= 20");
+    }
+
+    #[test]
+    fn discretize_mixed_dataset() {
+        let raw = RawDataset::new(
+            vec![
+                RawAttribute {
+                    name: "age".into(),
+                    column: RawColumn::Numeric(vec![18.0, 30.0, 45.0, 70.0]),
+                },
+                RawAttribute {
+                    name: "housing".into(),
+                    column: RawColumn::Categorical {
+                        codes: vec![0, 1, 0, 1],
+                        labels: vec!["own".into(), "rent".into()],
+                    },
+                },
+            ],
+            vec![true, false, true, false],
+        )
+        .unwrap();
+        let d = discretize(&raw, Discretizer::EqualWidth(2)).unwrap();
+        assert_eq!(d.num_rows(), 4);
+        assert_eq!(d.num_attributes(), 2);
+        // age split at 44: rows 0,1 left, rows 2,3 right
+        assert_eq!(d.column(0), &[0, 0, 1, 1]);
+        assert_eq!(d.column(1), &[0, 1, 0, 1]);
+        assert_eq!(d.schema().attribute(0).unwrap().cardinality(), 2);
+    }
+
+    #[test]
+    fn raw_dataset_validation() {
+        let err = RawDataset::new(
+            vec![RawAttribute { name: "x".into(), column: RawColumn::Numeric(vec![1.0]) }],
+            vec![true, false],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TabularError::ColumnLengthMismatch { .. }));
+
+        let err = RawDataset::new(
+            vec![
+                RawAttribute { name: "x".into(), column: RawColumn::Numeric(vec![1.0]) },
+                RawAttribute { name: "x".into(), column: RawColumn::Numeric(vec![2.0]) },
+            ],
+            vec![true],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TabularError::DuplicateAttribute(_)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type for the tabular substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, transforming or loading datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TabularError {
+    /// A column has a different length than the rest of the dataset.
+    ColumnLengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length of the offending column.
+        got: usize,
+        /// Expected number of rows.
+        expected: usize,
+    },
+    /// An attribute name was referenced but does not exist in the schema.
+    UnknownAttribute(String),
+    /// An attribute index is out of bounds.
+    AttributeIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of attributes in the schema.
+        len: usize,
+    },
+    /// A categorical code is outside the attribute's domain.
+    CodeOutOfDomain {
+        /// Attribute name.
+        attribute: String,
+        /// The offending code.
+        code: u16,
+        /// Cardinality of the attribute.
+        cardinality: u16,
+    },
+    /// A row index is out of bounds.
+    RowOutOfBounds {
+        /// The requested row.
+        row: usize,
+        /// Number of rows in the dataset.
+        len: usize,
+    },
+    /// The dataset has no rows.
+    EmptyDataset,
+    /// Discretization was requested with an invalid number of bins.
+    InvalidBinCount(usize),
+    /// A split fraction was outside `(0, 1)`.
+    InvalidFraction(f64),
+    /// A CSV parse failure with row/column context.
+    CsvParse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An I/O error, stringified (so the error type stays `Clone`).
+    Io(String),
+    /// The two datasets were expected to share a schema but do not.
+    SchemaMismatch,
+    /// A duplicate attribute name was supplied.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnLengthMismatch { column, got, expected } => write!(
+                f,
+                "column `{column}` has {got} values but the dataset has {expected} rows"
+            ),
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Self::AttributeIndexOutOfBounds { index, len } => {
+                write!(f, "attribute index {index} out of bounds (schema has {len})")
+            }
+            Self::CodeOutOfDomain { attribute, code, cardinality } => write!(
+                f,
+                "code {code} out of domain for attribute `{attribute}` (cardinality {cardinality})"
+            ),
+            Self::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (dataset has {len} rows)")
+            }
+            Self::EmptyDataset => write!(f, "dataset has no rows"),
+            Self::InvalidBinCount(n) => write!(f, "invalid bin count {n}; need at least 2"),
+            Self::InvalidFraction(x) => write!(f, "fraction {x} must lie strictly in (0, 1)"),
+            Self::CsvParse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::Io(msg) => write!(f, "I/O error: {msg}"),
+            Self::SchemaMismatch => write!(f, "datasets do not share a schema"),
+            Self::DuplicateAttribute(name) => write!(f, "duplicate attribute name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+impl From<std::io::Error> for TabularError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TabularError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_context() {
+        let e = TabularError::ColumnLengthMismatch {
+            column: "age".into(),
+            got: 3,
+            expected: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains('3') && s.contains('5'));
+
+        let e = TabularError::CodeOutOfDomain {
+            attribute: "sex".into(),
+            code: 9,
+            cardinality: 2,
+        };
+        assert!(e.to_string().contains("sex"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TabularError = io.into();
+        assert!(matches!(e, TabularError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TabularError::EmptyDataset);
+    }
+}

@@ -1,0 +1,474 @@
+//! Configurable synthetic data generator with controllable group bias.
+//!
+//! The paper evaluates FUME on five real datasets (German Credit, Adult,
+//! SQF, ACS Income, MEPS). Those raw files are not redistributable /
+//! available offline, so this crate *simulates* them: each dataset is
+//! described by a [`GeneratorSpec`] that fixes its published schema,
+//! size, protected-group fraction and per-group base rates (the paper's
+//! Table 2), and plants label bias inside coherent predicate cohorts so
+//! that attributable subsets exist by construction. The generator controls
+//! exactly the quantities FUME consumes, so every experiment exercises the
+//! same code paths as the paper's pipeline.
+//!
+//! ## Generative model
+//!
+//! For each row:
+//! 1. the sensitive attribute is drawn privileged with probability
+//!    `1 − protected_fraction`;
+//! 2. every other attribute code is drawn from its categorical
+//!    distribution (optionally a different one for protected rows, to
+//!    induce correlations with the sensitive attribute, e.g. sex ↔ race
+//!    in SQF);
+//! 3. a logit accumulates per-code label weights plus any matching
+//!    [`PlantedBias`] deltas;
+//! 4. a per-group intercept — calibrated by bisection so each group hits
+//!    its target base rate — shifts the logit, and the label is sampled
+//!    from the resulting Bernoulli.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, GroupSpec};
+use crate::error::Result;
+use crate::schema::{AttrKind, Attribute, Schema};
+
+/// One attribute of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct AttributeSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Display labels of the codes.
+    pub values: Vec<String>,
+    /// Ordinal (binned numeric) or categorical.
+    pub kind: AttrKind,
+    /// Unnormalized sampling weights per code.
+    pub distribution: Vec<f64>,
+    /// Optional distinct sampling weights for protected rows.
+    pub protected_distribution: Option<Vec<f64>>,
+    /// Additive logit contribution of each code toward the positive label.
+    pub label_weights: Vec<f64>,
+}
+
+impl AttributeSpec {
+    /// A uniform categorical attribute with no label effect.
+    pub fn uniform(name: impl Into<String>, values: Vec<String>) -> Self {
+        let k = values.len();
+        Self {
+            name: name.into(),
+            values,
+            kind: AttrKind::Categorical,
+            distribution: vec![1.0; k],
+            protected_distribution: None,
+            label_weights: vec![0.0; k],
+        }
+    }
+
+    /// A binary yes/no flag: `P(yes) = p_yes`, with logit weight `w_yes`
+    /// when the flag is set (code 1 = "Yes").
+    pub fn flag(name: impl Into<String>, p_yes: f64, w_yes: f64) -> Self {
+        Self {
+            name: name.into(),
+            values: vec!["No".into(), "Yes".into()],
+            kind: AttrKind::Categorical,
+            distribution: vec![1.0 - p_yes, p_yes],
+            protected_distribution: None,
+            label_weights: vec![0.0, w_yes],
+        }
+    }
+
+    /// Sets explicit sampling weights.
+    pub fn with_distribution(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.values.len());
+        self.distribution = weights;
+        self
+    }
+
+    /// Sets distinct sampling weights for protected rows.
+    pub fn with_protected_distribution(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.values.len());
+        self.protected_distribution = Some(weights);
+        self
+    }
+
+    /// Sets per-code label (logit) weights.
+    pub fn with_label_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.values.len());
+        self.label_weights = weights;
+        self
+    }
+
+    /// Marks the attribute ordinal.
+    pub fn ordinal(mut self) -> Self {
+        self.kind = AttrKind::Ordinal;
+        self
+    }
+}
+
+/// Which rows of a cohort a [`PlantedBias`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasTarget {
+    /// Every matching row.
+    All,
+    /// Only matching rows in the protected group.
+    Protected,
+    /// Only matching rows in the privileged group.
+    Privileged,
+}
+
+/// Label bias planted in a coherent cohort: every row matching all
+/// `(attribute, code)` literals (and the [`BiasTarget`] group filter)
+/// receives `logit_delta` on its label logit. Negative deltas on protected
+/// cohorts — or positive deltas on privileged ones — create exactly the
+/// kind of subset-concentrated discrimination FUME is designed to surface.
+#[derive(Debug, Clone)]
+pub struct PlantedBias {
+    /// Conjunction of `(attribute index, code)` literals defining the cohort.
+    pub literals: Vec<(usize, u16)>,
+    /// Which group within the cohort is affected.
+    pub target: BiasTarget,
+    /// Additive logit shift for matching rows.
+    pub logit_delta: f64,
+}
+
+impl GeneratorSpec {
+    /// Multiplies every attribute's label weights and every planted bias
+    /// delta by `factor`. Larger factors make the label less noisy (the
+    /// Bayes-optimal accuracy rises) and let a downstream model's
+    /// predicted probabilities spread across the 0.5 decision threshold —
+    /// which is what turns label-level group gaps into *prediction*-level
+    /// disparity.
+    pub fn with_weight_scale(mut self, factor: f64) -> Self {
+        for a in &mut self.attributes {
+            for w in &mut a.label_weights {
+                *w *= factor;
+            }
+        }
+        for b in &mut self.planted {
+            b.logit_delta *= factor;
+        }
+        self
+    }
+}
+
+impl PlantedBias {
+    /// Depresses the positive-label odds of protected rows in the cohort.
+    pub fn against_protected(literals: Vec<(usize, u16)>, strength: f64) -> Self {
+        Self { literals, target: BiasTarget::Protected, logit_delta: -strength.abs() }
+    }
+
+    /// Boosts the positive-label odds of privileged rows in the cohort.
+    pub fn favoring_privileged(literals: Vec<(usize, u16)>, strength: f64) -> Self {
+        Self { literals, target: BiasTarget::Privileged, logit_delta: strength.abs() }
+    }
+}
+
+/// Complete description of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct GeneratorSpec {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// All attributes, including the sensitive one.
+    pub attributes: Vec<AttributeSpec>,
+    /// Index of the sensitive attribute.
+    pub sensitive_attr: usize,
+    /// Code of the privileged group within the sensitive attribute.
+    pub privileged_code: u16,
+    /// Target fraction of protected rows.
+    pub protected_fraction: f64,
+    /// Target P(Y=1 | privileged).
+    pub base_rate_privileged: f64,
+    /// Target P(Y=1 | protected).
+    pub base_rate_protected: f64,
+    /// Cohort-level label bias injections.
+    pub planted: Vec<PlantedBias>,
+    /// Display labels for the negative/positive outcome.
+    pub label_values: [String; 2],
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Draws a code from unnormalized `weights`.
+fn sample_code(weights: &[f64], rng: &mut StdRng) -> u16 {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i as u16;
+        }
+    }
+    (weights.len() - 1) as u16
+}
+
+/// Finds intercept `b` such that `mean(sigmoid(logit + b)) ≈ target`,
+/// by bisection (the mean is strictly increasing in `b`).
+fn calibrate_intercept(logits: &[f64], target: f64) -> f64 {
+    if logits.is_empty() {
+        return 0.0;
+    }
+    let mean = |b: f64| logits.iter().map(|&l| sigmoid(l + b)).sum::<f64>() / logits.len() as f64;
+    let (mut lo, mut hi) = (-30.0, 30.0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if mean(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Generates `n` rows from `spec` with deterministic randomness from `seed`.
+/// Returns the coded dataset plus the matching [`GroupSpec`].
+pub fn generate(spec: &GeneratorSpec, n: usize, seed: u64) -> Result<(Dataset, GroupSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = spec.attributes.len();
+    let group = GroupSpec::new(spec.sensitive_attr, spec.privileged_code);
+
+    // --- sample the sensitive column ---
+    let sens_spec = &spec.attributes[spec.sensitive_attr];
+    let mut protected_weights = sens_spec.distribution.clone();
+    protected_weights[spec.privileged_code as usize] = 0.0;
+    let mut columns: Vec<Vec<u16>> = vec![Vec::with_capacity(n); p];
+    let mut is_protected = Vec::with_capacity(n);
+    for _ in 0..n {
+        let prot = rng.gen::<f64>() < spec.protected_fraction;
+        let code = if prot {
+            sample_code(&protected_weights, &mut rng)
+        } else {
+            spec.privileged_code
+        };
+        is_protected.push(prot);
+        columns[spec.sensitive_attr].push(code);
+    }
+
+    // --- sample the remaining columns ---
+    for (j, a) in spec.attributes.iter().enumerate() {
+        if j == spec.sensitive_attr {
+            continue;
+        }
+        for &prot in is_protected.iter().take(n) {
+            let weights = match (&a.protected_distribution, prot) {
+                (Some(w), true) => w.as_slice(),
+                _ => a.distribution.as_slice(),
+            };
+            columns[j].push(sample_code(weights, &mut rng));
+        }
+    }
+
+    // --- accumulate logits ---
+    let mut logits = vec![0.0f64; n];
+    for (j, a) in spec.attributes.iter().enumerate() {
+        for row in 0..n {
+            logits[row] += a.label_weights[columns[j][row] as usize];
+        }
+    }
+    for bias in &spec.planted {
+        'rows: for row in 0..n {
+            match bias.target {
+                BiasTarget::All => {}
+                BiasTarget::Protected if !is_protected[row] => continue,
+                BiasTarget::Privileged if is_protected[row] => continue,
+                _ => {}
+            }
+            for &(attr, code) in &bias.literals {
+                if columns[attr][row] != code {
+                    continue 'rows;
+                }
+            }
+            logits[row] += bias.logit_delta;
+        }
+    }
+
+    // --- calibrate per-group intercepts and sample labels ---
+    let prot_logits: Vec<f64> =
+        (0..n).filter(|&r| is_protected[r]).map(|r| logits[r]).collect();
+    let priv_logits: Vec<f64> =
+        (0..n).filter(|&r| !is_protected[r]).map(|r| logits[r]).collect();
+    let b_prot = calibrate_intercept(&prot_logits, spec.base_rate_protected);
+    let b_priv = calibrate_intercept(&priv_logits, spec.base_rate_privileged);
+    let labels: Vec<bool> = (0..n)
+        .map(|row| {
+            let b = if is_protected[row] { b_prot } else { b_priv };
+            rng.gen::<f64>() < sigmoid(logits[row] + b)
+        })
+        .collect();
+
+    let attrs: Vec<Attribute> = spec
+        .attributes
+        .iter()
+        .map(|a| match a.kind {
+            AttrKind::Categorical => Attribute::categorical(a.name.clone(), a.values.clone()),
+            AttrKind::Ordinal => Attribute::ordinal(a.name.clone(), a.values.clone()),
+        })
+        .collect();
+    let schema = Arc::new(Schema::new(
+        attrs,
+        "label",
+        spec.label_values.clone(),
+    )?);
+    Ok((Dataset::new(schema, columns, labels)?, group))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{group_base_rates, summarize};
+
+    fn toy_spec() -> GeneratorSpec {
+        GeneratorSpec {
+            name: "toy".into(),
+            attributes: vec![
+                AttributeSpec::uniform("sex", vec!["female".into(), "male".into()]),
+                AttributeSpec::flag("employed", 0.6, 1.5),
+                AttributeSpec::uniform(
+                    "region",
+                    vec!["north".into(), "south".into(), "east".into()],
+                ),
+            ],
+            sensitive_attr: 0,
+            privileged_code: 1,
+            protected_fraction: 0.4,
+            base_rate_privileged: 0.7,
+            base_rate_protected: 0.5,
+            planted: vec![],
+            label_values: ["denied".into(), "approved".into()],
+        }
+    }
+
+    #[test]
+    fn hits_protected_fraction_and_base_rates() {
+        let (data, group) = generate(&toy_spec(), 20_000, 1).unwrap();
+        let s = summarize(&data, group);
+        assert!((s.protected_fraction - 0.4).abs() < 0.02, "{}", s.protected_fraction);
+        assert!((s.privileged_base_rate - 0.7).abs() < 0.02, "{}", s.privileged_base_rate);
+        assert!((s.protected_base_rate - 0.5).abs() < 0.02, "{}", s.protected_base_rate);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = toy_spec();
+        let (a, _) = generate(&spec, 500, 9).unwrap();
+        let (b, _) = generate(&spec, 500, 9).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = generate(&spec, 500, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planted_bias_depresses_cohort_base_rate() {
+        let mut spec = toy_spec();
+        // Protected rows in region=south get a strong negative label shift.
+        spec.planted.push(PlantedBias::against_protected(vec![(2, 1)], 3.0));
+        let (data, group) = generate(&spec, 20_000, 2).unwrap();
+        // Within region=south, the protected base rate should be visibly
+        // below the global protected target.
+        let south: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| data.code(r as usize, 2) == 1)
+            .collect();
+        let south_data = data.select_rows(&south).unwrap();
+        let (_, prot_rate) = group_base_rates(&south_data, group);
+        assert!(prot_rate < 0.40, "cohort rate {prot_rate} should be depressed");
+        // Outside the cohort the protected rate stays near/above target
+        // (calibration balances the cohort's depression).
+        let north: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| data.code(r as usize, 2) != 1)
+            .collect();
+        let (_, prot_out) =
+            group_base_rates(&data.select_rows(&north).unwrap(), group);
+        assert!(prot_out > prot_rate + 0.1);
+    }
+
+    #[test]
+    fn label_weights_make_features_predictive() {
+        let (data, _) = generate(&toy_spec(), 20_000, 3).unwrap();
+        // employed=Yes rows should be positive more often than employed=No.
+        let rate = |code: u16| {
+            let ids: Vec<u32> = (0..data.num_rows() as u32)
+                .filter(|&r| data.code(r as usize, 1) == code)
+                .collect();
+            data.select_rows(&ids).unwrap().base_rate()
+        };
+        assert!(rate(1) > rate(0) + 0.15, "{} vs {}", rate(1), rate(0));
+    }
+
+    #[test]
+    fn privileged_favoring_bias_widens_the_cohort_gap() {
+        let mut spec = toy_spec();
+        spec.planted.push(PlantedBias::favoring_privileged(vec![(2, 0)], 2.5));
+        let (data, group) = generate(&spec, 20_000, 8).unwrap();
+        let north: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| data.code(r as usize, 2) == 0)
+            .collect();
+        let (priv_in, prot_in) =
+            crate::stats::group_base_rates(&data.select_rows(&north).unwrap(), group);
+        assert!(
+            priv_in - prot_in > 0.25,
+            "cohort gap {priv_in} - {prot_in} should be inflated"
+        );
+    }
+
+    #[test]
+    fn all_target_bias_shifts_both_groups() {
+        let mut spec = toy_spec();
+        spec.planted.push(PlantedBias {
+            literals: vec![(2, 2)],
+            target: BiasTarget::All,
+            logit_delta: -4.0,
+        });
+        let (data, group) = generate(&spec, 20_000, 9).unwrap();
+        let east: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| data.code(r as usize, 2) == 2)
+            .collect();
+        let cohort = data.select_rows(&east).unwrap();
+        let (priv_in, prot_in) = crate::stats::group_base_rates(&cohort, group);
+        // Both groups are depressed within the cohort, roughly equally.
+        assert!(priv_in < 0.55 && prot_in < 0.45, "{priv_in} {prot_in}");
+        assert!((priv_in - prot_in).abs() < 0.2);
+    }
+
+    #[test]
+    fn weight_scale_amplifies_label_signal() {
+        let spec = toy_spec();
+        let scaled = toy_spec().with_weight_scale(3.0);
+        let rate_gap = |sp: &GeneratorSpec, seed: u64| {
+            let (data, _) = generate(sp, 20_000, seed).unwrap();
+            let rate = |code: u16| {
+                let ids: Vec<u32> = (0..data.num_rows() as u32)
+                    .filter(|&r| data.code(r as usize, 1) == code)
+                    .collect();
+                data.select_rows(&ids).unwrap().base_rate()
+            };
+            rate(1) - rate(0)
+        };
+        let plain = rate_gap(&spec, 10);
+        let sharp = rate_gap(&scaled, 10);
+        assert!(sharp > plain + 0.05, "scaled gap {sharp} vs plain {plain}");
+    }
+
+    #[test]
+    fn calibration_handles_extreme_targets() {
+        let b = calibrate_intercept(&[0.0, 0.0], 0.999);
+        assert!(sigmoid(b) > 0.99);
+        let b = calibrate_intercept(&[0.0, 0.0], 0.001);
+        assert!(sigmoid(b) < 0.01);
+        assert_eq!(calibrate_intercept(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn sample_code_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_code(&[1.0, 0.0, 3.0], &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "{ratio}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Intersectional sensitive groups.
+//!
+//! Group fairness in the paper is binary (privileged vs protected on one
+//! attribute). Real audits often need *intersections* — e.g. race × sex
+//! (Buolamwini & Gebru's "Gender Shades" finding). Rather than widening
+//! `GroupSpec` everywhere, this module derives a new categorical
+//! attribute whose codes enumerate the cross-product of existing ones;
+//! any code of the derived attribute can then serve as the privileged
+//! group in a standard [`GroupSpec`](crate::dataset::GroupSpec).
+
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::error::{Result, TabularError};
+use crate::schema::{Attribute, Schema};
+
+/// Appends a derived attribute named `name` crossing the given attributes
+/// (in order). The new attribute's labels join the constituent value
+/// labels with " & " (e.g. `Black & Female`), and its code enumerates the
+/// cross-product row-major. Returns the extended dataset plus the index
+/// of the new attribute.
+pub fn derive_intersection(
+    data: &Dataset,
+    attrs: &[usize],
+    name: &str,
+) -> Result<(Dataset, usize)> {
+    if attrs.is_empty() {
+        return Err(TabularError::UnknownAttribute("<empty intersection>".into()));
+    }
+    let schema = data.schema();
+    let mut cards = Vec::with_capacity(attrs.len());
+    for &a in attrs {
+        cards.push(schema.attribute(a)?.cardinality() as usize);
+    }
+    let total: usize = cards.iter().product();
+    if total > u16::MAX as usize {
+        return Err(TabularError::InvalidBinCount(total));
+    }
+
+    // Cross-product labels, row-major in the order of `attrs`.
+    let mut labels = vec![String::new()];
+    for &a in attrs {
+        let attr = schema.attribute(a)?;
+        let mut next = Vec::with_capacity(labels.len() * attr.cardinality() as usize);
+        for prefix in &labels {
+            for v in attr.value_labels() {
+                next.push(if prefix.is_empty() {
+                    v.clone()
+                } else {
+                    format!("{prefix} & {v}")
+                });
+            }
+        }
+        labels = next;
+    }
+
+    // Derived code per row.
+    let mut codes = Vec::with_capacity(data.num_rows());
+    for row in 0..data.num_rows() {
+        let mut code = 0usize;
+        for (&a, &card) in attrs.iter().zip(&cards) {
+            code = code * card + data.code(row, a) as usize;
+        }
+        codes.push(code as u16);
+    }
+
+    let mut attributes: Vec<Attribute> = schema.attributes().to_vec();
+    attributes.push(Attribute::categorical(name, labels));
+    let new_schema = Arc::new(Schema::new(
+        attributes,
+        schema.label_name().to_string(),
+        schema.label_values().clone(),
+    )?);
+    let mut columns: Vec<Vec<u16>> =
+        (0..data.num_attributes()).map(|a| data.column(a).to_vec()).collect();
+    columns.push(codes);
+    let extended = Dataset::new(new_schema, columns, data.labels().to_vec())?;
+    let new_index = extended.num_attributes() - 1;
+    Ok((extended, new_index))
+}
+
+/// Finds the derived code of a specific combination of per-attribute
+/// codes, mirroring [`derive_intersection`]'s enumeration.
+pub fn intersection_code(
+    data: &Dataset,
+    attrs: &[usize],
+    values: &[u16],
+) -> Result<u16> {
+    if attrs.len() != values.len() || attrs.is_empty() {
+        return Err(TabularError::UnknownAttribute("<arity mismatch>".into()));
+    }
+    let schema = data.schema();
+    let mut code = 0usize;
+    for (&a, &v) in attrs.iter().zip(values) {
+        let attr = schema.attribute(a)?;
+        if v >= attr.cardinality() {
+            return Err(TabularError::CodeOutOfDomain {
+                attribute: attr.name().to_string(),
+                code: v,
+                cardinality: attr.cardinality(),
+            });
+        }
+        code = code * attr.cardinality() as usize + v as usize;
+    }
+    Ok(code as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroupSpec;
+
+    fn toy() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("race", vec!["black".into(), "white".into()]),
+                Attribute::categorical("sex", vec!["f".into(), "m".into()]),
+            ])
+            .unwrap(),
+        );
+        Dataset::new(
+            schema,
+            vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]],
+            vec![false, true, true, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derives_cross_product_attribute() {
+        let d = toy();
+        let (ext, idx) = derive_intersection(&d, &[0, 1], "race_sex").unwrap();
+        assert_eq!(idx, 2);
+        let attr = ext.schema().attribute(idx).unwrap();
+        assert_eq!(attr.cardinality(), 4);
+        assert_eq!(attr.value_label(0), Some("black & f"));
+        assert_eq!(attr.value_label(3), Some("white & m"));
+        // Row 0 is (black, f) → code 0; row 3 is (white, m) → code 3.
+        assert_eq!(ext.column(2), &[0, 1, 2, 3]);
+        // Original columns untouched.
+        assert_eq!(ext.column(0), d.column(0));
+        assert_eq!(ext.labels(), d.labels());
+    }
+
+    #[test]
+    fn intersection_code_matches_derivation() {
+        let d = toy();
+        let (ext, idx) = derive_intersection(&d, &[0, 1], "race_sex").unwrap();
+        for row in 0..d.num_rows() {
+            let expect = ext.code(row, idx);
+            let got = intersection_code(
+                &d,
+                &[0, 1],
+                &[d.code(row, 0), d.code(row, 1)],
+            )
+            .unwrap();
+            assert_eq!(expect, got, "row {row}");
+        }
+    }
+
+    #[test]
+    fn derived_attribute_works_as_sensitive_group() {
+        let d = toy();
+        let (ext, idx) = derive_intersection(&d, &[0, 1], "race_sex").unwrap();
+        // Privileged = white & m.
+        let code = intersection_code(&d, &[0, 1], &[1, 1]).unwrap();
+        let group = GroupSpec::new(idx, code);
+        assert_eq!(ext.privileged_mask(group), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn errors() {
+        let d = toy();
+        assert!(derive_intersection(&d, &[], "x").is_err());
+        assert!(derive_intersection(&d, &[7], "x").is_err());
+        assert!(intersection_code(&d, &[0], &[9]).is_err());
+        assert!(intersection_code(&d, &[0, 1], &[0]).is_err());
+        // Name collision with an existing attribute is rejected.
+        assert!(derive_intersection(&d, &[0, 1], "race").is_err());
+    }
+}

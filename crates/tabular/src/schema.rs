@@ -1,0 +1,208 @@
+//! Dataset schema: attribute names, kinds and category/bin labels.
+//!
+//! FUME operates on *fully discretized* data: after preprocessing, every
+//! attribute value is a small integer code (`u16`). For a categorical
+//! attribute the code indexes its category names; for a binned numeric
+//! attribute it indexes interval labels produced by a
+//! [`Discretizer`](crate::discretize::Discretizer). The schema keeps the
+//! human-readable side of this encoding so that predicates such as
+//! `(Age = Middle-aged) ∧ (Housing = Rent)` can be rendered for a data
+//! scientist.
+
+use crate::error::{Result, TabularError};
+
+/// How an attribute's codes should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// An unordered categorical attribute (e.g. `Housing`).
+    Categorical,
+    /// An ordered attribute whose codes are bins of an underlying numeric
+    /// value (e.g. `Age` discretized into `Young < Middle-aged < Senior`).
+    /// Range literals (`<`, `≤`, `>`, `≥`) are meaningful only for these.
+    Ordinal,
+}
+
+/// A single attribute: its name, kind and the labels of its coded values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    kind: AttrKind,
+    /// `values[c]` is the display label of code `c`.
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates a categorical attribute with the given category labels.
+    pub fn categorical(name: impl Into<String>, values: Vec<String>) -> Self {
+        Self { name: name.into(), kind: AttrKind::Categorical, values }
+    }
+
+    /// Creates an ordinal (binned numeric) attribute with the given bin labels,
+    /// ordered from smallest to largest.
+    pub fn ordinal(name: impl Into<String>, values: Vec<String>) -> Self {
+        Self { name: name.into(), kind: AttrKind::Ordinal, values }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's kind.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
+    }
+
+    /// Number of distinct codes in the attribute's domain.
+    pub fn cardinality(&self) -> u16 {
+        self.values.len() as u16
+    }
+
+    /// The display label for `code`, if within the domain.
+    pub fn value_label(&self, code: u16) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// All value labels, indexed by code.
+    pub fn value_labels(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Returns the code for a display label, if present.
+    pub fn code_of(&self, label: &str) -> Option<u16> {
+        self.values.iter().position(|v| v == label).map(|i| i as u16)
+    }
+}
+
+/// The schema of a [`Dataset`](crate::dataset::Dataset): an ordered list of
+/// attributes plus the name of the binary label column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    label_name: String,
+    /// Display labels for the negative/positive outcome, e.g.
+    /// `["bad credit", "good credit"]`.
+    label_values: [String; 2],
+}
+
+impl Schema {
+    /// Builds a schema, checking attribute-name uniqueness.
+    pub fn new(
+        attributes: Vec<Attribute>,
+        label_name: impl Into<String>,
+        label_values: [String; 2],
+    ) -> Result<Self> {
+        for i in 0..attributes.len() {
+            for j in (i + 1)..attributes.len() {
+                if attributes[i].name == attributes[j].name {
+                    return Err(TabularError::DuplicateAttribute(attributes[i].name.clone()));
+                }
+            }
+        }
+        Ok(Self { attributes, label_name: label_name.into(), label_values })
+    }
+
+    /// Builds a schema with default `label`/`0`/`1` naming.
+    pub fn with_default_label(attributes: Vec<Attribute>) -> Result<Self> {
+        Self::new(attributes, "label", ["negative".into(), "positive".into()])
+    }
+
+    /// Number of attributes (the paper's `p`).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> Result<&Attribute> {
+        self.attributes.get(index).ok_or(TabularError::AttributeIndexOutOfBounds {
+            index,
+            len: self.attributes.len(),
+        })
+    }
+
+    /// Finds an attribute index by name.
+    pub fn attribute_index(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| TabularError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The label column's name.
+    pub fn label_name(&self) -> &str {
+        &self.label_name
+    }
+
+    /// Display labels of the negative (index 0) and positive (index 1) outcome.
+    pub fn label_values(&self) -> &[String; 2] {
+        &self.label_values
+    }
+
+    /// Sum of attribute cardinalities — the number of level-1 lattice nodes
+    /// (`d × p` in the paper's notation, for `d` values per attribute).
+    pub fn total_cardinality(&self) -> usize {
+        self.attributes.iter().map(|a| a.cardinality() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        Schema::with_default_label(vec![
+            Attribute::categorical("housing", vec!["own".into(), "rent".into()]),
+            Attribute::ordinal("age", vec!["young".into(), "mid".into(), "senior".into()]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_lookup_by_name_and_index() {
+        let s = toy_schema();
+        assert_eq!(s.attribute_index("age").unwrap(), 1);
+        assert_eq!(s.attribute(0).unwrap().name(), "housing");
+        assert!(matches!(
+            s.attribute_index("nope"),
+            Err(TabularError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            s.attribute(5),
+            Err(TabularError::AttributeIndexOutOfBounds { index: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn cardinality_and_labels() {
+        let s = toy_schema();
+        let age = s.attribute(1).unwrap();
+        assert_eq!(age.cardinality(), 3);
+        assert_eq!(age.value_label(2), Some("senior"));
+        assert_eq!(age.value_label(3), None);
+        assert_eq!(age.code_of("mid"), Some(1));
+        assert_eq!(age.code_of("nope"), None);
+        assert_eq!(s.total_cardinality(), 5);
+    }
+
+    #[test]
+    fn duplicate_attribute_names_rejected() {
+        let err = Schema::with_default_label(vec![
+            Attribute::categorical("a", vec!["x".into()]),
+            Attribute::categorical("a", vec!["y".into()]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TabularError::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn attr_kinds_distinguished() {
+        let s = toy_schema();
+        assert_eq!(s.attribute(0).unwrap().kind(), AttrKind::Categorical);
+        assert_eq!(s.attribute(1).unwrap().kind(), AttrKind::Ordinal);
+    }
+}

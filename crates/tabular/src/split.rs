@@ -1,0 +1,144 @@
+//! Deterministic train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::{Result, TabularError};
+
+/// Splits `data` into `(train, test)` with `test_fraction` of rows in the
+/// test set, shuffled with `seed`. At least one row is kept on each side,
+/// so the dataset must have two or more rows.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(TabularError::InvalidFraction(test_fraction));
+    }
+    let n = data.num_rows();
+    if n < 2 {
+        // One row cannot populate both sides.
+        return Err(TabularError::EmptyDataset);
+    }
+    let mut ids = data.all_row_ids();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let mut n_test = ((n as f64) * test_fraction).round() as usize;
+    n_test = n_test.clamp(1, n - 1);
+    let (test_ids, train_ids) = ids.split_at(n_test);
+    let mut train_ids = train_ids.to_vec();
+    let mut test_ids = test_ids.to_vec();
+    // Stable ascending order keeps downstream row-id semantics intuitive.
+    train_ids.sort_unstable();
+    test_ids.sort_unstable();
+    Ok((data.select_rows(&train_ids)?, data.select_rows(&test_ids)?))
+}
+
+/// Splits `data` preserving the positive-label proportion in both sides
+/// (stratified on the label).
+pub fn stratified_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(TabularError::InvalidFraction(test_fraction));
+    }
+    if data.is_empty() {
+        return Err(TabularError::EmptyDataset);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train_ids = Vec::new();
+    let mut test_ids = Vec::new();
+    for target in [false, true] {
+        let mut ids: Vec<u32> = (0..data.num_rows() as u32)
+            .filter(|&r| data.label(r as usize) == target)
+            .collect();
+        ids.shuffle(&mut rng);
+        let n_test = ((ids.len() as f64) * test_fraction).round() as usize;
+        test_ids.extend_from_slice(&ids[..n_test]);
+        train_ids.extend_from_slice(&ids[n_test..]);
+    }
+    train_ids.sort_unstable();
+    test_ids.sort_unstable();
+    Ok((data.select_rows(&train_ids)?, data.select_rows(&test_ids)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn data(n: usize) -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "x",
+                vec!["a".into(), "b".into()],
+            )])
+            .unwrap(),
+        );
+        let col: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        Dataset::new(schema, vec![col], labels).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = data(100);
+        let (train, test) = train_test_split(&d, 0.25, 7).unwrap();
+        assert_eq!(train.num_rows(), 75);
+        assert_eq!(test.num_rows(), 25);
+        // Every original row appears exactly once across the two sides.
+        let total = train.num_rows() + test.num_rows();
+        assert_eq!(total, d.num_rows());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = data(50);
+        let (a1, b1) = train_test_split(&d, 0.3, 42).unwrap();
+        let (a2, b2) = train_test_split(&d, 0.3, 42).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = train_test_split(&d, 0.3, 43).unwrap();
+        assert_ne!(a1, a3, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let d = data(10);
+        assert!(train_test_split(&d, 0.0, 0).is_err());
+        assert!(train_test_split(&d, 1.0, 0).is_err());
+        assert!(stratified_split(&d, -0.5, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_datasets_keep_both_sides_nonempty() {
+        let d = data(2);
+        let (train, test) = train_test_split(&d, 0.01, 0).unwrap();
+        assert_eq!(train.num_rows(), 1);
+        assert_eq!(test.num_rows(), 1);
+        let (train, test) = train_test_split(&d, 0.99, 0).unwrap();
+        assert_eq!(train.num_rows(), 1);
+        assert_eq!(test.num_rows(), 1);
+    }
+
+    #[test]
+    fn stratified_preserves_base_rate() {
+        let d = data(300); // base rate 1/3
+        let (train, test) = stratified_split(&d, 0.2, 5).unwrap();
+        assert!((train.base_rate() - 1.0 / 3.0).abs() < 0.02, "{}", train.base_rate());
+        assert!((test.base_rate() - 1.0 / 3.0).abs() < 0.02, "{}", test.base_rate());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = data(5).select_rows(&[]).unwrap();
+        assert!(train_test_split(&d, 0.5, 0).is_err());
+        assert!(stratified_split(&d, 0.5, 0).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Dataset summary statistics (the paper's Table 2 quantities).
+
+use crate::dataset::{Dataset, GroupSpec};
+
+/// Per-group base-rate summary of a dataset, mirroring the columns of the
+/// paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of rows.
+    pub num_instances: usize,
+    /// Number of attributes.
+    pub num_features: usize,
+    /// Name of the sensitive attribute.
+    pub sensitive_attribute: String,
+    /// Fraction of rows in the protected group (`|Protected| / |Dataset|`).
+    pub protected_fraction: f64,
+    /// P(Y=1 | privileged) on the data's labels.
+    pub privileged_base_rate: f64,
+    /// P(Y=1 | protected) on the data's labels.
+    pub protected_base_rate: f64,
+}
+
+/// Computes counts `(n, n_pos)` over rows selected by `filter`.
+fn rate_where(data: &Dataset, filter: impl Fn(usize) -> bool) -> (usize, usize) {
+    let mut n = 0;
+    let mut pos = 0;
+    for row in 0..data.num_rows() {
+        if filter(row) {
+            n += 1;
+            if data.label(row) {
+                pos += 1;
+            }
+        }
+    }
+    (n, pos)
+}
+
+/// Base rate (positive-label fraction) of the privileged and protected
+/// groups, as `(privileged, protected)`. Empty groups yield `0.0`.
+pub fn group_base_rates(data: &Dataset, group: GroupSpec) -> (f64, f64) {
+    let (n_priv, pos_priv) = rate_where(data, |r| data.is_privileged(r, group));
+    let (n_prot, pos_prot) = rate_where(data, |r| !data.is_privileged(r, group));
+    let div = |p: usize, n: usize| if n == 0 { 0.0 } else { p as f64 / n as f64 };
+    (div(pos_priv, n_priv), div(pos_prot, n_prot))
+}
+
+/// Summarizes `data` for the sensitive attribute in `group`.
+pub fn summarize(data: &Dataset, group: GroupSpec) -> DatasetSummary {
+    let (priv_rate, prot_rate) = group_base_rates(data, group);
+    let n_prot = (0..data.num_rows()).filter(|&r| !data.is_privileged(r, group)).count();
+    DatasetSummary {
+        num_instances: data.num_rows(),
+        num_features: data.num_attributes(),
+        sensitive_attribute: data
+            .schema()
+            .attribute(group.attr)
+            .map(|a| a.name().to_string())
+            .unwrap_or_default(),
+        protected_fraction: if data.is_empty() {
+            0.0
+        } else {
+            n_prot as f64 / data.num_rows() as f64
+        },
+        privileged_base_rate: priv_rate,
+        protected_base_rate: prot_rate,
+    }
+}
+
+/// Per-code value counts of an attribute column.
+pub fn value_counts(data: &Dataset, attr: usize) -> Vec<usize> {
+    let card = data
+        .schema()
+        .attribute(attr)
+        .map(|a| a.cardinality() as usize)
+        .unwrap_or(0);
+    let mut counts = vec![0usize; card];
+    for &c in data.column(attr) {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn toy() -> Dataset {
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "sex",
+                vec!["female".into(), "male".into()],
+            )])
+            .unwrap(),
+        );
+        // males (priv): rows 0,1,2 labels T,T,F → 2/3; females: rows 3,4 labels F,F → 0
+        Dataset::new(
+            schema,
+            vec![vec![1, 1, 1, 0, 0]],
+            vec![true, true, false, false, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_base_rates_computed() {
+        let d = toy();
+        let (p, q) = group_base_rates(&d, GroupSpec::new(0, 1));
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let d = toy();
+        let s = summarize(&d, GroupSpec::new(0, 1));
+        assert_eq!(s.num_instances, 5);
+        assert_eq!(s.num_features, 1);
+        assert_eq!(s.sensitive_attribute, "sex");
+        assert!((s.protected_fraction - 0.4).abs() < 1e-12);
+        assert!((s.privileged_base_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.protected_base_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_group_rates_are_zero() {
+        let d = toy();
+        // Privileged code 0 with an all-male selection → protected empty.
+        let males = d.select_rows(&[0, 1, 2]).unwrap();
+        let (_p, q) = group_base_rates(&males, GroupSpec::new(0, 1));
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn value_counts_sum_to_rows() {
+        let d = toy();
+        let vc = value_counts(&d, 0);
+        assert_eq!(vc, vec![2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Credit-scoring audit — the paper's Example 1.1 end to end.
+//!
+//! A loan-approval forest discriminates against younger applicants on a
+//! German-Credit-like dataset. The example contrasts three explanation
+//! strategies:
+//! 1. manually mining discriminatory tree paths (Table 1 — inadequate);
+//! 2. the DropUnprivUnfavor baseline (blunt);
+//! 3. FUME's top-5 attributable subsets (precise and interpretable);
+//!
+//! and finally *applies* the best subset's removal via exact unlearning.
+//!
+//! ```text
+//! cargo run --release --example credit_audit
+//! ```
+
+use fume::core::{
+    apply_removal, drop_unpriv_unfavor, mine_unfair_paths, Fume, FumeConfig,
+};
+use fume::fairness::{fairest_threshold, threshold_sweep, FairnessMetric};
+use fume::forest::{DareConfig, DareForest};
+use fume::tabular::datasets::german_credit;
+use fume::tabular::split::train_test_split;
+use fume::tabular::Classifier;
+
+fn main() {
+    let (data, group) = german_credit().generate_full(7).expect("generate");
+    let (train, test) = train_test_split(&data, 0.3, 7).expect("split");
+
+    let forest_cfg = DareConfig::default().with_trees(50).with_seed(7);
+    let forest = DareForest::fit(&train, forest_cfg.clone());
+    let metric = FairnessMetric::StatisticalParity;
+    let bias = metric.bias(&forest, &test, group);
+    println!(
+        "deployed model: accuracy {:.1}%, statistical parity violation {:.4}",
+        forest.accuracy(&test) * 100.0,
+        bias
+    );
+
+    // --- Strategy 0: is this just a threshold artifact? ---
+    let sweep = threshold_sweep(&forest, &test, group, metric, 19);
+    let acc_now = forest.accuracy(&test);
+    let useful: Vec<_> = sweep
+        .iter()
+        .copied()
+        .filter(|p| p.accuracy >= acc_now - 0.03)
+        .collect();
+    if let (Some(constrained), Some(any)) =
+        (fairest_threshold(&useful), fairest_threshold(&sweep))
+    {
+        println!(
+            "\n== Strategy 0: shared-threshold sweep ==\n  \
+             within 3pp of deployed accuracy, the fairest cut-off ({:.2}) still \
+             leaves |F| = {:.4};\n  erasing the gap entirely needs a degenerate \
+             cut-off ({:.2}) costing {:.1}pp accuracy —\n  the violation is \
+             structural, not a thresholding artifact.",
+            constrained.threshold,
+            constrained.fairness.abs(),
+            any.threshold,
+            (acc_now - any.accuracy) * 100.0
+        );
+    }
+
+    // --- Strategy 1: manual path mining (the paper's Table 1) ---
+    println!("\n== Strategy 1: discriminatory paths in the first 5 levels ==");
+    let paths = mine_unfair_paths(&forest, &train, group, 5);
+    for p in paths.iter().take(4) {
+        println!(
+            "  tree {:>2}: {} ({:.2}% of samples)",
+            p.tree_index,
+            p.description,
+            p.sample_fraction * 100.0
+        );
+    }
+    println!(
+        "  ... {} such paths across {} trees — impossible to summarize by hand.",
+        paths.len(),
+        forest.trees().len()
+    );
+
+    // --- Strategy 2: DropUnprivUnfavor ---
+    println!("\n== Strategy 2: DropUnprivUnfavor baseline ==");
+    let b = drop_unpriv_unfavor(&train, &test, group, metric, &forest_cfg);
+    println!(
+        "  removes {:.1}% of training data, parity reduction {:.1}%, accuracy {:.1}% -> {:.1}%",
+        b.removed_fraction * 100.0,
+        b.parity_reduction * 100.0,
+        b.accuracy_before * 100.0,
+        b.accuracy_after * 100.0
+    );
+
+    // --- Strategy 3: FUME ---
+    println!("\n== Strategy 3: FUME top-5 attributable subsets (5-15% support) ==");
+    let fume = Fume::new(FumeConfig::default().with_forest(forest_cfg));
+    let report = fume
+        .explain_model(&forest, &train, &test, group)
+        .expect("the model is biased");
+    print!("{}", report.to_markdown());
+    println!(
+        "  ({} unlearning operations in {:.2}s)",
+        report.unlearning_operations,
+        report.search_time.as_secs_f64()
+    );
+
+    // --- Act on the finding: unlearn the top subset for real ---
+    if let Some(top) = report.top_k.first() {
+        let (cleaned, del) = apply_removal(&forest, &train, &top.rows);
+        println!(
+            "\nafter unlearning `{}` ({} rows): violation {:.4} -> {:.4}, \
+             accuracy {:.1}% -> {:.1}% ({} subtrees retrained)",
+            top.pattern,
+            top.rows.len(),
+            bias,
+            metric.bias(&cleaned, &test, group),
+            forest.accuracy(&test) * 100.0,
+            cleaned.accuracy(&test) * 100.0,
+            del.subtrees_retrained
+        );
+    }
+}

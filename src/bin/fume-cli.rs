@@ -1,0 +1,255 @@
+//! `fume-cli` — run FUME on your own CSV data from the command line.
+//!
+//! ```text
+//! fume-cli explain --data loans.csv --label approved --positive yes \
+//!     --sensitive sex --privileged male --support 0.05:0.15 --top-k 5
+//! fume-cli slices  --data loans.csv --label approved --positive yes \
+//!     --sensitive sex --privileged male
+//! fume-cli baseline --data loans.csv --label approved --positive yes \
+//!     --sensitive sex --privileged male
+//! ```
+
+use std::process::exit;
+
+use fume::core::{drop_unpriv_unfavor, find_slices, Fume, FumeConfig};
+use fume::fairness::FairnessMetric;
+use fume::forest::{DareConfig, DareForest};
+use fume::lattice::{LiteralGen, SupportRange};
+use fume::tabular::csv::{read_csv, CsvOptions};
+use fume::tabular::discretize::{discretize, Discretizer};
+use fume::tabular::split::train_test_split;
+use fume::tabular::{Classifier, Dataset, GroupSpec};
+
+struct Args {
+    command: String,
+    data: String,
+    label: String,
+    positive: String,
+    sensitive: String,
+    privileged: String,
+    metric: FairnessMetric,
+    support: SupportRange,
+    max_literals: usize,
+    top_k: usize,
+    trees: usize,
+    depth: usize,
+    seed: u64,
+    test_fraction: f64,
+    bins: usize,
+    ranges: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fume-cli <explain|slices|baseline> --data FILE.csv --label COL \
+         --positive VALUE --sensitive COL --privileged VALUE\n\
+         options: --metric <sp|eo|pp>   fairness metric (default sp)\n\
+                  --support MIN:MAX     support range (default 0.05:0.15)\n\
+                  --max-literals N      interpretability cap (default 2)\n\
+                  --top-k K             subsets to report (default 5)\n\
+                  --trees N             forest size (default 50)\n\
+                  --depth D             max tree depth (default 10)\n\
+                  --seed S              RNG seed (default 0)\n\
+                  --test-fraction F     held-out fraction (default 0.3)\n\
+                  --bins B              numeric discretization bins (default 5)\n\
+                  --ranges              generate <=/>= literals on binned columns"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("fume-cli: {msg}");
+    exit(1)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else { usage() };
+    if !matches!(command.as_str(), "explain" | "slices" | "baseline") {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        data: String::new(),
+        label: "label".into(),
+        positive: "1".into(),
+        sensitive: String::new(),
+        privileged: String::new(),
+        metric: FairnessMetric::StatisticalParity,
+        support: SupportRange::medium(),
+        max_literals: 2,
+        top_k: 5,
+        trees: 50,
+        depth: 10,
+        seed: 0,
+        test_fraction: 0.3,
+        bins: 5,
+        ranges: false,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--data" => args.data = value(),
+            "--label" => args.label = value(),
+            "--positive" => args.positive = value(),
+            "--sensitive" => args.sensitive = value(),
+            "--privileged" => args.privileged = value(),
+            "--metric" => {
+                args.metric = match value().as_str() {
+                    "sp" => FairnessMetric::StatisticalParity,
+                    "eo" => FairnessMetric::EqualizedOdds,
+                    "pp" => FairnessMetric::PredictiveParity,
+                    other => fail(format!("unknown metric `{other}` (sp|eo|pp)")),
+                }
+            }
+            "--support" => {
+                let v = value();
+                let Some((lo, hi)) = v.split_once(':') else {
+                    fail(format!("--support expects MIN:MAX, got `{v}`"))
+                };
+                let (lo, hi) = match (lo.parse(), hi.parse()) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    _ => fail(format!("--support expects numbers, got `{v}`")),
+                };
+                args.support =
+                    SupportRange::new(lo, hi).unwrap_or_else(|e| fail(e));
+            }
+            "--max-literals" => {
+                args.max_literals = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--top-k" => args.top_k = value().parse().unwrap_or_else(|_| usage()),
+            "--trees" => args.trees = value().parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--test-fraction" => {
+                args.test_fraction = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--bins" => args.bins = value().parse().unwrap_or_else(|_| usage()),
+            "--ranges" => args.ranges = true,
+            "--help" | "-h" => usage(),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.data.is_empty() || args.sensitive.is_empty() || args.privileged.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load(args: &Args) -> (Dataset, Dataset, GroupSpec) {
+    let opts = CsvOptions {
+        label_column: args.label.clone(),
+        positive_label: args.positive.clone(),
+        ..CsvOptions::default()
+    };
+    let raw = read_csv(&args.data, &opts).unwrap_or_else(|e| fail(e));
+    let data = discretize(&raw, Discretizer::Quantile(args.bins))
+        .unwrap_or_else(|e| fail(e));
+    let attr = data
+        .schema()
+        .attribute_index(&args.sensitive)
+        .unwrap_or_else(|e| fail(e));
+    let privileged_code = data
+        .schema()
+        .attribute(attr)
+        .ok()
+        .and_then(|a| a.code_of(&args.privileged))
+        .unwrap_or_else(|| {
+            fail(format!(
+                "value `{}` not found in column `{}`",
+                args.privileged, args.sensitive
+            ))
+        });
+    let group = GroupSpec::new(attr, privileged_code);
+    let (train, test) =
+        train_test_split(&data, args.test_fraction, args.seed).unwrap_or_else(|e| fail(e));
+    (train, test, group)
+}
+
+fn config(args: &Args) -> FumeConfig {
+    FumeConfig::default()
+        .with_metric(args.metric)
+        .with_support(args.support)
+        .with_max_literals(args.max_literals)
+        .with_top_k(args.top_k)
+        .with_literal_gen(if args.ranges {
+            LiteralGen::WithRanges
+        } else {
+            LiteralGen::EqOnly
+        })
+        .with_forest(
+            DareConfig::default()
+                .with_trees(args.trees)
+                .with_max_depth(args.depth)
+                .with_seed(args.seed),
+        )
+}
+
+fn main() {
+    let args = parse_args();
+    let (train, test, group) = load(&args);
+    println!(
+        "loaded {} train / {} test rows, {} attributes; sensitive `{}` (privileged `{}`)",
+        train.num_rows(),
+        test.num_rows(),
+        train.num_attributes(),
+        args.sensitive,
+        args.privileged
+    );
+    let cfg = config(&args);
+
+    match args.command.as_str() {
+        "explain" => {
+            let fume = Fume::new(cfg);
+            match fume.explain(&train, &test, group) {
+                Ok(report) => {
+                    println!(
+                        "\nmodel accuracy {:.1}% · {} violation |F| = {:.4} · \
+                         {} unlearning ops in {:.2}s\n",
+                        report.original_accuracy * 100.0,
+                        report.metric.name(),
+                        report.original_bias,
+                        report.unlearning_operations,
+                        report.search_time.as_secs_f64()
+                    );
+                    print!("{}", report.to_markdown());
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "slices" => {
+            let forest = DareForest::fit(&train, cfg.forest.clone());
+            println!("\nmodel accuracy {:.1}%\n", forest.accuracy(&test) * 100.0);
+            let params = cfg.search_params().unwrap_or_else(|e| fail(e));
+            let slices = find_slices(&forest, &test, &params, args.top_k);
+            println!("| # | Slice | Support | Slice error | Rest error |");
+            println!("|---|---|---|---|---|");
+            for (i, s) in slices.iter().enumerate() {
+                println!(
+                    "| {} | {} | {:.2}% | {:.2}% | {:.2}% |",
+                    i + 1,
+                    s.pattern,
+                    s.support * 100.0,
+                    s.slice_error * 100.0,
+                    s.rest_error * 100.0
+                );
+            }
+        }
+        "baseline" => {
+            let b = drop_unpriv_unfavor(&train, &test, group, args.metric, &cfg.forest);
+            println!(
+                "\nDropUnprivUnfavor: removes {:.2}% of training data\n\
+                 bias {:.4} -> {:.4} (parity reduction {:.2}%)\n\
+                 accuracy {:.2}% -> {:.2}%",
+                b.removed_fraction * 100.0,
+                b.bias_before,
+                b.bias_after,
+                b.parity_reduction * 100.0,
+                b.accuracy_before * 100.0,
+                b.accuracy_after * 100.0
+            );
+        }
+        _ => usage(),
+    }
+}

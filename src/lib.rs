@@ -1,0 +1,15 @@
+//! # FUME — Explaining Fairness Violations using Machine Unlearning
+//!
+//! Facade crate re-exporting the whole workspace. See the individual
+//! crates for details:
+//! * [`tabular`] — data substrate, discretization, dataset generators;
+//! * [`forest`] — DaRE random forests with exact unlearning;
+//! * [`fairness`] — group-fairness metrics and feature importance;
+//! * [`lattice`] — predicate search space with pruning;
+//! * [`core`] — the FUME top-k attribution algorithm itself.
+
+pub use fume_core as core;
+pub use fume_fairness as fairness;
+pub use fume_forest as forest;
+pub use fume_lattice as lattice;
+pub use fume_tabular as tabular;

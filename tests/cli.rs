@@ -1,0 +1,123 @@
+//! End-to-end tests of the `fume-cli` binary: real process, real CSV.
+
+use std::process::Command;
+
+fn write_loans_csv() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fume_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("loans.csv");
+    let mut out = String::from("age,job,sex,approved\n");
+    for i in 0..1500usize {
+        let age = 20 + (i * 7) % 50;
+        let job = ["manual", "office", "none"][i % 3];
+        let sex = if i % 2 == 0 { "f" } else { "m" };
+        let approved = match (job, sex) {
+            ("manual", "f") => false,
+            ("manual", "m") => true,
+            _ => (i / 2) % 2 == 0,
+        };
+        out.push_str(&format!("{age},{job},{sex},{}\n", u8::from(approved)));
+    }
+    std::fs::write(&path, out).unwrap();
+    path
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fume-cli"))
+}
+
+fn common_args(cmd: &mut Command, csv: &std::path::Path) {
+    cmd.args([
+        "--data",
+        csv.to_str().unwrap(),
+        "--label",
+        "approved",
+        "--positive",
+        "1",
+        "--sensitive",
+        "sex",
+        "--privileged",
+        "m",
+        "--trees",
+        "10",
+        "--support",
+        "0.05:0.4",
+        "--seed",
+        "3",
+    ]);
+}
+
+#[test]
+fn explain_prints_a_topk_table() {
+    let csv = write_loans_csv();
+    let mut cmd = cli();
+    cmd.arg("explain");
+    common_args(&mut cmd, &csv);
+    let out = cmd.output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| # | Patterns | Support | Parity Reduction |"), "{stdout}");
+    assert!(stdout.contains("manual") || stdout.contains("sex"), "{stdout}");
+}
+
+#[test]
+fn slices_and_baseline_subcommands_work() {
+    let csv = write_loans_csv();
+    for sub in ["slices", "baseline"] {
+        let mut cmd = cli();
+        cmd.arg(sub);
+        common_args(&mut cmd, &csv);
+        let out = cmd.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{sub}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn bad_invocations_exit_nonzero_with_usage() {
+    // No arguments.
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Unknown metric.
+    let csv = write_loans_csv();
+    let mut cmd = cli();
+    cmd.arg("explain");
+    common_args(&mut cmd, &csv);
+    cmd.args(["--metric", "nope"]);
+    let out = cmd.output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing file.
+    let out = cli()
+        .args([
+            "explain", "--data", "/nonexistent.csv", "--label", "l", "--positive", "1",
+            "--sensitive", "s", "--privileged", "x",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Privileged value not present in the column.
+    let mut cmd = cli();
+    cmd.arg("explain");
+    cmd.args([
+        "--data",
+        csv.to_str().unwrap(),
+        "--label",
+        "approved",
+        "--positive",
+        "1",
+        "--sensitive",
+        "sex",
+        "--privileged",
+        "martian",
+    ]);
+    let out = cmd.output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("martian"));
+}

@@ -1,0 +1,61 @@
+//! Shape guarantees of the five paper-dataset stand-ins, checked through
+//! the facade at a moderate sample size (fast enough for CI, large enough
+//! for stable statistics).
+
+use fume::fairness::FairnessMetric;
+use fume::forest::{DareConfig, DareForest};
+use fume::tabular::datasets::all_paper_datasets;
+use fume::tabular::split::train_test_split;
+use fume::tabular::stats::summarize;
+use fume::tabular::Classifier;
+
+#[test]
+fn every_dataset_yields_a_learnable_biased_model() {
+    for ds in all_paper_datasets() {
+        let n = 4_000.0 / ds.full_size as f64;
+        let (data, group) = ds.generate_scaled(n.min(1.0), 77).expect("generate");
+        let (train, test) = train_test_split(&data, 0.3, 77).expect("split");
+        let forest = DareForest::fit(
+            &train,
+            DareConfig { n_trees: 20, max_depth: 10, seed: 77, ..DareConfig::default() },
+        );
+
+        // Learnable: better than predicting the majority class. MEPS has a
+        // lopsided base rate (~83 % negative) and 42 mostly-weak clinical
+        // flags, so its margin over the majority baseline is small.
+        let majority = test.base_rate().max(1.0 - test.base_rate());
+        let acc = forest.accuracy(&test);
+        assert!(
+            acc > majority + 0.005,
+            "{}: accuracy {acc} vs majority {majority}",
+            ds.name()
+        );
+
+        // Biased against the protected group on statistical parity.
+        let f = FairnessMetric::StatisticalParity.evaluate(&forest, &test, group);
+        assert!(
+            f < -0.005,
+            "{}: expected bias against the protected group, got {f}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn schemas_are_well_formed() {
+    for ds in all_paper_datasets() {
+        let (data, group) = ds.generate_scaled(0.02, 3).expect("generate");
+        let schema = data.schema();
+        // Sensitive attribute resolvable and binary-meaningful.
+        let sens = schema.attribute(group.attr).expect("sensitive attr");
+        assert!(sens.cardinality() >= 2, "{}", ds.name());
+        assert!((group.privileged_code) < sens.cardinality());
+        // Every attribute has at least two values and a nonempty name.
+        for a in schema.attributes() {
+            assert!(a.cardinality() >= 2, "{}: {}", ds.name(), a.name());
+            assert!(!a.name().is_empty());
+        }
+        let s = summarize(&data, group);
+        assert!(s.protected_fraction > 0.0 && s.protected_fraction < 1.0);
+    }
+}
