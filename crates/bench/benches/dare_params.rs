@@ -3,15 +3,14 @@
 //! Deeper random layers and more cached thresholds should make deletions
 //! cheaper (fewer retrains) at some training cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fume_bench::harness::Harness;
 use fume_forest::{DareConfig, DareForest};
 use fume_tabular::datasets::german_credit;
 
-fn bench_random_depth(c: &mut Criterion) {
+fn bench_random_depth(h: &mut Harness) {
     let (data, _) = german_credit().generate_full(31).expect("generate");
     let subset: Vec<u32> = (0..50u32).collect();
-    let mut g = c.benchmark_group("delete_by_random_depth");
-    g.sample_size(10);
+    let mut g = h.benchmark_group("delete_by_random_depth");
     for &d_rand in &[0usize, 1, 3] {
         let cfg = DareConfig::default()
             .with_trees(25)
@@ -19,22 +18,18 @@ fn bench_random_depth(c: &mut Criterion) {
             .with_random_depth(d_rand)
             .with_seed(31);
         let forest = DareForest::fit(&data, cfg);
-        g.bench_with_input(BenchmarkId::from_parameter(d_rand), &forest, |b, forest| {
-            b.iter(|| {
-                let mut f = forest.clone();
-                f.delete(&subset, &data).expect("valid ids");
-                f
-            });
+        g.bench_function(d_rand, || {
+            let mut f = forest.clone();
+            f.delete(&subset, &data).expect("valid ids");
+            f
         });
     }
-    g.finish();
 }
 
-fn bench_thresholds(c: &mut Criterion) {
+fn bench_thresholds(h: &mut Harness) {
     let (data, _) = german_credit().generate_full(32).expect("generate");
     let subset: Vec<u32> = (0..50u32).collect();
-    let mut g = c.benchmark_group("delete_by_k_thresholds");
-    g.sample_size(10);
+    let mut g = h.benchmark_group("delete_by_k_thresholds");
     for &k in &[1usize, 5, 15] {
         let cfg = DareConfig::default()
             .with_trees(25)
@@ -42,16 +37,16 @@ fn bench_thresholds(c: &mut Criterion) {
             .with_thresholds(k)
             .with_seed(32);
         let forest = DareForest::fit(&data, cfg);
-        g.bench_with_input(BenchmarkId::from_parameter(k), &forest, |b, forest| {
-            b.iter(|| {
-                let mut f = forest.clone();
-                f.delete(&subset, &data).expect("valid ids");
-                f
-            });
+        g.bench_function(k, || {
+            let mut f = forest.clone();
+            f.delete(&subset, &data).expect("valid ids");
+            f
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_random_depth, bench_thresholds);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_random_depth(&mut h);
+    bench_thresholds(&mut h);
+}

@@ -1,30 +1,25 @@
 //! Fairness-metric evaluation micro-benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fume_bench::harness::Harness;
 use fume_fairness::{fairness_report, FairnessMetric, GroupConfusion};
 use fume_tabular::classifier::MajorityClassifier;
 use fume_tabular::datasets::acs_income;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (data, group) = acs_income().generate_scaled(0.5, 13).expect("generate");
     let preds: Vec<bool> = (0..data.num_rows()).map(|i| i % 3 == 0).collect();
     let mask = data.privileged_mask(group);
 
-    let mut g = c.benchmark_group("fairness");
-    g.bench_function(BenchmarkId::new("tally_confusion", data.num_rows()), |b| {
-        b.iter(|| GroupConfusion::tally(&preds, data.labels(), &mask));
+    let mut g = h.benchmark_group("fairness");
+    g.bench_param("tally_confusion", data.num_rows(), || {
+        GroupConfusion::tally(&preds, data.labels(), &mask)
     });
     for metric in FairnessMetric::ALL {
-        g.bench_function(BenchmarkId::new("metric", metric.name()), |b| {
-            b.iter(|| metric.compute(&preds, data.labels(), &mask));
+        g.bench_param("metric", metric.name(), || {
+            metric.compute(&preds, data.labels(), &mask)
         });
     }
-    let h = MajorityClassifier::fit(&data);
-    g.bench_function("full_fairness_report", |b| {
-        b.iter(|| fairness_report(&h, &data, group));
-    });
-    g.finish();
+    let model = MajorityClassifier::fit(&data);
+    g.bench_function("full_fairness_report", || fairness_report(&model, &data, group));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! DaRE forest training and prediction micro-benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fume_bench::harness::Harness;
 use fume_forest::{DareConfig, DareForest};
 use fume_tabular::datasets::german_credit;
 use fume_tabular::Classifier;
@@ -9,27 +9,24 @@ fn cfg(seed: u64) -> DareConfig {
     DareConfig::default().with_trees(25).with_max_depth(8).with_seed(seed)
 }
 
-fn bench_fit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("forest_fit");
-    g.sample_size(10);
+fn bench_fit(h: &mut Harness) {
+    let mut g = h.benchmark_group("forest_fit");
     for &rows in &[1_000usize, 4_000] {
         let (data, _) = german_credit()
             .generate_scaled(rows as f64 / 1_000.0, 5)
             .expect("generate");
-        g.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, data| {
-            b.iter(|| DareForest::fit(data, cfg(5)));
-        });
+        g.bench_param("rows", rows, || DareForest::fit(&data, cfg(5)));
     }
-    g.finish();
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn bench_predict(h: &mut Harness) {
     let (data, _) = german_credit().generate_full(6).expect("generate");
     let forest = DareForest::fit(&data, cfg(6));
-    c.bench_function("forest_predict_1k_rows", |b| {
-        b.iter(|| forest.predict_proba(&data));
-    });
+    h.bench_function("forest_predict_1k_rows", || forest.predict_proba(&data));
 }
 
-criterion_group!(benches, bench_fit, bench_predict);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fit(&mut h);
+    bench_predict(&mut h);
+}

@@ -1,16 +1,16 @@
 //! End-to-end FUME benchmarks: the full explain pipeline per dataset
 //! scale (the cost the paper's Table 8 reports).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fume_bench::harness::Harness;
 use fume_core::{Fume, FumeConfig};
 use fume_forest::{DareConfig, DareForest};
 use fume_lattice::SupportRange;
 use fume_tabular::datasets::{german_credit, planted_toy};
 use fume_tabular::split::train_test_split;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fume_explain");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args();
+    let mut g = h.benchmark_group("fume_explain");
 
     // Toy: small search space, fast unlearning.
     {
@@ -20,9 +20,9 @@ fn bench(c: &mut Criterion) {
             .with_support(SupportRange::new(0.02, 0.25).expect("valid"))
             .with_forest(DareConfig::small(23));
         let forest = DareForest::fit(&train, cfg.forest.clone());
-        g.bench_function("planted_toy_2k", |b| {
-            let fume = Fume::new(cfg.clone());
-            b.iter(|| fume.explain_model(&forest, &train, &test, group));
+        let fume = Fume::new(cfg);
+        g.bench_function("planted_toy_2k", || {
+            fume.explain_model(&forest, &train, &test, group)
         });
     }
 
@@ -34,13 +34,7 @@ fn bench(c: &mut Criterion) {
             DareConfig::default().with_trees(25).with_max_depth(8).with_seed(24),
         );
         let forest = DareForest::fit(&train, cfg.forest.clone());
-        g.bench_function("german_1k", |b| {
-            let fume = Fume::new(cfg.clone());
-            b.iter(|| fume.explain_model(&forest, &train, &test, group));
-        });
+        let fume = Fume::new(cfg);
+        g.bench_function("german_1k", || fume.explain_model(&forest, &train, &test, group));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

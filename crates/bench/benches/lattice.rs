@@ -1,23 +1,20 @@
 //! Lattice generation, expansion and search-skeleton benchmarks,
 //! including the pruning-rule ablation (Table 9's cost side).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fume_bench::harness::Harness;
 use fume_lattice::{
     expand_level, level1_nodes, search, Predicate, RuleToggles, SearchParams, SupportRange,
 };
 use fume_tabular::datasets::german_credit;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (data, _) = german_credit().generate_full(17).expect("generate");
 
-    c.bench_function("lattice_level1", |b| {
-        b.iter(|| level1_nodes(&data, &[]));
-    });
+    h.bench_function("lattice_level1", || level1_nodes(&data, &[]));
 
     let l1 = level1_nodes(&data, &[]);
-    c.bench_function("lattice_expand_level2", |b| {
-        b.iter(|| expand_level(&data, &l1, true));
-    });
+    h.bench_function("lattice_expand_level2", || expand_level(&data, &l1, true));
 
     // Toy evaluator isolates pure search/pruning overhead from unlearning.
     let eval = |p: &Predicate, rows: &[u32]| {
@@ -29,9 +26,7 @@ fn bench(c: &mut Criterion) {
     };
     let params =
         SearchParams::new(SupportRange::new(0.01, 0.5).expect("valid"), 3).expect("valid");
-    c.bench_function("lattice_search_eta3_rules_on", |b| {
-        b.iter(|| search(&data, &params, &eval));
-    });
+    h.bench_function("lattice_search_eta3_rules_on", || search(&data, &params, &eval));
 
     let mut ablated = params.clone();
     ablated.toggles = RuleToggles {
@@ -39,10 +34,5 @@ fn bench(c: &mut Criterion) {
         rule5_positive_only: false,
         ..RuleToggles::default()
     };
-    c.bench_function("lattice_search_eta3_rules_off", |b| {
-        b.iter(|| search(&data, &ablated, &eval));
-    });
+    h.bench_function("lattice_search_eta3_rules_off", || search(&data, &ablated, &eval));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,7 +4,13 @@
 //! repro --exp all                # everything, quick scale
 //! repro --exp tab3 --full        # Table 3 at paper scale
 //! repro --exp fig3 --out results # write markdown under results/
+//! repro --exp tab9 --trace t.jsonl  # append a span/counter trace
 //! ```
+//!
+//! Every run records spans and counters via `fume-obs`; a per-phase
+//! profile table is printed to stderr after each experiment, and
+//! `--trace FILE` (or `FUME_TRACE=FILE`) appends the raw event stream
+//! as JSONL, one experiment after another.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -19,7 +25,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro --exp <{}|all> [--full] [--out DIR]",
+        "usage: repro --exp <{}|all> [--full] [--out DIR] [--trace FILE]",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -52,6 +58,8 @@ fn main() {
     let mut exp = String::from("all");
     let mut scale = RunScale::quick();
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> =
+        std::env::var("FUME_TRACE").ok().filter(|s| !s.is_empty()).map(PathBuf::from);
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +67,7 @@ fn main() {
             "--exp" => exp = it.next().cloned().unwrap_or_else(|| usage()),
             "--full" => scale = RunScale::full(),
             "--out" => out_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage()))),
+            "--trace" => trace = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -79,12 +88,18 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
+    if let Some(path) = &trace {
+        // Start each run with a fresh file; experiments append below.
+        std::fs::write(path, "").expect("truncate trace file");
+    }
+    let rec = fume_obs::install();
 
     for name in selected {
         eprintln!("[repro] running {name} ...");
         let t0 = std::time::Instant::now();
         let md = run_one(name, scale).expect("experiment name validated above");
         eprintln!("[repro] {name} finished in {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!("[repro] {name} profile:\n{}", rec.profile_table());
         println!("{md}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{name}.md"));
@@ -92,5 +107,14 @@ fn main() {
             f.write_all(md.as_bytes()).expect("write result file");
             eprintln!("[repro] wrote {}", path.display());
         }
+        if let Some(path) = &trace {
+            let mut f = std::fs::File::options()
+                .append(true)
+                .open(path)
+                .expect("open trace file");
+            f.write_all(rec.events_to_jsonl().as_bytes()).expect("append trace");
+            eprintln!("[repro] appended {} trace events to {}", rec.event_count(), path.display());
+        }
+        rec.reset();
     }
 }

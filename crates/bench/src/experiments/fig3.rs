@@ -9,9 +9,7 @@ use fume_fairness::FairnessMetric;
 use fume_lattice::{expand_level, level1_nodes, EvalItem, Predicate, SupportRange};
 use fume_tabular::datasets::german_credit;
 use fume_tabular::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fume_tabular::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 use crate::common::{Prepared, SEED};
 use crate::scale::RunScale;

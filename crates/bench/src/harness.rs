@@ -1,0 +1,158 @@
+//! A small self-contained benchmark harness (criterion cannot be
+//! resolved offline). Keeps the criterion call-site shape — groups,
+//! parameterized ids, `iter` closures — but measures with plain
+//! `Instant` arithmetic: one warmup call, then iterations until a time
+//! target or an iteration cap, reporting the mean.
+//!
+//! Not a statistics engine: no outlier rejection, no confidence
+//! intervals. For regression hunting, pair it with the `fume-obs`
+//! profile table (`repro --trace`), which attributes the time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default measurement budget per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Iteration cap per benchmark (micro-benches on the time target
+/// alone could spin for millions of iterations).
+const MAX_ITERS: u64 = 10_000;
+
+/// The bench driver: owns the name filter from the command line and
+/// prints one line per benchmark.
+pub struct Harness {
+    filter: Option<String>,
+    listing: bool,
+}
+
+impl Harness {
+    /// Builds from `std::env::args`: the first non-flag argument is a
+    /// substring filter (the convention `cargo bench -- <filter>`
+    /// follows); `--list` prints names without running. Flags cargo
+    /// passes to libtest-style harnesses (`--bench`, `--test`) are
+    /// accepted and ignored.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut listing = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--list" {
+                listing = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Harness { filter, listing }
+    }
+
+    /// A harness with an explicit filter (for tests).
+    pub fn with_filter(filter: Option<String>) -> Self {
+        Harness { filter, listing: false }
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark: warmup call, then timed iterations.
+    pub fn bench_function<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.should_run(name) {
+            return;
+        }
+        if self.listing {
+            println!("{name}");
+            return;
+        }
+        black_box(f()); // warmup (and one-shot validation)
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= TARGET {
+                break;
+            }
+        }
+        let mean = start.elapsed() / u32::try_from(iters).expect("MAX_ITERS fits");
+        println!("{name:<52} {:>12} {iters:>7} iters", fmt_duration(mean));
+    }
+
+    /// Opens a named group; benchmark names are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, group: &str) -> Group<'_> {
+        Group { harness: self, prefix: group.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Runs `group/name`.
+    pub fn bench_function<T>(&mut self, name: impl std::fmt::Display, f: impl FnMut() -> T) {
+        let full = format!("{}/{name}", self.prefix);
+        self.harness.bench_function(&full, f);
+    }
+
+    /// Runs `group/name/param` — the `bench_with_input` shape, with the
+    /// input simply captured by the closure.
+    pub fn bench_param<T>(
+        &mut self,
+        name: impl std::fmt::Display,
+        param: impl std::fmt::Display,
+        f: impl FnMut() -> T,
+    ) {
+        let full = format!("{}/{name}/{param}", self.prefix);
+        self.harness.bench_function(&full, f);
+    }
+}
+
+/// `1.23s` / `45.1ms` / `678µs` / `910ns` formatting.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_gates_execution() {
+        let mut ran = Vec::new();
+        let mut h = Harness::with_filter(Some("fit".into()));
+        h.bench_function("forest_fit", || ran.push("fit"));
+        let mut h2 = Harness::with_filter(Some("nomatch".into()));
+        h2.bench_function("forest_predict", || ran.push("predict"));
+        assert!(ran.contains(&"fit"));
+        assert!(!ran.contains(&"predict"));
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut h = Harness::with_filter(Some("g/x/3".into()));
+        let mut count = 0;
+        {
+            let mut g = h.benchmark_group("g");
+            g.bench_param("x", 3, || count += 1);
+            g.bench_param("x", 4, || count += 1);
+        }
+        assert!(count >= 1, "param 3 matched the filter and ran");
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_nanos(910)), "910ns");
+        assert_eq!(fmt_duration(Duration::from_micros(678)), "678.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(45)), "45.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

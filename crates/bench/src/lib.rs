@@ -3,8 +3,8 @@
 //! The reproduction harness of the FUME workspace: one module per table
 //! and figure of the paper's evaluation, each regenerating the same
 //! rows/series the paper reports (on the synthetic dataset stand-ins —
-//! see `DESIGN.md` §2), plus Criterion micro-benchmarks of the hot
-//! primitives.
+//! see `DESIGN.md` §2), plus micro-benchmarks of the hot primitives on
+//! a small in-tree harness (`harness` module).
 //!
 //! Run `cargo run --release -p fume-bench --bin repro -- --exp all` to
 //! regenerate everything, or `--exp tab3`, `--exp fig4`, … individually;
@@ -14,6 +14,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod harness;
 pub mod scale;
 
 pub use scale::RunScale;

@@ -1,6 +1,9 @@
 //! Subset attribution toward bias (paper Definitions 2.2/2.3 and Eq. 2),
 //! with parallel batch evaluation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
 use fume_fairness::FairnessMetric;
 use fume_lattice::{BatchEvaluator, EvalItem};
 use fume_tabular::{Dataset, GroupSpec};
@@ -33,6 +36,8 @@ pub struct AttributionEstimator<'a, R: RemovalMethod> {
     group: GroupSpec,
     original_bias: f64,
     n_jobs: usize,
+    /// Wall-clock nanoseconds spent inside [`BatchEvaluator::evaluate`].
+    eval_nanos: AtomicU64,
 }
 
 impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
@@ -48,7 +53,15 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     ) -> Self {
         assert!(original_bias > 0.0, "no fairness violation to attribute");
         let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { removal, metric, test, group, original_bias, n_jobs: n_jobs.unwrap_or(avail).max(1) }
+        Self {
+            removal,
+            metric,
+            test,
+            group,
+            original_bias,
+            n_jobs: n_jobs.unwrap_or(avail).max(1),
+            eval_nanos: AtomicU64::new(0),
+        }
     }
 
     /// `ρ` for a single subset.
@@ -67,6 +80,11 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     pub fn original_bias(&self) -> f64 {
         self.original_bias
     }
+
+    /// Cumulative wall-clock time spent inside batch evaluations so far.
+    pub fn eval_time(&self) -> Duration {
+        Duration::from_nanos(self.eval_nanos.load(Ordering::Relaxed))
+    }
 }
 
 impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
@@ -76,23 +94,29 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
         if items.is_empty() {
             return Vec::new();
         }
+        let _span = fume_obs::span!("fume.phase.unlearn_eval", batch = items.len());
+        fume_obs::counter!("fume.unlearn_evals", items.len());
+        let t0 = Instant::now();
         let jobs = self.n_jobs.min(items.len());
-        if jobs <= 1 {
-            return items.iter().map(|it| self.rho(it.rows)).collect();
-        }
-        let mut out: Vec<Option<f64>> = vec![None; items.len()];
-        let chunk = items.len().div_ceil(jobs);
-        crossbeam::scope(|scope| {
-            for (slots, work) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (slot, item) in slots.iter_mut().zip(work) {
-                        *slot = Some(self.rho(item.rows));
-                    }
-                });
-            }
-        })
-        .expect("attribution workers do not panic");
-        out.into_iter().map(|o| o.expect("all slots filled")).collect()
+        let out = if jobs <= 1 {
+            items.iter().map(|it| self.rho(it.rows)).collect()
+        } else {
+            let mut out: Vec<Option<f64>> = vec![None; items.len()];
+            let chunk = items.len().div_ceil(jobs);
+            std::thread::scope(|scope| {
+                for (slots, work) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, item) in slots.iter_mut().zip(work) {
+                            *slot = Some(self.rho(item.rows));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|o| o.expect("all slots filled")).collect()
+        };
+        self.eval_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
     }
 }
 

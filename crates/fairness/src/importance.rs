@@ -4,9 +4,7 @@
 //! attribute's importance should drop.
 
 use fume_tabular::{Classifier, Dataset};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fume_tabular::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Importance scores per attribute: mean accuracy drop over `repeats`
 /// random permutations of that attribute's column.

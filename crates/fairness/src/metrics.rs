@@ -88,6 +88,7 @@ impl FairnessMetric {
         data: &Dataset,
         group: GroupSpec,
     ) -> f64 {
+        fume_obs::counter!("fairness.metric_evals", 1);
         let preds = h.predict(data);
         self.compute(&preds, data.labels(), &data.privileged_mask(group))
     }
@@ -119,6 +120,7 @@ pub fn fairness_report<C: Classifier + ?Sized>(
     data: &Dataset,
     group: GroupSpec,
 ) -> FairnessReport {
+    fume_obs::counter!("fairness.metric_evals", FairnessMetric::ALL.len());
     let preds = h.predict(data);
     let mask = data.privileged_mask(group);
     let confusion = GroupConfusion::tally(&preds, data.labels(), &mask);

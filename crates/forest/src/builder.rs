@@ -2,9 +2,7 @@
 //! candidate-threshold statistics.
 
 use fume_tabular::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use fume_tabular::rng::{Rng, SliceRandom, StdRng};
 
 use crate::config::DareConfig;
 use crate::gini::gini_gain;
@@ -278,7 +276,7 @@ fn build_greedy_node(
 mod tests {
     use super::*;
     use fume_tabular::{Attribute, Schema};
-    use rand::SeedableRng;
+    use fume_tabular::rng::SeedableRng;
     use std::sync::Arc;
 
     fn xor_data() -> Dataset {

@@ -8,7 +8,7 @@
 //! guarantee.
 
 use fume_tabular::Dataset;
-use rand::rngs::StdRng;
+use fume_tabular::rng::StdRng;
 
 use crate::builder::{
     best_candidate, build_node, candidate_valid, partition, sample_candidates, Histogram,
@@ -258,7 +258,7 @@ mod tests {
     use super::*;
     use crate::config::MaxFeatures;
     use fume_tabular::{Attribute, Schema};
-    use rand::SeedableRng;
+    use fume_tabular::rng::SeedableRng;
     use std::sync::Arc;
 
     fn data() -> Dataset {

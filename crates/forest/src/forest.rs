@@ -72,6 +72,8 @@ impl DareForest {
     /// Trains a forest on the subset `ids` of `data` (used by the
     /// retrain-from-scratch baseline).
     pub fn fit_on(data: &Dataset, ids: Vec<u32>, config: DareConfig) -> Self {
+        let _span =
+            fume_obs::span!("forest.fit", trees = config.n_trees, instances = ids.len());
         let n_instances = ids.len() as u32;
         let seeds: Vec<u64> = (0..config.n_trees)
             .map(|i| config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64))
@@ -140,6 +142,7 @@ impl DareForest {
     }
 
     fn delete_validated(&mut self, del: Vec<u32>, data: &Dataset) -> DeleteReport {
+        let _span = fume_obs::span!("forest.delete", ids = del.len());
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
         let (config, del_ref) = (&self.config, &del);
         let reports: Vec<DeleteReport> = if jobs <= 1 || self.trees.len() <= 1 {
@@ -152,6 +155,11 @@ impl DareForest {
             total.merge(r);
         }
         self.n_instances -= del.len() as u32;
+        fume_obs::counter!("forest.instances_removed", del.len());
+        fume_obs::counter!("forest.nodes_retrained", total.subtrees_retrained);
+        fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
+        fume_obs::counter!("forest.leaves_updated", total.leaves_updated);
+        fume_obs::counter!("forest.candidates_replenished", total.candidates_replenished);
         total
     }
 
@@ -179,6 +187,7 @@ impl DareForest {
                 }
             }
         }
+        let _span = fume_obs::span!("forest.insert", ids = ins.len());
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
         let (config, ins_ref) = (&self.config, &ins);
         let reports: Vec<InsertReport> = if jobs <= 1 || self.trees.len() <= 1 {
@@ -191,6 +200,10 @@ impl DareForest {
             total.merge(r);
         }
         self.n_instances += ins.len() as u32;
+        fume_obs::counter!("forest.instances_inserted", ins.len());
+        fume_obs::counter!("forest.subtrees_rebuilt", total.subtrees_rebuilt);
+        fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
+        fume_obs::counter!("forest.leaves_updated", total.leaves_updated);
         Ok(total)
     }
 

@@ -11,9 +11,7 @@
 //! the extensibility claim end-to-end.
 
 use fume_tabular::{Classifier, Dataset};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fume_tabular::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// GBDT hyperparameters.
 #[derive(Debug, Clone, PartialEq)]

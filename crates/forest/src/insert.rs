@@ -18,7 +18,7 @@
 //! structure, are re-checked exactly.
 
 use fume_tabular::Dataset;
-use rand::rngs::StdRng;
+use fume_tabular::rng::StdRng;
 
 use crate::builder::{build_node, partition};
 use crate::config::DareConfig;
@@ -213,7 +213,7 @@ mod tests {
     fn empty_leaf_accepts_first_instances() {
         let (data, _) = planted_toy().generate_scaled(0.1, 74).unwrap();
         let mut node = empty_leaf();
-        let mut rng = rand::SeedableRng::seed_from_u64(74);
+        let mut rng = fume_tabular::rng::SeedableRng::seed_from_u64(74);
         let mut report = InsertReport::default();
         let ids: Vec<u32> = (0..40).collect();
         insert_into_node(&mut node, &ids, &data, 0, &mut rng, &cfg(), &mut report);

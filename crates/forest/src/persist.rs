@@ -16,8 +16,6 @@
 
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
-
 use crate::config::{DareConfig, MaxFeatures};
 use crate::forest::DareForest;
 use crate::node::{Candidate, Internal, Leaf, Node};
@@ -62,7 +60,93 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<(), PersistError> {
+/// Little-endian write cursor: the `bytes::BufMut` subset this format
+/// uses, implemented directly on `Vec<u8>` so the crate stays
+/// dependency-free.
+trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Read cursor over a byte slice, advancing the slice in place. Getters
+/// assume length was already checked via [`need`] — exactly the
+/// discipline the decoder follows (`bytes` would panic identically).
+trait Buf {
+    fn remaining(&self) -> usize;
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().expect("split_at(2)"))
+    }
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("split_at(4)"))
+    }
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("split_at(8)"))
+    }
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+fn need(buf: &&[u8], n: usize, what: &'static str) -> Result<(), PersistError> {
     if buf.remaining() < n {
         Err(PersistError::Corrupt(what))
     } else {
@@ -289,12 +373,16 @@ pub fn from_bytes(mut data: &[u8]) -> Result<DareForest, PersistError> {
 
 /// Saves a forest to a file.
 pub fn save(forest: &DareForest, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    std::fs::write(path, to_bytes(forest))?;
+    let _span = fume_obs::span!("forest.persist.save", trees = forest.trees().len());
+    let bytes = to_bytes(forest);
+    fume_obs::gauge!("forest.persist.bytes", bytes.len() as f64);
+    std::fs::write(path, bytes)?;
     Ok(())
 }
 
 /// Loads a forest from a file.
 pub fn load(path: impl AsRef<Path>) -> Result<DareForest, PersistError> {
+    let _span = fume_obs::span!("forest.persist.load");
     let data = std::fs::read(path)?;
     from_bytes(&data)
 }

@@ -2,8 +2,7 @@
 //! structural introspection.
 
 use fume_tabular::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fume_tabular::rng::{SeedableRng, StdRng};
 
 use crate::builder::build_node;
 use crate::config::DareConfig;

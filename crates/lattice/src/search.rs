@@ -132,6 +132,11 @@ pub fn search<E: BatchEvaluator>(
     params: &SearchParams,
     evaluator: &E,
 ) -> SearchOutcome {
+    let _span = fume_obs::span!(
+        "lattice.search",
+        eta = params.max_literals,
+        rows = data.num_rows()
+    );
     let n = data.num_rows();
     let mut evaluated = Vec::new();
     let mut levels = Vec::new();
@@ -144,6 +149,7 @@ pub fn search<E: BatchEvaluator>(
     let mut pruned_redundant = 0usize;
 
     for level in 1..=params.max_literals {
+        let _level_span = fume_obs::span!("lattice.level", level = level);
         let mut stats = LevelStats {
             level,
             possible,
@@ -173,7 +179,12 @@ pub fn search<E: BatchEvaluator>(
             .iter()
             .map(|nd| EvalItem { predicate: &nd.predicate, rows: &nd.rows })
             .collect();
-        let rhos = if items.is_empty() { Vec::new() } else { evaluator.evaluate(&items) };
+        let rhos = if items.is_empty() {
+            Vec::new()
+        } else {
+            let _eval_span = fume_obs::span!("lattice.evaluate", batch = items.len());
+            evaluator.evaluate(&items)
+        };
         assert_eq!(rhos.len(), items.len(), "evaluator must align with its input");
         stats.explored = in_range.len();
         evaluations += in_range.len();
@@ -200,6 +211,24 @@ pub fn search<E: BatchEvaluator>(
             expandable.push(node);
         }
 
+        // Counters are emitted unconditionally (zero deltas included) so a
+        // trace always carries one data point per rule per level.
+        fume_obs::counter!("lattice.generated", stats.generated);
+        fume_obs::counter!("lattice.explored", stats.explored);
+        fume_obs::counter!("lattice.pruned.rule1", stats.pruned_rule1);
+        fume_obs::counter!(
+            "lattice.pruned.rule2",
+            stats.pruned_support_low + stats.oversized
+        );
+        // Rule 3 is the interpretability cap η: nodes that survived rules
+        // 4/5 but are never expanded because the level limit was reached.
+        fume_obs::counter!(
+            "lattice.pruned.rule3",
+            if level == params.max_literals { expandable.len() } else { 0 }
+        );
+        fume_obs::counter!("lattice.pruned.rule4", stats.pruned_rule4);
+        fume_obs::counter!("lattice.pruned.rule5", stats.pruned_rule5);
+        fume_obs::counter!("lattice.pruned.redundant", stats.pruned_redundant);
         levels.push(stats);
 
         if level == params.max_literals || expandable.len() < 2 {

@@ -1,0 +1,78 @@
+//! A hand-rolled JSON writer: just enough to emit the trace event
+//! stream as JSONL without pulling in serde. Only what the recorder
+//! needs — object/array framing, string escaping, and numbers.
+
+/// Appends `s` to `out` as a JSON string literal, escaping per RFC 8259.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64`; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on a finite f64 round-trips and never produces inf/nan.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `"key":` (with escaping), prefixed by `,` unless first.
+pub fn write_key(out: &mut String, first: &mut bool, key: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn floats() {
+        let mut s = String::new();
+        write_f64(&mut s, 1.5);
+        s.push(' ');
+        write_f64(&mut s, f64::NAN);
+        s.push(' ');
+        write_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "1.5 null null");
+    }
+
+    #[test]
+    fn keys() {
+        let mut s = String::from("{");
+        let mut first = true;
+        write_key(&mut s, &mut first, "a");
+        s.push('1');
+        write_key(&mut s, &mut first, "b");
+        s.push('2');
+        s.push('}');
+        assert_eq!(s, r#"{"a":1,"b":2}"#);
+    }
+}

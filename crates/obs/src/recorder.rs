@@ -1,0 +1,445 @@
+//! The [`Recorder`]: thread-safe aggregation of spans, counters and
+//! gauges, plus the bounded raw event stream behind JSONL export.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json::{write_f64, write_key, write_str};
+use crate::Value;
+
+/// Cap on buffered raw events; aggregates keep counting past it, and
+/// the overflow is reported via [`Recorder::dropped_events`].
+const MAX_EVENTS: usize = 1 << 20;
+
+/// One raw trace event, timestamped relative to the recorder's epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Dotted span name.
+        name: &'static str,
+        /// Structured fields attached at the call site.
+        fields: Vec<(&'static str, Value)>,
+        /// Nanoseconds since the recorder was created.
+        t_ns: u64,
+        /// Per-process thread sequence number.
+        thread: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Dotted span name.
+        name: &'static str,
+        /// Nanoseconds since the recorder was created (at close).
+        t_ns: u64,
+        /// Per-process thread sequence number.
+        thread: u64,
+        /// Wall time inside the span, children included.
+        total_ns: u64,
+        /// Wall time minus time spent in child spans on this thread.
+        self_ns: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Dotted counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+        /// Nanoseconds since the recorder was created.
+        t_ns: u64,
+    },
+    /// A gauge set to an instantaneous value.
+    Gauge {
+        /// Dotted gauge name.
+        name: &'static str,
+        /// The new value.
+        value: f64,
+        /// Nanoseconds since the recorder was created.
+        t_ns: u64,
+    },
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Summed wall time, children included.
+    pub total_ns: u64,
+    /// Summed wall time minus child-span time.
+    pub self_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Summed wall time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Mean wall time per call.
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.total_ns.checked_div(self.calls).unwrap_or(0))
+    }
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<Event>,
+    dropped: u64,
+    spans: BTreeMap<&'static str, SpanStats>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+/// Collects trace events and aggregates from every thread of a run.
+///
+/// One recorder is normally installed process-wide via
+/// [`crate::install`]; a standalone instance is useful in tests.
+pub struct Recorder {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder whose clock starts now.
+    pub fn new() -> Self {
+        Recorder { epoch: Instant::now(), state: Mutex::new(State::default()) }
+    }
+
+    /// Nanoseconds since this recorder was created (saturating).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push_event(state: &mut State, event: Event) {
+        if state.events.len() < MAX_EVENTS {
+            state.events.push(event);
+        } else {
+            state.dropped += 1;
+        }
+    }
+
+    /// Records a span opening.
+    pub fn span_start(
+        &self,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+        thread: u64,
+    ) {
+        let t_ns = self.now_ns();
+        let mut st = self.state.lock().expect("recorder lock");
+        Self::push_event(&mut st, Event::SpanStart { name, fields, t_ns, thread });
+    }
+
+    /// Records a span closing and folds it into the aggregates.
+    pub fn span_end(&self, name: &'static str, thread: u64, total_ns: u64, self_ns: u64) {
+        let t_ns = self.now_ns();
+        let mut st = self.state.lock().expect("recorder lock");
+        let s = st.spans.entry(name).or_default();
+        s.calls += 1;
+        s.total_ns += total_ns;
+        s.self_ns += self_ns;
+        s.max_ns = s.max_ns.max(total_ns);
+        Self::push_event(&mut st, Event::SpanEnd { name, t_ns, thread, total_ns, self_ns });
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn add_counter(&self, name: &'static str, delta: u64) {
+        let t_ns = self.now_ns();
+        let mut st = self.state.lock().expect("recorder lock");
+        *st.counters.entry(name).or_insert(0) += delta;
+        Self::push_event(&mut st, Event::Counter { name, delta, t_ns });
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        let t_ns = self.now_ns();
+        let mut st = self.state.lock().expect("recorder lock");
+        st.gauges.insert(name, value);
+        Self::push_event(&mut st, Event::Gauge { name, value, t_ns });
+    }
+
+    /// Aggregated stats for one span name, if it ever completed.
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        self.state.lock().expect("recorder lock").spans.get(name).copied()
+    }
+
+    /// Current value of a counter, if it was ever incremented.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.state.lock().expect("recorder lock").counters.get(name).copied()
+    }
+
+    /// Last value of a gauge, if it was ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.state.lock().expect("recorder lock").gauges.get(name).copied()
+    }
+
+    /// Number of buffered raw events.
+    pub fn event_count(&self) -> usize {
+        self.state.lock().expect("recorder lock").events.len()
+    }
+
+    /// Raw events dropped after the buffer cap was reached.
+    pub fn dropped_events(&self) -> u64 {
+        self.state.lock().expect("recorder lock").dropped
+    }
+
+    /// Clears events and aggregates; the epoch keeps running.
+    pub fn reset(&self) {
+        let mut st = self.state.lock().expect("recorder lock");
+        *st = State::default();
+    }
+
+    /// Serializes the buffered event stream as JSONL, one event per
+    /// line (see `docs/observability.md` for the schema).
+    pub fn events_to_jsonl(&self) -> String {
+        let st = self.state.lock().expect("recorder lock");
+        let mut out = String::with_capacity(st.events.len() * 96);
+        for ev in &st.events {
+            write_event(&mut out, ev);
+            out.push('\n');
+        }
+        if st.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"type\":\"meta\",\"dropped_events\":{}}}\n",
+                st.dropped
+            ));
+        }
+        out
+    }
+
+    /// Renders the aggregate profile: spans sorted by total time, then
+    /// counters and gauges, as a fixed-width text table.
+    pub fn profile_table(&self) -> String {
+        let st = self.state.lock().expect("recorder lock");
+        let mut out = String::new();
+        let mut spans: Vec<(&str, SpanStats)> =
+            st.spans.iter().map(|(k, v)| (*k, *v)).collect();
+        spans.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
+        let name_w = spans
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(st.counters.keys().map(|n| n.len()))
+            .chain(st.gauges.keys().map(|n| n.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        if !spans.is_empty() {
+            out.push_str(&format!(
+                "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                "span", "calls", "total", "self", "mean", "max"
+            ));
+            for (name, s) in &spans {
+                out.push_str(&format!(
+                    "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                    name,
+                    s.calls,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.self_ns),
+                    fmt_ns(s.total_ns.checked_div(s.calls).unwrap_or(0)),
+                    fmt_ns(s.max_ns),
+                ));
+            }
+        }
+        if !st.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:name_w$}  {:>12}\n", "counter", "value"));
+            for (name, v) in &st.counters {
+                out.push_str(&format!("{:name_w$}  {:>12}\n", name, v));
+            }
+        }
+        if !st.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:name_w$}  {:>12}\n", "gauge", "value"));
+            for (name, v) in &st.gauges {
+                out.push_str(&format!("{:name_w$}  {:>12.4}\n", name, v));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no events recorded)\n");
+        }
+        out
+    }
+}
+
+/// Human-readable nanoseconds: `532ns`, `18.3µs`, `4.71ms`, `1.20s`.
+fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in fields {
+        write_key(out, &mut first, k);
+        match v {
+            Value::U64(x) => out.push_str(&x.to_string()),
+            Value::I64(x) => out.push_str(&x.to_string()),
+            Value::F64(x) => write_f64(out, *x),
+            Value::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+            Value::Str(s) => write_str(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, ev: &Event) {
+    out.push('{');
+    let mut first = true;
+    match ev {
+        Event::SpanStart { name, fields, t_ns, thread } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"span_start\"");
+            write_key(out, &mut first, "name");
+            write_str(out, name);
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+            write_key(out, &mut first, "thread");
+            out.push_str(&thread.to_string());
+            if !fields.is_empty() {
+                write_key(out, &mut first, "fields");
+                write_fields(out, fields);
+            }
+        }
+        Event::SpanEnd { name, t_ns, thread, total_ns, self_ns } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"span_end\"");
+            write_key(out, &mut first, "name");
+            write_str(out, name);
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+            write_key(out, &mut first, "thread");
+            out.push_str(&thread.to_string());
+            write_key(out, &mut first, "total_ns");
+            out.push_str(&total_ns.to_string());
+            write_key(out, &mut first, "self_ns");
+            out.push_str(&self_ns.to_string());
+        }
+        Event::Counter { name, delta, t_ns } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"counter\"");
+            write_key(out, &mut first, "name");
+            write_str(out, name);
+            write_key(out, &mut first, "delta");
+            out.push_str(&delta.to_string());
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+        }
+        Event::Gauge { name, value, t_ns } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"gauge\"");
+            write_key(out, &mut first, "name");
+            write_str(out, name);
+            write_key(out, &mut first, "value");
+            write_f64(out, *value);
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_accumulate() {
+        let r = Recorder::new();
+        r.span_end("a.b", 0, 100, 60);
+        r.span_end("a.b", 0, 300, 200);
+        r.span_end("c", 1, 50, 50);
+        let s = r.span_stats("a.b").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.self_ns, 260);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean(), Duration::from_nanos(200));
+        assert!(r.span_stats("nope").is_none());
+
+        r.add_counter("k", 3);
+        r.add_counter("k", 4);
+        assert_eq!(r.counter_value("k"), Some(7));
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Recorder::new();
+        r.add_counter("k", 1);
+        r.span_end("s", 0, 10, 10);
+        assert!(r.event_count() > 0);
+        r.reset();
+        assert_eq!(r.event_count(), 0);
+        assert!(r.counter_value("k").is_none());
+        assert!(r.span_stats("s").is_none());
+    }
+
+    #[test]
+    fn table_orders_spans_by_total_time() {
+        let r = Recorder::new();
+        r.span_end("fast", 0, 10, 10);
+        r.span_end("slow", 0, 2_000_000_000, 1_000_000_000);
+        r.add_counter("hits", 12);
+        r.set_gauge("load", 0.7);
+        let t = r.profile_table();
+        let slow_at = t.find("slow").unwrap();
+        let fast_at = t.find("fast").unwrap();
+        assert!(slow_at < fast_at, "{t}");
+        assert!(t.contains("2.00s"), "{t}");
+        assert!(t.contains("hits"), "{t}");
+        assert!(t.contains("0.7000"), "{t}");
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        assert_eq!(Recorder::new().profile_table(), "(no events recorded)\n");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(532), "532ns");
+        assert_eq!(fmt_ns(18_300), "18.3µs");
+        assert_eq!(fmt_ns(4_710_000), "4.71ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+
+    #[test]
+    fn jsonl_shapes() {
+        let r = Recorder::new();
+        r.span_start("s", vec![("level", Value::U64(2)), ("tag", Value::Str("x\"y".into()))], 3);
+        r.span_end("s", 3, 40, 40);
+        r.add_counter("c", 5);
+        r.set_gauge("g", f64::NAN);
+        let out = r.events_to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""fields":{"level":2,"tag":"x\"y"}"#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""total_ns":40"#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""delta":5"#), "{}", lines[2]);
+        assert!(lines[3].contains(r#""value":null"#), "{}", lines[3]);
+    }
+}

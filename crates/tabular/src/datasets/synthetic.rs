@@ -1,8 +1,7 @@
 //! Parameterized synthetic datasets for the scalability experiments
 //! (paper Figure 5: runtime vs #instances/#attributes/#distinct values).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 use crate::generator::{AttributeSpec, GeneratorSpec, PlantedBias};
 use crate::schema::AttrKind;

@@ -27,8 +27,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 use crate::dataset::{Dataset, GroupSpec};
 use crate::error::Result;

@@ -35,6 +35,7 @@ pub mod discretize;
 pub mod error;
 pub mod generator;
 pub mod intersect;
+pub mod rng;
 pub mod schema;
 pub mod split;
 pub mod stats;

@@ -1,8 +1,6 @@
 //! Deterministic train/test splitting.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::{SeedableRng, SliceRandom, StdRng};
 
 use crate::dataset::Dataset;
 use crate::error::{Result, TabularError};

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full offline verification: what CI runs, runnable on a disconnected box.
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> verify: no crates-io dependencies"
+if cargo tree --offline --workspace --edges normal,build,dev | grep -v '^\s*$' \
+    | grep -vE '\(\*\)$' | grep -E 'v[0-9]' | grep -vE 'fume(-[a-z]+)? v'; then
+    echo "unexpected external dependency found" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -37,6 +37,7 @@ struct Args {
     test_fraction: f64,
     bins: usize,
     ranges: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
@@ -52,7 +53,8 @@ fn usage() -> ! {
                   --seed S              RNG seed (default 0)\n\
                   --test-fraction F     held-out fraction (default 0.3)\n\
                   --bins B              numeric discretization bins (default 5)\n\
-                  --ranges              generate <=/>= literals on binned columns"
+                  --ranges              generate <=/>= literals on binned columns\n\
+                  --trace FILE          write a JSONL span/counter trace (or set FUME_TRACE)"
     );
     exit(2)
 }
@@ -85,6 +87,7 @@ fn parse_args() -> Args {
         test_fraction: 0.3,
         bins: 5,
         ranges: false,
+        trace: std::env::var("FUME_TRACE").ok().filter(|s| !s.is_empty()),
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -127,6 +130,7 @@ fn parse_args() -> Args {
             }
             "--bins" => args.bins = value().parse().unwrap_or_else(|_| usage()),
             "--ranges" => args.ranges = true,
+            "--trace" => args.trace = Some(value()),
             "--help" | "-h" => usage(),
             other => fail(format!("unknown flag `{other}`")),
         }
@@ -188,6 +192,9 @@ fn config(args: &Args) -> FumeConfig {
 
 fn main() {
     let args = parse_args();
+    if args.trace.is_some() {
+        fume::obs::install();
+    }
     let (train, test, group) = load(&args);
     println!(
         "loaded {} train / {} test rows, {} attributes; sensitive `{}` (privileged `{}`)",
@@ -214,6 +221,7 @@ fn main() {
                         report.search_time.as_secs_f64()
                     );
                     print!("{}", report.to_markdown());
+                    eprint!("\n{}", report.timing_table());
                 }
                 Err(e) => fail(e),
             }
@@ -251,5 +259,14 @@ fn main() {
             );
         }
         _ => usage(),
+    }
+
+    if let Some(path) = &args.trace {
+        let rec = fume::obs::global().expect("recorder installed when tracing");
+        match std::fs::write(path, rec.events_to_jsonl()) {
+            Ok(()) => eprintln!("fume-cli: wrote {} trace events to {path}", rec.event_count()),
+            Err(e) => fail(format!("cannot write trace `{path}`: {e}")),
+        }
+        eprint!("\n{}", rec.profile_table());
     }
 }

@@ -12,4 +12,5 @@ pub use fume_core as core;
 pub use fume_fairness as fairness;
 pub use fume_forest as forest;
 pub use fume_lattice as lattice;
+pub use fume_obs as obs;
 pub use fume_tabular as tabular;

@@ -77,6 +77,43 @@ fn slices_and_baseline_subcommands_work() {
 }
 
 #[test]
+fn explain_with_trace_writes_jsonl_and_profile() {
+    let csv = write_loans_csv();
+    let trace = std::env::temp_dir().join("fume_cli_test").join("trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let mut cmd = cli();
+    cmd.arg("explain");
+    common_args(&mut cmd, &csv);
+    cmd.args(["--trace", trace.to_str().unwrap()]);
+    let out = cmd.output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote"), "{stderr}");
+    // The per-phase profile table lands on stderr, keeping stdout clean.
+    assert!(stderr.contains("fume.explain"), "{stderr}");
+    assert!(stderr.contains("lattice.pruned.rule1"), "{stderr}");
+
+    let jsonl = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(jsonl.lines().count() > 10);
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(jsonl.contains("\"name\":\"fume.phase.unlearn_eval\""));
+    assert!(jsonl.contains("\"name\":\"forest.nodes_retrained\""));
+
+    // FUME_TRACE is the env-var spelling of the same switch.
+    let trace2 = std::env::temp_dir().join("fume_cli_test").join("trace2.jsonl");
+    let _ = std::fs::remove_file(&trace2);
+    let mut cmd = cli();
+    cmd.arg("explain");
+    common_args(&mut cmd, &csv);
+    cmd.env("FUME_TRACE", trace2.to_str().unwrap());
+    let out = cmd.output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace2.exists(), "FUME_TRACE must write a trace");
+}
+
+#[test]
 fn bad_invocations_exit_nonzero_with_usage() {
     // No arguments.
     let out = cli().output().unwrap();

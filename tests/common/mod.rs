@@ -1,0 +1,36 @@
+//! Shared helpers for the deterministic randomized integration tests:
+//! seeded random-dataset generation in place of proptest strategies.
+
+use std::ops::RangeInclusive;
+use std::sync::Arc;
+
+use fume::tabular::rng::{Rng, StdRng};
+use fume::tabular::{Attribute, Dataset, Schema};
+
+/// A random small coded dataset drawn from `rng`: attribute count,
+/// per-attribute cardinality and row count sampled from the given
+/// ranges, codes uniform over the cardinality, labels a fair coin.
+pub fn random_dataset(
+    rng: &mut StdRng,
+    attrs: RangeInclusive<usize>,
+    card: RangeInclusive<u16>,
+    rows: RangeInclusive<usize>,
+) -> Dataset {
+    let p = rng.gen_range(attrs);
+    let card = rng.gen_range(card);
+    let n = rng.gen_range(rows);
+    let cols: Vec<Vec<u16>> = (0..p)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..card)).collect())
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let attributes = (0..p)
+        .map(|j| {
+            Attribute::categorical(
+                format!("a{j}"),
+                (0..card).map(|v| format!("v{v}")).collect(),
+            )
+        })
+        .collect();
+    let schema = Arc::new(Schema::with_default_label(attributes).unwrap());
+    Dataset::new(schema, cols, labels).unwrap()
+}

@@ -1,164 +1,167 @@
-//! Property-based tests over the workspace's core invariants.
+//! Randomized tests over the workspace's core invariants. Formerly
+//! proptest properties; now deterministic seeded loops over the in-tree
+//! generator, so the workspace builds with an empty cargo registry and
+//! every failure reproduces from its printed seed.
 
-use std::sync::Arc;
+mod common;
 
+use common::random_dataset;
+use fume::fairness::FairnessMetric;
 use fume::forest::validate::validate_forest;
 use fume::forest::{gini, DareConfig, DareForest};
 use fume::lattice::{intersect_sorted, Literal, Op, Predicate};
 use fume::tabular::discretize::Discretizer;
-use fume::tabular::{Attribute, Dataset, GroupSpec, Schema};
-use fume::fairness::FairnessMetric;
-use proptest::prelude::*;
+use fume::tabular::rng::{Rng, SeedableRng, StdRng};
+use fume::tabular::GroupSpec;
 
-/// A random small coded dataset: 2–4 attributes of cardinality 2–4,
-/// 20–120 rows.
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=4, 2u16..=4, 20usize..=120)
-        .prop_flat_map(|(p, card, n)| {
-            let cols = proptest::collection::vec(
-                proptest::collection::vec(0..card, n),
-                p,
-            );
-            let labels = proptest::collection::vec(any::<bool>(), n);
-            (Just((p, card)), cols, labels)
-        })
-        .prop_map(|((p, card), cols, labels)| {
-            let attrs = (0..p)
-                .map(|j| {
-                    Attribute::categorical(
-                        format!("a{j}"),
-                        (0..card).map(|v| format!("v{v}")).collect(),
-                    )
-                })
-                .collect();
-            let schema = Arc::new(Schema::with_default_label(attrs).unwrap());
-            Dataset::new(schema, cols, labels).unwrap()
-        })
+#[test]
+fn gini_gain_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0001);
+    let mut checked = 0;
+    while checked < 64 {
+        let n = rng.gen_range(1u32..200);
+        let n_pos = (f64::from(n) * rng.gen::<f64>()) as u32;
+        let n_l = (f64::from(n) * rng.gen::<f64>()) as u32;
+        let n_l_pos = (f64::from(n_l.min(n_pos)) * rng.gen::<f64>()) as u32;
+        // Respect the right-side constraint.
+        if n_pos - n_l_pos > n - n_l {
+            continue;
+        }
+        checked += 1;
+        let g = gini::gini_gain(n, n_pos, n_l, n_l_pos);
+        assert!((-1e-9..=0.5 + 1e-9).contains(&g), "gain {g}");
+        assert!(gini::gini(n, n_pos) <= 0.5 + 1e-12);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gini_gain_is_bounded(n in 1u32..200, pos_frac in 0.0f64..=1.0, left_frac in 0.0f64..=1.0, lpos_frac in 0.0f64..=1.0) {
-        let n_pos = ((n as f64) * pos_frac) as u32;
-        let n_l = ((n as f64) * left_frac) as u32;
-        let n_l_pos = (n_l.min(n_pos) as f64 * lpos_frac) as u32;
-        // Respect the right-side constraint.
-        prop_assume!(n_pos - n_l_pos <= n - n_l);
-        let g = gini::gini_gain(n, n_pos, n_l, n_l_pos);
-        prop_assert!((-1e-9..=0.5 + 1e-9).contains(&g), "gain {g}");
-        prop_assert!(gini::gini(n, n_pos) <= 0.5 + 1e-12);
-    }
-
-    #[test]
-    fn predicate_select_matches_row_filter(data in dataset_strategy(), seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn predicate_select_matches_row_filter() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0002 ^ seed);
+        let data = random_dataset(&mut rng, 2..=4, 2..=4, 20..=120);
         let p = data.num_attributes();
         let card = data.schema().attribute(0).unwrap().cardinality();
         let k = rng.gen_range(1..=3usize);
         let literals: Vec<Literal> = (0..k)
             .map(|_| Literal {
                 attr: rng.gen_range(0..p as u16),
-                op: [Op::Eq, Op::Ne, Op::Le, Op::Gt][rng.gen_range(0..4)],
+                op: [Op::Eq, Op::Ne, Op::Le, Op::Gt][rng.gen_range(0..4usize)],
                 value: rng.gen_range(0..card),
             })
             .collect();
         let pred = Predicate::new(literals);
         let selected = pred.select(&data);
         // Selection is sorted-unique and equals per-row matching.
-        prop_assert!(selected.windows(2).all(|w| w[0] < w[1]));
+        assert!(selected.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
         for row in 0..data.num_rows() {
             let in_sel = selected.binary_search(&(row as u32)).is_ok();
-            prop_assert_eq!(in_sel, pred.matches(&data, row));
+            assert_eq!(in_sel, pred.matches(&data, row), "seed {seed} row {row}");
         }
         // Unsatisfiable predicates select nothing.
         if !pred.is_satisfiable(data.schema()) {
-            prop_assert!(selected.is_empty());
+            assert!(selected.is_empty(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn join_selection_is_parent_intersection(data in dataset_strategy(), a in 0u16..4, b in 0u16..4, va in 0u16..4, vb in 0u16..4) {
+#[test]
+fn join_selection_is_parent_intersection() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0003 ^ seed);
+        let data = random_dataset(&mut rng, 2..=4, 2..=4, 20..=120);
         let p = data.num_attributes() as u16;
         let card = data.schema().attribute(0).unwrap().cardinality();
-        prop_assume!(a < p && b < p && va < card && vb < card);
+        let (a, b) = (rng.gen_range(0..p), rng.gen_range(0..p));
+        let (va, vb) = (rng.gen_range(0..card), rng.gen_range(0..card));
         let pa = Predicate::single(Literal::eq(a, va));
         let pb = Predicate::single(Literal::eq(b, vb));
         if let Some(child) = pa.join(&pb) {
             let expect = intersect_sorted(&pa.select(&data), &pb.select(&data));
-            prop_assert_eq!(child.select(&data), expect);
+            assert_eq!(child.select(&data), expect, "seed {seed}");
             // Support is monotone under conjunction.
-            prop_assert!(child.support(&data) <= pa.support(&data) + 1e-12);
-            prop_assert!(child.support(&data) <= pb.support(&data) + 1e-12);
+            assert!(child.support(&data) <= pa.support(&data) + 1e-12, "seed {seed}");
+            assert!(child.support(&data) <= pb.support(&data) + 1e-12, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn literal_satisfiability_matches_domain_scan(card in 1u16..6, attr_lit in (0u16..1, 0u64..6, 0u16..6)) {
-        let (attr, op_idx, value) = attr_lit;
-        let ops = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge];
-        let lit = Literal { attr, op: ops[(op_idx % 6) as usize], value };
-        let brute = (0..card).any(|c| lit.matches(c));
-        prop_assert_eq!(lit.satisfiable(card), brute);
+#[test]
+fn literal_satisfiability_matches_domain_scan() {
+    let ops = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge];
+    // The full cross product is tiny — scan it instead of sampling.
+    for card in 1u16..6 {
+        for op in ops {
+            for value in 0u16..6 {
+                let lit = Literal { attr: 0, op, value };
+                let brute = (0..card).any(|c| lit.matches(c));
+                assert_eq!(lit.satisfiable(card), brute, "{lit:?} card {card}");
+            }
+        }
     }
+}
 
-    #[test]
-    fn discretizer_assign_is_monotone(mut values in proptest::collection::vec(-1e6f64..1e6, 3..60), bins in 2usize..8) {
+#[test]
+fn discretizer_assign_is_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0004 ^ seed);
+        let n = rng.gen_range(3usize..60);
+        let mut values: Vec<f64> =
+            (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let bins = rng.gen_range(2usize..8);
         let cuts = Discretizer::EqualWidth(bins).cut_points(&values).unwrap();
-        prop_assert!(cuts.len() < bins);
+        assert!(cuts.len() < bins, "seed {seed}");
         let codes = Discretizer::assign(&values, &cuts);
         // Sorting values must sort codes (monotonicity).
         let mut pairs: Vec<(f64, u16)> = values.drain(..).zip(codes).collect();
         pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
-        prop_assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1), "seed {seed}");
         // Codes stay within the bin count.
-        prop_assert!(pairs.iter().all(|&(_, c)| (c as usize) <= cuts.len()));
+        assert!(pairs.iter().all(|&(_, c)| (c as usize) <= cuts.len()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn forest_invariants_hold_after_arbitrary_batch_delete(
-        data in dataset_strategy(),
-        del_mask in proptest::collection::vec(any::<bool>(), 120),
-        seed in 0u64..50,
-    ) {
-        let cfg = DareConfig {
-            n_trees: 2,
-            max_depth: 5,
-            seed,
-            ..DareConfig::default()
-        };
+#[test]
+fn forest_invariants_hold_after_arbitrary_batch_delete() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0005 ^ seed);
+        let data = random_dataset(&mut rng, 2..=4, 2..=4, 20..=120);
+        let cfg = DareConfig { n_trees: 2, max_depth: 5, seed, ..DareConfig::default() };
         let mut forest = DareForest::fit(&data, cfg);
-        let del: Vec<u32> = (0..data.num_rows() as u32)
-            .filter(|&r| del_mask.get(r as usize).copied().unwrap_or(false))
-            .collect();
+        let del: Vec<u32> =
+            (0..data.num_rows() as u32).filter(|_| rng.gen::<bool>()).collect();
         forest.delete(&del, &data).unwrap();
-        prop_assert_eq!(forest.num_instances() as usize, data.num_rows() - del.len());
+        assert_eq!(
+            forest.num_instances() as usize,
+            data.num_rows() - del.len(),
+            "seed {seed}"
+        );
         let violations = validate_forest(&forest, &data);
-        prop_assert!(violations.is_empty(), "{:?}", violations);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
+}
 
-    #[test]
-    fn statistical_parity_flips_sign_when_groups_swap(
-        preds in proptest::collection::vec(any::<bool>(), 30),
-        labels in proptest::collection::vec(any::<bool>(), 30),
-        mask in proptest::collection::vec(any::<bool>(), 30),
-    ) {
+#[test]
+fn statistical_parity_flips_sign_when_groups_swap() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0006 ^ seed);
+        let preds: Vec<bool> = (0..30).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = (0..30).map(|_| rng.gen()).collect();
+        let mask: Vec<bool> = (0..30).map(|_| rng.gen()).collect();
         let f = FairnessMetric::StatisticalParity.compute(&preds, &labels, &mask);
         let flipped: Vec<bool> = mask.iter().map(|&m| !m).collect();
         let g = FairnessMetric::StatisticalParity.compute(&preds, &labels, &flipped);
-        prop_assert!((f + g).abs() < 1e-12, "f={f} g={g}");
+        assert!((f + g).abs() < 1e-12, "seed {seed}: f={f} g={g}");
     }
+}
 
-    #[test]
-    fn perfect_predictions_satisfy_error_based_metrics(
-        labels in proptest::collection::vec(any::<bool>(), 2..60),
-        mask_seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(mask_seed);
-        let mask: Vec<bool> = labels.iter().map(|_| rng.gen()).collect();
+#[test]
+fn perfect_predictions_satisfy_error_based_metrics() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0007);
+    let mut checked = 0;
+    'outer: while checked < 64 {
+        let n = rng.gen_range(2usize..60);
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let mask: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
         // The identity requires every group rate to be well-defined: each
         // group must contain both a positive and a negative label
         // (undefined rates fall back to 0 by documented convention, which
@@ -166,15 +169,18 @@ proptest! {
         for want_priv in [false, true] {
             let pos = labels.iter().zip(&mask).any(|(&y, &m)| m == want_priv && y);
             let neg = labels.iter().zip(&mask).any(|(&y, &m)| m == want_priv && !y);
-            prop_assume!(pos && neg);
+            if !(pos && neg) {
+                continue 'outer;
+            }
         }
+        checked += 1;
         // A perfect predictor has TPR 1 / FPR 0 / PPV 1 in every such
         // group, so the *error-based* metrics are satisfied. Statistical
         // parity deliberately is NOT: it compares selection rates, which a
         // perfect predictor inherits from the groups' base rates.
         for m in [FairnessMetric::EqualizedOdds, FairnessMetric::PredictiveParity] {
             let v = m.compute(&labels, &labels, &mask);
-            prop_assert!(v.abs() < 1e-12, "{} = {v}", m.name());
+            assert!(v.abs() < 1e-12, "{} = {v}", m.name());
         }
         // And statistical parity of a perfect predictor equals the base
         // rate difference.
@@ -187,19 +193,27 @@ proptest! {
                     pos += usize::from(y);
                 }
             }
-            if n == 0 { 0.0 } else { pos as f64 / n as f64 }
+            if n == 0 {
+                0.0
+            } else {
+                pos as f64 / n as f64
+            }
         };
-        prop_assert!((sp - (rate(false) - rate(true))).abs() < 1e-12);
+        assert!((sp - (rate(false) - rate(true))).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn group_masks_partition_rows(data in dataset_strategy(), code in 0u16..4) {
+#[test]
+fn group_masks_partition_rows() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0008 ^ seed);
+        let data = random_dataset(&mut rng, 2..=4, 2..=4, 20..=120);
         let card = data.schema().attribute(0).unwrap().cardinality();
-        prop_assume!(code < card);
+        let code = rng.gen_range(0..card);
         let group = GroupSpec::new(0, code);
         let mask = data.privileged_mask(group);
         let priv_count = mask.iter().filter(|&&m| m).count();
         let by_code = data.column(0).iter().filter(|&&c| c == code).count();
-        prop_assert_eq!(priv_count, by_code);
+        assert_eq!(priv_count, by_code, "seed {seed}");
     }
 }

@@ -1,51 +1,30 @@
-//! Property-based tests of the lattice search's completeness guarantees,
+//! Randomized tests of the lattice search's completeness guarantees,
 //! forest persistence, generator calibration and split algebra.
+//! Formerly proptest properties; now deterministic seeded loops (see
+//! `proptest_invariants.rs` for the rationale).
 
-use std::sync::Arc;
+mod common;
 
+use std::collections::HashSet;
+
+use common::random_dataset;
 use fume::forest::persist;
 use fume::forest::{DareConfig, DareForest};
 use fume::lattice::{search, Literal, Predicate, RuleToggles, SearchParams, SupportRange};
 use fume::tabular::classifier::MajorityClassifier;
 use fume::tabular::generator::{generate, AttributeSpec, GeneratorSpec};
+use fume::tabular::rng::{Rng, SeedableRng, StdRng};
 use fume::tabular::split::train_test_split;
-use fume::tabular::{Attribute, Classifier, Dataset, Schema};
-use proptest::prelude::*;
+use fume::tabular::{Classifier, Dataset};
 
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=3, 2u16..=3, 30usize..=100)
-        .prop_flat_map(|(p, card, n)| {
-            let cols =
-                proptest::collection::vec(proptest::collection::vec(0..card, n), p);
-            let labels = proptest::collection::vec(any::<bool>(), n);
-            (Just(p), cols, labels)
-        })
-        .prop_map(|(p, cols, labels)| {
-            let card = cols[0].iter().copied().max().unwrap_or(0) + 1;
-            let attrs = (0..p)
-                .map(|j| {
-                    Attribute::categorical(
-                        format!("a{j}"),
-                        // Domain always covers the max card used by any column.
-                        (0..card.max(3)).map(|v| format!("v{v}")).collect(),
-                    )
-                })
-                .collect();
-            let schema = Arc::new(Schema::with_default_label(attrs).unwrap());
-            Dataset::new(schema, cols, labels).unwrap()
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Completeness: with rules 4/5 disabled and the full support range,
-    /// the search must evaluate *every* satisfiable 2-literal equality
-    /// predicate over distinct attributes (no lattice path is lost).
-    #[test]
-    fn search_without_attribution_rules_is_complete_at_level2(
-        data in dataset_strategy(),
-    ) {
+/// Completeness: with rules 4/5 disabled and the full support range,
+/// the search must evaluate *every* satisfiable 2-literal equality
+/// predicate over distinct attributes (no lattice path is lost).
+#[test]
+fn search_without_attribution_rules_is_complete_at_level2() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EA0_0001 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 2..=3, 30..=100);
         let mut params =
             SearchParams::new(SupportRange::new(0.0, 1.0).unwrap(), 2).unwrap();
         params.toggles = RuleToggles {
@@ -54,7 +33,7 @@ proptest! {
             ..RuleToggles::default()
         };
         let outcome = search(&data, &params, &|_: &Predicate, _: &[u32]| 1.0);
-        let evaluated: std::collections::HashSet<&Predicate> =
+        let evaluated: HashSet<&Predicate> =
             outcome.evaluated.iter().map(|s| &s.predicate).collect();
         let p = data.num_attributes() as u16;
         let card = data.schema().attribute(0).unwrap().cardinality();
@@ -66,9 +45,9 @@ proptest! {
                             Literal::eq(a, va),
                             Literal::eq(b, vb),
                         ]);
-                        prop_assert!(
+                        assert!(
                             evaluated.contains(&pred),
-                            "missing {pred:?}"
+                            "seed {seed}: missing {pred:?}"
                         );
                     }
                 }
@@ -77,21 +56,24 @@ proptest! {
         // Level-1 completeness too.
         for a in 0..p {
             for v in 0..card {
-                prop_assert!(evaluated.contains(&Predicate::single(Literal::eq(a, v))));
+                assert!(
+                    evaluated.contains(&Predicate::single(Literal::eq(a, v))),
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    /// Persistence: any trained forest round-trips bit-exactly and the
-    /// reloaded copy predicts identically.
-    #[test]
-    fn persist_roundtrip_over_random_data(
-        data in dataset_strategy(),
-        trees in 1usize..4,
-        seed in 0u64..100,
-    ) {
+/// Persistence: any trained forest round-trips bit-exactly and the
+/// reloaded copy predicts identically.
+#[test]
+fn persist_roundtrip_over_random_data() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EA0_0002 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 2..=3, 30..=100);
         let cfg = DareConfig {
-            n_trees: trees,
+            n_trees: rng.gen_range(1usize..4),
             max_depth: 5,
             seed,
             ..DareConfig::default()
@@ -99,19 +81,24 @@ proptest! {
         let forest = DareForest::fit(&data, cfg);
         let bytes = persist::to_bytes(&forest);
         let reloaded = persist::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(forest.predict_proba(&data), reloaded.predict_proba(&data));
-        prop_assert_eq!(persist::to_bytes(&reloaded), bytes);
+        assert_eq!(
+            forest.predict_proba(&data),
+            reloaded.predict_proba(&data),
+            "seed {seed}"
+        );
+        assert_eq!(persist::to_bytes(&reloaded), bytes, "seed {seed}");
     }
+}
 
-    /// Generator calibration: arbitrary base-rate targets are hit within
-    /// sampling tolerance.
-    #[test]
-    fn generator_hits_arbitrary_targets(
-        rate_priv in 0.1f64..0.9,
-        rate_prot in 0.1f64..0.9,
-        prot_frac in 0.2f64..0.8,
-        seed in 0u64..50,
-    ) {
+/// Generator calibration: arbitrary base-rate targets are hit within
+/// sampling tolerance.
+#[test]
+fn generator_hits_arbitrary_targets() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EA0_0003 ^ seed);
+        let rate_priv = rng.gen_range(0.1f64..0.9);
+        let rate_prot = rng.gen_range(0.1f64..0.9);
+        let prot_frac = rng.gen_range(0.2f64..0.8);
         let spec = GeneratorSpec {
             name: "prop".into(),
             attributes: vec![
@@ -128,20 +115,21 @@ proptest! {
         };
         let (data, group) = generate(&spec, 6_000, seed).unwrap();
         let (p, q) = fume::tabular::stats::group_base_rates(&data, group);
-        prop_assert!((p - rate_priv).abs() < 0.06, "priv {p} vs {rate_priv}");
-        prop_assert!((q - rate_prot).abs() < 0.06, "prot {q} vs {rate_prot}");
+        assert!((p - rate_priv).abs() < 0.06, "seed {seed}: priv {p} vs {rate_priv}");
+        assert!((q - rate_prot).abs() < 0.06, "seed {seed}: prot {q} vs {rate_prot}");
     }
+}
 
-    /// Split algebra: train and test partition the rows (as multisets of
-    /// full row tuples) for any fraction and seed.
-    #[test]
-    fn split_partitions_rows(
-        data in dataset_strategy(),
-        frac in 0.1f64..0.9,
-        seed in 0u64..100,
-    ) {
+/// Split algebra: train and test partition the rows (as multisets of
+/// full row tuples) for any fraction and seed.
+#[test]
+fn split_partitions_rows() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EA0_0004 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 2..=3, 30..=100);
+        let frac = rng.gen_range(0.1f64..0.9);
         let (train, test) = train_test_split(&data, frac, seed).unwrap();
-        prop_assert_eq!(train.num_rows() + test.num_rows(), data.num_rows());
+        assert_eq!(train.num_rows() + test.num_rows(), data.num_rows(), "seed {seed}");
         let tuple = |d: &Dataset, r: usize| {
             let mut t: Vec<u16> =
                 (0..d.num_attributes()).map(|a| d.code(r, a)).collect();
@@ -156,18 +144,28 @@ proptest! {
             .collect();
         all.sort();
         got.sort();
-        prop_assert_eq!(all, got);
+        assert_eq!(all, got, "seed {seed}");
     }
+}
 
-    /// A classifier trait identity: accuracy of the majority baseline
-    /// equals max(base rate, 1 − base rate) whenever the base rate is not
-    /// exactly one half.
-    #[test]
-    fn majority_baseline_accuracy_identity(data in dataset_strategy()) {
+/// A classifier trait identity: accuracy of the majority baseline
+/// equals max(base rate, 1 − base rate) whenever the base rate is not
+/// exactly one half.
+#[test]
+fn majority_baseline_accuracy_identity() {
+    let mut checked = 0;
+    let mut seed = 0u64;
+    while checked < 32 {
+        let mut rng = StdRng::seed_from_u64(0x5EA0_0005 ^ seed);
+        seed += 1;
+        let data = random_dataset(&mut rng, 2..=3, 2..=3, 30..=100);
         let rate = data.base_rate();
-        prop_assume!((rate - 0.5).abs() > 1e-9);
+        if (rate - 0.5).abs() <= 1e-9 {
+            continue;
+        }
+        checked += 1;
         let m = MajorityClassifier::fit(&data);
         let acc = m.accuracy(&data);
-        prop_assert!((acc - rate.max(1.0 - rate)).abs() < 1e-12);
+        assert!((acc - rate.max(1.0 - rate)).abs() < 1e-12, "seed {seed}");
     }
 }

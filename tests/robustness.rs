@@ -1,49 +1,25 @@
 //! Robustness properties: insertion invariants under random waves, and
-//! persistence decode hardening against corrupted bytes.
+//! persistence decode hardening against corrupted bytes. Formerly
+//! proptest properties; now deterministic seeded loops (see
+//! `proptest_invariants.rs` for the rationale).
 
-use std::sync::Arc;
+mod common;
 
+use common::random_dataset;
 use fume::forest::persist;
 use fume::forest::validate::validate_forest;
 use fume::forest::{DareConfig, DareForest};
-use fume::tabular::{Attribute, Dataset, Schema};
-use proptest::prelude::*;
+use fume::tabular::rng::{Rng, SeedableRng, StdRng};
 
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=3, 40usize..=100)
-        .prop_flat_map(|(p, n)| {
-            let cols =
-                proptest::collection::vec(proptest::collection::vec(0u16..3, n), p);
-            let labels = proptest::collection::vec(any::<bool>(), n);
-            (Just(p), cols, labels)
-        })
-        .prop_map(|(p, cols, labels)| {
-            let attrs = (0..p)
-                .map(|j| {
-                    Attribute::categorical(
-                        format!("a{j}"),
-                        vec!["x".into(), "y".into(), "z".into()],
-                    )
-                })
-                .collect();
-            let schema = Arc::new(Schema::with_default_label(attrs).unwrap());
-            Dataset::new(schema, cols, labels).unwrap()
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Growing a forest from a random seed subset to the full data by
-    /// random insertion waves keeps every cached statistic exact.
-    #[test]
-    fn insertion_waves_keep_invariants(
-        data in dataset_strategy(),
-        seed in 0u64..50,
-        split_at in 5usize..30,
-    ) {
+/// Growing a forest from a random seed subset to the full data by
+/// random insertion waves keeps every cached statistic exact.
+#[test]
+fn insertion_waves_keep_invariants() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B0E_0001 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 3..=3, 40..=100);
         let n = data.num_rows();
-        let split_at = split_at.min(n - 1);
+        let split_at = rng.gen_range(5usize..30).min(n - 1);
         let cfg = DareConfig { n_trees: 2, max_depth: 5, seed, ..DareConfig::default() };
         let seed_ids: Vec<u32> = (0..split_at as u32).collect();
         let mut forest = DareForest::fit_on(&data, seed_ids, cfg);
@@ -54,18 +30,19 @@ proptest! {
             forest.insert(&wave, &data).unwrap();
             next = hi;
         }
-        prop_assert_eq!(forest.num_instances() as usize, n);
+        assert_eq!(forest.num_instances() as usize, n, "seed {seed}");
         let violations = validate_forest(&forest, &data);
-        prop_assert!(violations.is_empty(), "{:?}", violations);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
+}
 
-    /// Interleaved inserts and deletes never violate invariants and always
-    /// land on the expected instance set.
-    #[test]
-    fn interleaved_insert_delete(
-        data in dataset_strategy(),
-        seed in 0u64..50,
-    ) {
+/// Interleaved inserts and deletes never violate invariants and always
+/// land on the expected instance set.
+#[test]
+fn interleaved_insert_delete() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B0E_0002 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 3..=3, 40..=100);
         let n = data.num_rows() as u32;
         let cfg = DareConfig { n_trees: 2, max_depth: 5, seed, ..DareConfig::default() };
         let mut forest = DareForest::fit(&data, cfg);
@@ -73,44 +50,51 @@ proptest! {
         forest.delete(&batch, &data).unwrap();
         forest.insert(&batch[..batch.len() / 2], &data).unwrap();
         forest.delete(&batch[..batch.len() / 4], &data).unwrap();
-        let expect =
-            n as usize - batch.len() + batch.len() / 2 - batch.len() / 4;
-        prop_assert_eq!(forest.num_instances() as usize, expect);
+        let expect = n as usize - batch.len() + batch.len() / 2 - batch.len() / 4;
+        assert_eq!(forest.num_instances() as usize, expect, "seed {seed}");
         let violations = validate_forest(&forest, &data);
-        prop_assert!(violations.is_empty(), "{:?}", violations);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
+}
 
-    /// Decoding never panics on corrupted input: any single byte flip is
-    /// either rejected with an error or yields a forest (a flipped id or
-    /// count byte can decode "successfully"; panics and UB are the bugs).
-    #[test]
-    fn persist_decode_survives_byte_flips(
-        data in dataset_strategy(),
-        seed in 0u64..20,
-        flip_at_frac in 0.0f64..1.0,
-        flip_bits in 1u8..=255,
-    ) {
-        let cfg = DareConfig { n_trees: 2, max_depth: 4, seed, ..DareConfig::default() };
-        let forest = DareForest::fit(&data, cfg);
-        let mut bytes = persist::to_bytes(&forest);
-        let idx = ((bytes.len() - 1) as f64 * flip_at_frac) as usize;
-        bytes[idx] ^= flip_bits;
-        let _ = persist::from_bytes(&bytes); // must not panic
-    }
-
-    /// Truncation at any point is rejected (never panics, never Ok):
-    /// a prefix cannot contain all declared trees plus the end-of-input
-    /// check.
-    #[test]
-    fn persist_decode_rejects_truncation(
-        data in dataset_strategy(),
-        seed in 0u64..20,
-        keep_frac in 0.0f64..1.0,
-    ) {
+/// Decoding never panics on corrupted input: any single byte flip is
+/// either rejected with an error or yields a forest (a flipped id or
+/// count byte can decode "successfully"; panics and UB are the bugs).
+#[test]
+fn persist_decode_survives_byte_flips() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B0E_0003 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 3..=3, 40..=100);
         let cfg = DareConfig { n_trees: 2, max_depth: 4, seed, ..DareConfig::default() };
         let forest = DareForest::fit(&data, cfg);
         let bytes = persist::to_bytes(&forest);
-        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
-        prop_assert!(persist::from_bytes(&bytes[..keep]).is_err());
+        for _ in 0..32 {
+            let mut corrupt = bytes.clone();
+            let idx = rng.gen_range(0..corrupt.len());
+            let flip_bits = rng.gen_range(1u16..=255) as u8;
+            corrupt[idx] ^= flip_bits;
+            let _ = persist::from_bytes(&corrupt); // must not panic
+        }
+    }
+}
+
+/// Truncation at any point is rejected (never panics, never Ok):
+/// a prefix cannot contain all declared trees plus the end-of-input
+/// check.
+#[test]
+fn persist_decode_rejects_truncation() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B0E_0004 ^ seed);
+        let data = random_dataset(&mut rng, 2..=3, 3..=3, 40..=100);
+        let cfg = DareConfig { n_trees: 2, max_depth: 4, seed, ..DareConfig::default() };
+        let forest = DareForest::fit(&data, cfg);
+        let bytes = persist::to_bytes(&forest);
+        for _ in 0..32 {
+            let keep = rng.gen_range(0..bytes.len());
+            assert!(
+                persist::from_bytes(&bytes[..keep]).is_err(),
+                "seed {seed}: truncation at {keep} accepted"
+            );
+        }
     }
 }

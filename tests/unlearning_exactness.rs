@@ -10,9 +10,7 @@ use fume::forest::{extra_trees::ExtraForest, DareConfig, DareForest, MaxFeatures
 use fume::tabular::datasets::{german_credit, planted_toy};
 use fume::tabular::split::train_test_split;
 use fume::tabular::Classifier;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fume::tabular::rng::{SeedableRng, SliceRandom, StdRng};
 
 fn configs(seed: u64) -> Vec<DareConfig> {
     vec![
