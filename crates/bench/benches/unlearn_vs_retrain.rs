@@ -17,17 +17,23 @@ fn bench(h: &mut Harness) {
         let size = data.num_rows() * pct / 100;
         let subset: Vec<u32> = (0..size as u32).collect();
 
+        // `with_removed` with an empty closure isolates the cost of
+        // producing the counterfactual model (delete+rollback, or retrain).
         let dare = DareRemoval::new(&forest, &data);
-        g.bench_param("dare_unlearning", format!("{pct}pct"), || dare.remove(&subset));
+        g.bench_param("dare_unlearning", format!("{pct}pct"), || {
+            dare.with_removed(&subset, |_| ())
+        });
 
         let retrain = RetrainRemoval::new(&data, cfg.clone());
         g.bench_param("retrain_from_scratch", format!("{pct}pct"), || {
-            retrain.remove(&subset)
+            retrain.with_removed(&subset, |_| ())
         });
 
         // The sequential-model worst case: GBDT has no cheap removal.
         let gbdt = GbdtRetrainRemoval::new(&data, gbdt_cfg.clone());
-        g.bench_param("gbdt_retrain", format!("{pct}pct"), || gbdt.remove(&subset));
+        g.bench_param("gbdt_retrain", format!("{pct}pct"), || {
+            gbdt.with_removed(&subset, |_| ())
+        });
     }
 }
 
@@ -44,10 +50,12 @@ fn bench_larger_dataset(h: &mut Harness) {
         let size = data.num_rows() * pct / 100;
         let subset: Vec<u32> = (0..size as u32).collect();
         let dare = DareRemoval::new(&forest, &data);
-        g.bench_param("dare_unlearning", format!("{pct}pct"), || dare.remove(&subset));
+        g.bench_param("dare_unlearning", format!("{pct}pct"), || {
+            dare.with_removed(&subset, |_| ())
+        });
         let retrain = RetrainRemoval::new(&data, cfg.clone());
         g.bench_param("retrain_from_scratch", format!("{pct}pct"), || {
-            retrain.remove(&subset)
+            retrain.with_removed(&subset, |_| ())
         });
     }
 }

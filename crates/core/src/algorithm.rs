@@ -214,8 +214,8 @@ impl Fume {
     /// extensibility: swap the removal method, keep Algorithm 1.
     ///
     /// `model` must be the deployed model trained on exactly the rows of
-    /// `train`, and `removal.remove(T)` must emulate training it on
-    /// `train \ T`.
+    /// `train`, and `removal.with_removed(T, f)` must hand `f` a model
+    /// emulating training on `train \ T`.
     pub fn explain_with<R, C>(
         &self,
         removal: R,

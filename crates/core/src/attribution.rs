@@ -1,6 +1,7 @@
 //! Subset attribution toward bias (paper Definitions 2.2/2.3 and Eq. 2),
 //! with parallel batch evaluation.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -43,8 +44,12 @@ pub struct AttributionEstimator<'a, R: RemovalMethod> {
 impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     /// Builds an estimator around the deployed model's observed bias.
     /// `original_bias` must be positive (there must *be* a violation).
+    ///
+    /// Calls [`RemovalMethod::prepare`] with the resolved worker count,
+    /// so pool-backed methods clone their scratch state once here rather
+    /// than per evaluated subset.
     pub fn new(
-        removal: R,
+        mut removal: R,
         metric: FairnessMetric,
         test: &'a Dataset,
         group: GroupSpec,
@@ -53,21 +58,24 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     ) -> Self {
         assert!(original_bias > 0.0, "no fairness violation to attribute");
         let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n_jobs = n_jobs.unwrap_or(avail).max(1);
+        removal.prepare(n_jobs);
         Self {
             removal,
             metric,
             test,
             group,
             original_bias,
-            n_jobs: n_jobs.unwrap_or(avail).max(1),
+            n_jobs,
             eval_nanos: AtomicU64::new(0),
         }
     }
 
     /// `ρ` for a single subset.
     pub fn rho(&self, subset: &[u32]) -> f64 {
-        let model = self.removal.remove(subset);
-        let new_bias = self.metric.bias(&model, self.test, self.group);
+        let new_bias = self
+            .removal
+            .with_removed(subset, |model| self.metric.bias(model, self.test, self.group));
         parity_reduction(self.original_bias, new_bias)
     }
 
@@ -88,8 +96,11 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
 }
 
 impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
-    /// Evaluates a level's subsets in parallel: each worker clones/retrains
-    /// its own model, so items are fully independent.
+    /// Evaluates a level's subsets in parallel. Items selecting identical
+    /// row sets (syntactically different but semantically redundant
+    /// predicates) are deduplicated first, so each distinct subset is
+    /// unlearned exactly once; workers then share pooled scratch models
+    /// through the removal method, so items are fully independent.
     fn evaluate(&self, items: &[EvalItem<'_>]) -> Vec<f64> {
         if items.is_empty() {
             return Vec::new();
@@ -97,23 +108,43 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
         let _span = fume_obs::span!("fume.phase.unlearn_eval", batch = items.len());
         fume_obs::counter!("fume.unlearn_evals", items.len());
         let t0 = Instant::now();
-        let jobs = self.n_jobs.min(items.len());
-        let out = if jobs <= 1 {
-            items.iter().map(|it| self.rho(it.rows)).collect()
+
+        // Dedupe identical row selections: `slot_of[i]` maps item `i` to
+        // its evaluation in `unique`.
+        let mut first_of: HashMap<&[u32], usize> = HashMap::with_capacity(items.len());
+        let mut unique: Vec<&[u32]> = Vec::with_capacity(items.len());
+        let mut slot_of: Vec<usize> = Vec::with_capacity(items.len());
+        for item in items {
+            let next = unique.len();
+            let idx = *first_of.entry(item.rows).or_insert(next);
+            if idx == next {
+                unique.push(item.rows);
+            }
+            slot_of.push(idx);
+        }
+        let deduped = items.len() - unique.len();
+        if deduped > 0 {
+            fume_obs::counter!("fume.unlearn_evals.deduped", deduped);
+        }
+
+        let jobs = self.n_jobs.min(unique.len());
+        let rho_unique: Vec<f64> = if jobs <= 1 {
+            unique.iter().map(|rows| self.rho(rows)).collect()
         } else {
-            let mut out: Vec<Option<f64>> = vec![None; items.len()];
-            let chunk = items.len().div_ceil(jobs);
+            let mut out: Vec<Option<f64>> = vec![None; unique.len()];
+            let chunk = unique.len().div_ceil(jobs);
             std::thread::scope(|scope| {
-                for (slots, work) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                for (slots, work) in out.chunks_mut(chunk).zip(unique.chunks(chunk)) {
                     scope.spawn(move || {
-                        for (slot, item) in slots.iter_mut().zip(work) {
-                            *slot = Some(self.rho(item.rows));
+                        for (slot, rows) in slots.iter_mut().zip(work) {
+                            *slot = Some(self.rho(rows));
                         }
                     });
                 }
             });
             out.into_iter().map(|o| o.expect("all slots filled")).collect()
         };
+        let out = slot_of.into_iter().map(|i| rho_unique[i]).collect();
         self.eval_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
@@ -125,7 +156,7 @@ mod tests {
     use super::*;
     use crate::removal::DareRemoval;
     use fume_forest::{DareConfig, DareForest};
-    use fume_lattice::{Literal, Predicate};
+    use fume_lattice::{Literal, Op, Predicate};
     use fume_tabular::datasets::planted_toy;
     use fume_tabular::split::train_test_split;
 
@@ -181,6 +212,61 @@ mod tests {
         let b = parallel.evaluate(&items);
         assert_eq!(a, b, "parallelism must not change results");
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn identical_row_selections_cost_one_evaluation() {
+        use crate::removal::DareCloneRemoval;
+        use std::sync::atomic::AtomicUsize;
+
+        /// Counts how many removals actually run underneath dedup.
+        struct CountingRemoval<'a> {
+            inner: DareCloneRemoval<'a>,
+            calls: &'a AtomicUsize,
+        }
+        impl RemovalMethod for CountingRemoval<'_> {
+            fn with_removed<T>(
+                &self,
+                subset: &[u32],
+                f: impl FnOnce(&dyn fume_tabular::Classifier) -> T,
+            ) -> T {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.with_removed(subset, f)
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+
+        let (train, test, group, forest, bias) = setup();
+        // Two syntactically different predicates with the same selection,
+        // plus one genuinely distinct item.
+        let p_a = Predicate::single(Literal::eq(1, 0));
+        // `code <= 0` selects exactly the rows with `code == 0`.
+        let p_b = Predicate::single(Literal { attr: 1, op: Op::Le, value: 0 });
+        let p_c = Predicate::single(Literal::eq(1, 1));
+        let rows_a = p_a.select(&train);
+        let rows_b = p_b.select(&train);
+        let rows_c = p_c.select(&train);
+        assert_eq!(rows_a, rows_b, "setup: selections must coincide");
+        let items = [
+            EvalItem { predicate: &p_a, rows: &rows_a },
+            EvalItem { predicate: &p_b, rows: &rows_b },
+            EvalItem { predicate: &p_c, rows: &rows_c },
+        ];
+        let calls = AtomicUsize::new(0);
+        let est = AttributionEstimator::new(
+            CountingRemoval { inner: DareCloneRemoval::new(&forest, &train), calls: &calls },
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            bias,
+            Some(1),
+        );
+        let out = est.evaluate(&items);
+        assert_eq!(out.len(), 3, "every item still gets its ρ");
+        assert_eq!(out[0], out[1], "duplicates share the evaluation result");
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "two distinct subsets → two removals");
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! exponential predicate space is navigated by the apriori-style
 //! [lattice search](fume_lattice) with the paper's five pruning rules.
 //!
-//! Entry point: [`Fume::explain`](algorithm::Fume::explain).
+//! Entry point: [`Fume::builder`](algorithm::Fume::builder) (fluent), or
+//! [`Fume::new`](algorithm::Fume::new) with an explicit [`FumeConfig`].
+//! Most users want `use fume_core::prelude::*;`.
 
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod attribution;
 pub mod baseline;
+pub mod builder;
 pub mod config;
 pub mod instance_attribution;
 pub mod path_mining;
@@ -29,8 +32,35 @@ pub mod slice_finder;
 pub use algorithm::{apply_removal, ExplainedSubset, Fume, FumeError, FumeReport};
 pub use attribution::{parity_reduction, phi, AttributionEstimator};
 pub use baseline::{drop_unpriv_unfavor, BaselineResult};
+pub use builder::FumeBuilder;
 pub use config::FumeConfig;
 pub use instance_attribution::{overlap_with_subset, rank_instances, InstanceAttribution};
 pub use path_mining::{mine_unfair_paths, MinedPattern};
-pub use removal::{DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval};
+pub use removal::{
+    DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval,
+};
 pub use slice_finder::{find_slices, Slice};
+
+/// One-stop imports for a typical FUME run: the engine, its
+/// configuration surface, removal methods, and the upstream types
+/// (forest config, fairness metric, lattice bounds, dataset/group
+/// handles) they are parameterized by.
+///
+/// ```
+/// use fume_core::prelude::*;
+/// let fume = Fume::builder().forest(DareConfig::small(1)).build();
+/// assert_eq!(fume.config().top_k, 5);
+/// ```
+pub mod prelude {
+    pub use crate::algorithm::{Fume, FumeError, FumeReport};
+    pub use crate::attribution::AttributionEstimator;
+    pub use crate::builder::FumeBuilder;
+    pub use crate::config::FumeConfig;
+    pub use crate::removal::{
+        DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval,
+    };
+    pub use fume_fairness::FairnessMetric;
+    pub use fume_forest::{DareConfig, DareForest, MaxFeatures};
+    pub use fume_lattice::{LiteralGen, SupportRange};
+    pub use fume_tabular::{Classifier, Dataset, GroupSpec};
+}

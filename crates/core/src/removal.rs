@@ -1,57 +1,141 @@
 //! Removal methods `R(A(D), D, T)`: ways to obtain "the model had it been
 //! trained without subset T" (paper §3).
 //!
-//! Two implementations are provided:
-//! * [`DareRemoval`] — machine unlearning on a DaRE forest (FUME's fast
-//!   path): clone the trained forest, batch-delete the subset;
+//! The trait is *scoped*: [`RemovalMethod::with_removed`] hands the
+//! counterfactual model to a closure instead of returning it, so
+//! implementations can reuse long-lived scratch state (lease → delete →
+//! measure → roll back) without callers being able to retain or mutate
+//! the leased model.
+//!
+//! Implementations:
+//! * [`DareRemoval`] — FUME's fast path: each worker leases a scratch
+//!   forest from a pool (cloned once, not once per subset), journals the
+//!   deletion, measures, then rolls the scratch back byte-identically;
+//! * [`DareCloneRemoval`] — the pre-pool shape: clone the deployed
+//!   forest per call and batch-delete (kept as the bench baseline);
 //! * [`RetrainRemoval`] — the naive gold standard: fit a fresh forest on
-//!   `D \ T` from scratch (used as ground truth in the paper's Figure 3
-//!   and as the efficiency baseline).
+//!   `D \ T` from scratch (ground truth in the paper's Figure 3 and the
+//!   efficiency baseline);
+//! * [`GbdtRetrainRemoval`] — model-agnostic retraining for GBDTs.
+
+use std::sync::Mutex;
 
 use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig};
 use fume_tabular::{Classifier, Dataset};
 
-/// Produces a model equivalent to training on `D \ subset`.
+/// Produces a model equivalent to training on `D \ subset` and lends it
+/// to a closure.
 pub trait RemovalMethod: Sync {
-    /// The model type produced.
-    type Model: Classifier;
+    /// Runs `f` against the model with `subset` (training-row ids)
+    /// removed, returning whatever `f` computes. The deployed model must
+    /// be observably unchanged when this returns; the counterfactual
+    /// model only lives for the duration of `f`, which lets
+    /// implementations lease reusable scratch state instead of
+    /// materialising a fresh model per call.
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T;
 
-    /// Returns the model with `subset` (training-row ids) removed.
-    /// Must not mutate the deployed model.
-    fn remove(&self, subset: &[u32]) -> Self::Model;
+    /// One-time warm-up before a batch evaluation fans out over
+    /// `workers` threads — e.g. pre-populating a scratch pool so no
+    /// worker pays a cold clone mid-loop. The default does nothing.
+    fn prepare(&mut self, workers: usize) {
+        let _ = workers;
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 }
 
-/// Machine unlearning via DaRE: clone the deployed forest and exactly
-/// unlearn the subset.
-#[derive(Debug, Clone, Copy)]
+/// Machine unlearning via DaRE with a scratch-forest pool: workers lease
+/// a long-lived scratch forest, journal-delete the subset into it,
+/// measure, and roll back — zero forest clones in steady state.
+#[derive(Debug)]
 pub struct DareRemoval<'a> {
+    forest: &'a DareForest,
+    train: &'a Dataset,
+    pool: Mutex<Vec<DareForest>>,
+}
+
+impl<'a> DareRemoval<'a> {
+    /// Wraps a trained forest and its training data. The scratch pool
+    /// starts empty and fills on first use (or via
+    /// [`RemovalMethod::prepare`]).
+    pub fn new(forest: &'a DareForest, train: &'a Dataset) -> Self {
+        Self { forest, train, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Number of scratch forests currently resting in the pool.
+    pub fn pooled_scratch(&self) -> usize {
+        self.pool.lock().expect("scratch pool lock").len()
+    }
+
+    fn lease(&self) -> DareForest {
+        fume_obs::counter!("fume.scratch.leases", 1);
+        match self.pool.lock().expect("scratch pool lock").pop() {
+            Some(scratch) => scratch,
+            None => {
+                fume_obs::counter!("fume.scratch.cold_clones", 1);
+                self.forest.clone()
+            }
+        }
+    }
+
+    fn release(&self, scratch: DareForest) {
+        self.pool.lock().expect("scratch pool lock").push(scratch);
+    }
+}
+
+impl RemovalMethod for DareRemoval<'_> {
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T {
+        let mut scratch = self.lease();
+        // Lattice selections come from the training universe the forest
+        // was fitted on, so the per-call presence scan is skipped.
+        let journal = scratch.delete_journaled(subset, self.train);
+        fume_obs::counter!("fume.journal.bytes", journal.approx_bytes());
+        let out = f(&scratch);
+        let restored = scratch.rollback(journal);
+        fume_obs::counter!("fume.rollback.nodes_restored", restored);
+        debug_assert_eq!(&scratch, self.forest, "rollback must restore the snapshot");
+        self.release(scratch);
+        out
+    }
+
+    fn prepare(&mut self, workers: usize) {
+        let mut pool = self.pool.lock().expect("scratch pool lock");
+        while pool.len() < workers.max(1) {
+            pool.push(self.forest.clone());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DaRE unlearning"
+    }
+}
+
+/// The pre-pool DaRE path: clone the deployed forest per call and
+/// batch-delete the subset. Kept as the baseline the pooled path is
+/// benchmarked (and byte-identity-tested) against.
+#[derive(Debug, Clone, Copy)]
+pub struct DareCloneRemoval<'a> {
     forest: &'a DareForest,
     train: &'a Dataset,
 }
 
-impl<'a> DareRemoval<'a> {
+impl<'a> DareCloneRemoval<'a> {
     /// Wraps a trained forest and its training data.
     pub fn new(forest: &'a DareForest, train: &'a Dataset) -> Self {
         Self { forest, train }
     }
 }
 
-impl RemovalMethod for DareRemoval<'_> {
-    type Model = DareForest;
-
-    fn remove(&self, subset: &[u32]) -> DareForest {
+impl RemovalMethod for DareCloneRemoval<'_> {
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T {
         let mut clone = self.forest.clone();
-        // Lattice selections come from the training universe the forest
-        // was fitted on, so the per-call presence scan is skipped.
         clone.delete_unchecked(subset, self.train);
-        clone
+        f(&clone)
     }
 
     fn name(&self) -> &'static str {
-        "DaRE unlearning"
+        "DaRE unlearning (clone per eval)"
     }
 }
 
@@ -70,20 +154,21 @@ impl<'a> RetrainRemoval<'a> {
     }
 }
 
-impl RemovalMethod for RetrainRemoval<'_> {
-    type Model = DareForest;
+fn complement(subset: &[u32], num_rows: usize) -> Vec<u32> {
+    let mut keep = vec![true; num_rows];
+    for &id in subset {
+        keep[id as usize] = false;
+    }
+    (0..num_rows as u32).filter(|&r| keep[r as usize]).collect()
+}
 
-    fn remove(&self, subset: &[u32]) -> DareForest {
-        let mut keep = vec![true; self.train.num_rows()];
-        for &id in subset {
-            keep[id as usize] = false;
-        }
-        let surviving: Vec<u32> = (0..self.train.num_rows() as u32)
-            .filter(|&r| keep[r as usize])
-            .collect();
+impl RemovalMethod for RetrainRemoval<'_> {
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T {
+        let surviving = complement(subset, self.train.num_rows());
         // Retrains serially: the caller parallelizes across subsets.
         let cfg = DareConfig { n_jobs: Some(1), ..self.config.clone() };
-        DareForest::fit_on(self.train, surviving, cfg)
+        let model = DareForest::fit_on(self.train, surviving, cfg);
+        f(&model)
     }
 
     fn name(&self) -> &'static str {
@@ -112,17 +197,10 @@ impl<'a> GbdtRetrainRemoval<'a> {
 }
 
 impl RemovalMethod for GbdtRetrainRemoval<'_> {
-    type Model = Gbdt;
-
-    fn remove(&self, subset: &[u32]) -> Gbdt {
-        let mut keep = vec![true; self.train.num_rows()];
-        for &id in subset {
-            keep[id as usize] = false;
-        }
-        let surviving: Vec<u32> = (0..self.train.num_rows() as u32)
-            .filter(|&r| keep[r as usize])
-            .collect();
-        Gbdt::fit_on(self.train, surviving, self.config.clone())
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T {
+        let surviving = complement(subset, self.train.num_rows());
+        let model = Gbdt::fit_on(self.train, surviving, self.config.clone());
+        f(&model)
     }
 
     fn name(&self) -> &'static str {
@@ -141,17 +219,53 @@ mod tests {
         let forest = DareForest::fit(&train, DareConfig::small(61));
         let snapshot = forest.clone();
         let removal = DareRemoval::new(&forest, &train);
-        let unlearned = removal.remove(&[0, 1, 2, 3, 4]);
+        let n = removal.with_removed(&[0, 1, 2, 3, 4], |model| {
+            let _ = model.predict(&train);
+            5u32
+        });
         assert_eq!(forest, snapshot, "deployed model must be untouched");
-        assert_eq!(unlearned.num_instances() + 5, forest.num_instances());
+        assert_eq!(n, 5);
+        // The scratch forest was rolled back and returned to the pool.
+        assert_eq!(removal.pooled_scratch(), 1);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_forests_across_calls() {
+        let (train, _) = planted_toy().generate_scaled(0.15, 65).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(65).with_trees(5));
+        let mut removal = DareRemoval::new(&forest, &train);
+        removal.prepare(2);
+        assert_eq!(removal.pooled_scratch(), 2);
+        for round in 0..4 {
+            removal.with_removed(&[round, round + 10], |_| ());
+            assert_eq!(removal.pooled_scratch(), 2, "pool must not grow or shrink");
+        }
+    }
+
+    #[test]
+    fn pooled_and_clone_paths_agree_exactly() {
+        use fume_fairness::FairnessMetric;
+        let (data, group) = planted_toy().generate_scaled(0.3, 66).unwrap();
+        let (train, test) = fume_tabular::split::train_test_split(&data, 0.3, 66).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(66));
+        let pooled = DareRemoval::new(&forest, &train);
+        let cloning = DareCloneRemoval::new(&forest, &train);
+        let metric = FairnessMetric::StatisticalParity;
+        for subset in [vec![0u32, 3, 9], (0..30).collect::<Vec<u32>>()] {
+            let a = pooled.with_removed(&subset, |m| metric.bias(m, &test, group));
+            let b = cloning.with_removed(&subset, |m| metric.bias(m, &test, group));
+            assert_eq!(a.to_bits(), b.to_bits(), "pool and clone paths must agree");
+        }
     }
 
     #[test]
     fn retrain_removal_trains_on_complement() {
         let (train, _) = planted_toy().generate_scaled(0.15, 62).unwrap();
         let removal = RetrainRemoval::new(&train, DareConfig::small(62).with_trees(5));
-        let model = removal.remove(&[0, 10, 20]);
-        assert_eq!(model.num_instances() as usize, train.num_rows() - 3);
+        let n = removal.with_removed(&[0, 10, 20], |model| {
+            model.predict(&train).len()
+        });
+        assert_eq!(n, train.num_rows());
     }
 
     #[test]
@@ -165,10 +279,9 @@ mod tests {
         let dare = DareRemoval::new(&forest, &train);
         let retrain = RetrainRemoval::new(&train, cfg);
         let subset: Vec<u32> = (0..40).collect();
-        let b_dare =
-            FairnessMetric::StatisticalParity.bias(&dare.remove(&subset), &test, group);
-        let b_retrain =
-            FairnessMetric::StatisticalParity.bias(&retrain.remove(&subset), &test, group);
+        let metric = FairnessMetric::StatisticalParity;
+        let b_dare = dare.with_removed(&subset, |m| metric.bias(m, &test, group));
+        let b_retrain = retrain.with_removed(&subset, |m| metric.bias(m, &test, group));
         assert!(
             (b_dare - b_retrain).abs() < 0.08,
             "unlearned bias {b_dare} vs retrained {b_retrain}"
@@ -180,6 +293,10 @@ mod tests {
         let (train, _) = planted_toy().generate_scaled(0.1, 64).unwrap();
         let forest = DareForest::fit(&train, DareConfig::small(64).with_trees(2));
         assert_eq!(DareRemoval::new(&forest, &train).name(), "DaRE unlearning");
+        assert_eq!(
+            DareCloneRemoval::new(&forest, &train).name(),
+            "DaRE unlearning (clone per eval)"
+        );
         assert_eq!(
             RetrainRemoval::new(&train, DareConfig::small(64)).name(),
             "retraining from scratch"

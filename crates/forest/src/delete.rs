@@ -16,6 +16,7 @@ use crate::builder::{
 };
 use crate::config::DareConfig;
 use crate::gini::gini_gain;
+use crate::journal::{JournalSink, NodePath};
 use crate::node::{Internal, Node};
 
 /// Counters describing what one deletion did to a tree (aggregated over the
@@ -58,7 +59,7 @@ fn surviving_ids(node: &Node, del: &[u32]) -> Vec<u32> {
 }
 
 /// Deletes `del` (sorted, deduplicated, all present under `node`) from the
-/// subtree rooted at `node` which sits at `depth`.
+/// subtree rooted at `node` which sits at `depth`, without journaling.
 pub(crate) fn delete_from_node(
     node: &mut Node,
     del: &[u32],
@@ -68,60 +69,174 @@ pub(crate) fn delete_from_node(
     cfg: &DareConfig,
     report: &mut DeleteReport,
 ) {
-    if del.is_empty() {
-        return;
+    let mut pass = DeletePass::new(data, cfg, rng, report, JournalSink::Off);
+    pass.delete(node, del, depth, NodePath::ROOT);
+}
+
+/// One top-down deletion pass over a tree: the shared traversal behind
+/// both the destructive delete and the journaled delete+rollback path.
+pub(crate) struct DeletePass<'a> {
+    data: &'a Dataset,
+    cfg: &'a DareConfig,
+    rng: &'a mut StdRng,
+    report: &'a mut DeleteReport,
+    journal: JournalSink,
+}
+
+impl<'a> DeletePass<'a> {
+    /// Builds a pass; `journal` decides whether mutations are recorded.
+    pub(crate) fn new(
+        data: &'a Dataset,
+        cfg: &'a DareConfig,
+        rng: &'a mut StdRng,
+        report: &'a mut DeleteReport,
+        journal: JournalSink,
+    ) -> Self {
+        Self { data, cfg, rng, report, journal }
     }
-    let labels = data.labels();
-    let del_pos = del.iter().filter(|&&id| labels[id as usize]).count() as u32;
 
-    match node {
-        Node::Leaf(leaf) => {
-            subtract_sorted(&mut leaf.ids, del);
-            leaf.n_pos -= del_pos;
-            report.leaves_updated += 1;
+    /// Consumes the pass, yielding the journal's undo records.
+    pub(crate) fn into_records(self) -> Vec<crate::journal::UndoRecord> {
+        self.journal.into_records()
+    }
+
+    /// Deletes `del` (sorted, deduplicated, all present under `node`)
+    /// from the subtree rooted at `node` which sits at `depth`/`path`.
+    pub(crate) fn delete(
+        &mut self,
+        node: &mut Node,
+        del: &[u32],
+        depth: usize,
+        path: NodePath,
+    ) {
+        if del.is_empty() {
+            return;
         }
-        Node::Internal(internal) => {
-            let new_n = internal.n - del.len() as u32;
-            let new_n_pos = internal.n_pos - del_pos;
+        let (data, cfg) = (self.data, self.cfg);
+        let labels = data.labels();
+        let del_pos = del.iter().filter(|&&id| labels[id as usize]).count() as u32;
 
-            // The builder would now make this node a leaf: rebuild.
-            if new_n < cfg.min_samples_split || new_n_pos == 0 || new_n_pos == new_n {
-                let ids = surviving_ids(node, del);
-                *node = build_node(data, ids, depth, rng, cfg);
-                report.subtrees_retrained += 1;
-                return;
+        match node {
+            Node::Leaf(leaf) => {
+                self.journal.record_leaf(path, leaf);
+                subtract_sorted(&mut leaf.ids, del);
+                leaf.n_pos -= del_pos;
+                self.report.leaves_updated += 1;
             }
+            Node::Internal(internal) => {
+                let new_n = internal.n - del.len() as u32;
+                let new_n_pos = internal.n_pos - del_pos;
 
-            internal.n = new_n;
-            internal.n_pos = new_n_pos;
-            report.nodes_updated += 1;
-
-            let (del_left, del_right) =
-                partition(data, del, internal.attr, internal.threshold);
-
-            let retrain = if internal.is_random {
-                random_split_invalid(internal, &del_left, &del_right, cfg)
-            } else {
-                update_candidates(internal, del, data);
-                // The chosen split must stay valid and improving; if so,
-                // resample any invalidated candidate thresholds *before*
-                // re-checking optimality (a fresh candidate may win).
-                chosen_split_dead(internal, cfg) || {
-                    replenish_candidates(internal, del, data, rng, cfg, report);
-                    greedy_split_beaten(internal, cfg)
+                // The builder would now make this node a leaf: rebuild.
+                if new_n < cfg.min_samples_split || new_n_pos == 0 || new_n_pos == new_n {
+                    let ids = surviving_ids(node, del);
+                    let rebuilt = build_node(data, ids, depth, self.rng, cfg);
+                    self.journal.replace_subtree(path, node, rebuilt);
+                    self.report.subtrees_retrained += 1;
+                    return;
                 }
-            };
 
-            if retrain {
-                let ids = surviving_ids(node, del);
-                *node = build_node(data, ids, depth, rng, cfg);
-                report.subtrees_retrained += 1;
-                return;
+                self.journal.record_internal_stats(path, internal);
+                internal.n = new_n;
+                internal.n_pos = new_n_pos;
+                self.report.nodes_updated += 1;
+
+                let (del_left, del_right) =
+                    partition(data, del, internal.attr, internal.threshold);
+
+                let retrain = if internal.is_random {
+                    random_split_invalid(internal, &del_left, &del_right, cfg)
+                } else {
+                    update_candidates(internal, del, data);
+                    // The chosen split must stay valid and improving; if so,
+                    // resample any invalidated candidate thresholds *before*
+                    // re-checking optimality (a fresh candidate may win).
+                    chosen_split_dead(internal, cfg) || {
+                        self.replenish_candidates(internal, del, path);
+                        greedy_split_beaten(internal, cfg)
+                    }
+                };
+
+                if retrain {
+                    let ids = surviving_ids(node, del);
+                    let rebuilt = build_node(data, ids, depth, self.rng, cfg);
+                    self.journal.replace_subtree(path, node, rebuilt);
+                    self.report.subtrees_retrained += 1;
+                    return;
+                }
+
+                self.delete(&mut internal.left, &del_left, depth + 1, path.child(false));
+                self.delete(&mut internal.right, &del_right, depth + 1, path.child(true));
             }
-
-            delete_from_node(&mut internal.left, &del_left, data, depth + 1, rng, cfg, report);
-            delete_from_node(&mut internal.right, &del_right, data, depth + 1, rng, cfg, report);
         }
+    }
+
+    /// Replaces cached candidates that stopped separating the node's data
+    /// with freshly sampled thresholds from the surviving instances,
+    /// keeping the candidate pool full for future deletions (the
+    /// `O(|D| log |D|)` threshold-resampling step of the DaRE paper).
+    fn replenish_candidates(&mut self, internal: &mut Internal, del: &[u32], path: NodePath) {
+        let (data, cfg) = (self.data, self.cfg);
+        let n = internal.n;
+        let any_invalid = internal
+            .candidates
+            .iter()
+            .any(|c| !candidate_valid(c, n, cfg));
+        if !any_invalid {
+            return;
+        }
+        self.report.candidates_replenished += 1;
+        // The pool is about to be restructured: journal it wholesale.
+        self.journal.record_candidates(path, internal);
+
+        // Identify the chosen candidate before the vector is filtered.
+        let chosen_key = {
+            let c = &internal.candidates[internal.chosen as usize];
+            (c.attr, c.threshold)
+        };
+
+        // Count how many candidates each attribute lost.
+        let mut lost: Vec<(u16, usize)> = Vec::new();
+        for c in &internal.candidates {
+            if !candidate_valid(c, n, cfg) {
+                match lost.iter_mut().find(|(a, _)| *a == c.attr) {
+                    Some((_, k)) => *k += 1,
+                    None => lost.push((c.attr, 1)),
+                }
+            }
+        }
+        internal.candidates.retain(|c| candidate_valid(c, n, cfg));
+
+        // The surviving instances of this node, needed for fresh histograms.
+        let ids = {
+            let mut ids = Vec::with_capacity(internal.n as usize + del.len());
+            internal.left.collect_ids(&mut ids);
+            internal.right.collect_ids(&mut ids);
+            ids.retain(|id| del.binary_search(id).is_err());
+            ids
+        };
+
+        for (attr, k) in lost {
+            let existing: Vec<u16> = internal
+                .candidates
+                .iter()
+                .filter(|c| c.attr == attr)
+                .map(|c| c.threshold)
+                .collect();
+            let hist = Histogram::compute(data, attr as usize, &ids);
+            let fresh = sample_candidates(&hist, attr, k, &existing, self.rng);
+            internal
+                .candidates
+                .extend(fresh.into_iter().filter(|c| candidate_valid(c, n, cfg)));
+        }
+
+        // Re-locate the chosen candidate after the reshuffle.
+        internal.chosen = internal
+            .candidates
+            .iter()
+            .position(|c| (c.attr, c.threshold) == chosen_key)
+            .expect("chosen candidate is valid and therefore retained")
+            as u32;
     }
 }
 
@@ -179,78 +294,6 @@ fn greedy_split_beaten(internal: &Internal, cfg: &DareConfig) -> bool {
             best_gain > chosen_gain + GAIN_EPS
         }
     }
-}
-
-/// Replaces cached candidates that stopped separating the node's data with
-/// freshly sampled thresholds from the surviving instances, keeping the
-/// candidate pool full for future deletions (the `O(|D| log |D|)`
-/// threshold-resampling step of the DaRE paper).
-fn replenish_candidates(
-    internal: &mut Internal,
-    del: &[u32],
-    data: &Dataset,
-    rng: &mut StdRng,
-    cfg: &DareConfig,
-    report: &mut DeleteReport,
-) {
-    let n = internal.n;
-    let any_invalid = internal
-        .candidates
-        .iter()
-        .any(|c| !candidate_valid(c, n, cfg));
-    if !any_invalid {
-        return;
-    }
-    report.candidates_replenished += 1;
-
-    // Identify the chosen candidate before the vector is filtered.
-    let chosen_key = {
-        let c = &internal.candidates[internal.chosen as usize];
-        (c.attr, c.threshold)
-    };
-
-    // Count how many candidates each attribute lost.
-    let mut lost: Vec<(u16, usize)> = Vec::new();
-    for c in &internal.candidates {
-        if !candidate_valid(c, n, cfg) {
-            match lost.iter_mut().find(|(a, _)| *a == c.attr) {
-                Some((_, k)) => *k += 1,
-                None => lost.push((c.attr, 1)),
-            }
-        }
-    }
-    internal.candidates.retain(|c| candidate_valid(c, n, cfg));
-
-    // The surviving instances of this node, needed for fresh histograms.
-    let ids = {
-        let mut ids = Vec::with_capacity(internal.n as usize + del.len());
-        internal.left.collect_ids(&mut ids);
-        internal.right.collect_ids(&mut ids);
-        ids.retain(|id| del.binary_search(id).is_err());
-        ids
-    };
-
-    for (attr, k) in lost {
-        let existing: Vec<u16> = internal
-            .candidates
-            .iter()
-            .filter(|c| c.attr == attr)
-            .map(|c| c.threshold)
-            .collect();
-        let hist = Histogram::compute(data, attr as usize, &ids);
-        let fresh = sample_candidates(&hist, attr, k, &existing, rng);
-        internal
-            .candidates
-            .extend(fresh.into_iter().filter(|c| candidate_valid(c, n, cfg)));
-    }
-
-    // Re-locate the chosen candidate after the reshuffle.
-    internal.chosen = internal
-        .candidates
-        .iter()
-        .position(|c| (c.attr, c.threshold) == chosen_key)
-        .expect("chosen candidate is valid and therefore retained")
-        as u32;
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use fume_tabular::{Classifier, Dataset};
 use crate::config::DareConfig;
 use crate::delete::DeleteReport;
 use crate::insert::InsertReport;
+use crate::journal::{TreeUndo, UndoJournal};
 use crate::tree::DareTree;
 
 /// A random forest classifier with exact unlearning (DaRE-RF).
@@ -150,17 +151,80 @@ impl DareForest {
         } else {
             parallel_map_mut(&mut self.trees, jobs, |t| t.delete(del_ref, data, config))
         };
-        let mut total = DeleteReport::default();
-        for r in &reports {
-            total.merge(r);
-        }
+        let total = merge_delete_reports(&reports);
         self.n_instances -= del.len() as u32;
-        fume_obs::counter!("forest.instances_removed", del.len());
-        fume_obs::counter!("forest.nodes_retrained", total.subtrees_retrained);
-        fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
-        fume_obs::counter!("forest.leaves_updated", total.leaves_updated);
-        fume_obs::counter!("forest.candidates_replenished", total.candidates_replenished);
+        emit_delete_counters(del.len(), &total);
         total
+    }
+
+    /// [`Self::delete_unchecked`] with an undo journal: unlearns `ids`
+    /// from every tree while recording everything mutated, so
+    /// [`Self::rollback`] restores the forest byte-identically (same
+    /// structure, statistics *and* per-tree RNG streams — a rolled-back
+    /// forest compares equal to a pre-delete snapshot).
+    ///
+    /// Like `delete_unchecked`, the caller guarantees every id is
+    /// currently held by the forest; this is FUME's scratch-forest hot
+    /// path, where selections come from the training universe.
+    pub fn delete_journaled(&mut self, ids: &[u32], data: &Dataset) -> UndoJournal {
+        let mut del: Vec<u32> = ids.to_vec();
+        del.sort_unstable();
+        del.dedup();
+        if del.is_empty() {
+            return UndoJournal::empty();
+        }
+        let _span = fume_obs::span!("forest.delete", ids = del.len(), journaled = true);
+        let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
+        let (config, del_ref) = (&self.config, &del);
+        let outcomes: Vec<(DeleteReport, TreeUndo)> = if jobs <= 1 || self.trees.len() <= 1 {
+            self.trees
+                .iter_mut()
+                .map(|t| t.delete_journaled(del_ref, data, config))
+                .collect()
+        } else {
+            parallel_map_mut(&mut self.trees, jobs, |t| {
+                t.delete_journaled(del_ref, data, config)
+            })
+        };
+        let (reports, undos): (Vec<DeleteReport>, Vec<TreeUndo>) =
+            outcomes.into_iter().unzip();
+        let total = merge_delete_reports(&reports);
+        self.n_instances -= del.len() as u32;
+        emit_delete_counters(del.len(), &total);
+        UndoJournal { trees: undos, n_deleted: del.len() as u32, report: total }
+    }
+
+    /// Undoes a journaled deletion, restoring the forest to exactly its
+    /// pre-delete state. Returns the total number of node restorations
+    /// applied across all trees.
+    ///
+    /// `journal` must come from this forest's most recent
+    /// [`Self::delete_journaled`]; journals do not compose, so roll back
+    /// before the next journaled delete.
+    pub fn rollback(&mut self, journal: UndoJournal) -> usize {
+        if journal.trees.is_empty() && journal.n_deleted == 0 {
+            return 0; // journal of an empty delete
+        }
+        assert_eq!(
+            journal.trees.len(),
+            self.trees.len(),
+            "journal does not belong to this forest"
+        );
+        let _span = fume_obs::span!("forest.rollback", records = journal.nodes_recorded());
+        let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
+        let restored: Vec<usize> = if jobs <= 1 || self.trees.len() <= 1 {
+            self.trees
+                .iter_mut()
+                .zip(journal.trees)
+                .map(|(t, undo)| t.rollback(undo))
+                .collect()
+        } else {
+            parallel_zip_map(&mut self.trees, journal.trees, jobs, |t, undo| {
+                t.rollback(undo)
+            })
+        };
+        self.n_instances += journal.n_deleted;
+        restored.into_iter().sum()
     }
 
     /// Incrementally learns additional rows of `data` (the forest must
@@ -243,6 +307,22 @@ impl Classifier for DareForest {
     }
 }
 
+fn merge_delete_reports(reports: &[DeleteReport]) -> DeleteReport {
+    let mut total = DeleteReport::default();
+    for r in reports {
+        total.merge(r);
+    }
+    total
+}
+
+fn emit_delete_counters(n_deleted: usize, total: &DeleteReport) {
+    fume_obs::counter!("forest.instances_removed", n_deleted);
+    fume_obs::counter!("forest.nodes_retrained", total.subtrees_retrained);
+    fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
+    fume_obs::counter!("forest.leaves_updated", total.leaves_updated);
+    fume_obs::counter!("forest.candidates_replenished", total.candidates_replenished);
+}
+
 fn resolve_jobs(n_jobs: Option<usize>, work_items: usize) -> usize {
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     n_jobs.unwrap_or(avail).clamp(1, work_items.max(1))
@@ -283,6 +363,36 @@ fn parallel_map_mut<T: Send, R: Send>(
             scope.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+/// Zips `items` with owned `args` and maps `f` over the pairs mutably
+/// using `jobs` scoped threads, preserving order. Used by rollback, where
+/// each tree consumes its own `TreeUndo` by value.
+fn parallel_zip_map<T: Send, A: Send, R: Send>(
+    items: &mut [T],
+    args: Vec<A>,
+    jobs: usize,
+    f: impl Fn(&mut T, A) -> R + Sync,
+) -> Vec<R> {
+    debug_assert_eq!(items.len(), args.len());
+    let chunk = items.len().div_ceil(jobs);
+    let mut args: Vec<Option<A>> = args.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((slot_chunk, item_chunk), arg_chunk) in
+            out.chunks_mut(chunk).zip(items.chunks_mut(chunk)).zip(args.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for ((slot, item), arg) in
+                    slot_chunk.iter_mut().zip(item_chunk).zip(arg_chunk)
+                {
+                    *slot = Some(f(item, arg.take().expect("arg present")));
                 }
             });
         }
@@ -424,6 +534,49 @@ mod tests {
         for t in forest.trees() {
             assert_eq!(t.instance_ids(), data.all_row_ids());
         }
+    }
+
+    #[test]
+    fn journaled_delete_matches_unchecked_delete() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 32).unwrap();
+        let mut a = DareForest::fit(&data, small_cfg(14));
+        let mut b = a.clone();
+        let del: Vec<u32> = (0..40).step_by(3).collect();
+        let ra = a.delete_unchecked(&del, &data);
+        let journal = b.delete_journaled(&del, &data);
+        assert_eq!(a, b, "journaling must not change deletion outcome");
+        assert_eq!(ra, journal.report);
+        assert_eq!(journal.n_deleted(), del.len() as u32);
+        assert!(journal.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn rollback_restores_pre_delete_snapshot() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 33).unwrap();
+        for jobs in [1usize, 4] {
+            let mut forest = DareForest::fit(&data, small_cfg(15).with_jobs(jobs));
+            let snapshot = forest.clone();
+            let del: Vec<u32> = (0..50).step_by(2).collect();
+            let journal = forest.delete_journaled(&del, &data);
+            assert_ne!(forest, snapshot, "delete must mutate the forest");
+            let restored = forest.rollback(journal);
+            assert!(restored > 0);
+            assert_eq!(forest, snapshot, "rollback must restore byte-identical state");
+            // The restored forest still unlearns correctly.
+            forest.delete(&del, &data).unwrap();
+            assert_eq!(forest.num_instances() as usize, data.num_rows() - del.len());
+        }
+    }
+
+    #[test]
+    fn empty_journaled_delete_is_noop() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 34).unwrap();
+        let mut forest = DareForest::fit(&data, small_cfg(16));
+        let before = forest.clone();
+        let journal = forest.delete_journaled(&[], &data);
+        assert_eq!(journal.n_deleted(), 0);
+        assert_eq!(journal.nodes_recorded(), 0);
+        assert_eq!(forest, before);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! The [`validate`] module exposes the invariant checker used to test
 //! exactness, and [`extra_trees`] provides a HedgeCut-style extremely
 //! randomized variant for comparison.
+//!
+//! For evaluation loops that unlearn a subset only to measure the
+//! resulting model, [`DareForest::delete_journaled`] records every
+//! mutation into an [`UndoJournal`] and [`DareForest::rollback`] restores
+//! the forest byte-identically — the substrate for FUME's zero-clone
+//! scratch-forest pool (see the [`journal`] module).
 
 #![warn(missing_docs)]
 
@@ -33,6 +39,7 @@ pub mod forest;
 pub mod gbdt;
 pub mod gini;
 pub mod insert;
+pub mod journal;
 pub mod node;
 pub mod persist;
 pub mod tree;
@@ -43,4 +50,5 @@ pub use delete::DeleteReport;
 pub use forest::{DareForest, ForestError};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use insert::InsertReport;
+pub use journal::{TreeUndo, UndoJournal};
 pub use tree::DareTree;

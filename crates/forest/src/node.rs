@@ -71,6 +71,31 @@ pub struct Internal {
     pub right: Node,
 }
 
+impl Internal {
+    /// The `(n_left, n_left_pos)` pair of every cached candidate, in pool
+    /// order — the sufficient statistics an in-place delete mutates.
+    /// Snapshotting these (rather than cloning whole [`Candidate`]s) is
+    /// what keeps undo-journal records small: attribute and threshold are
+    /// untouched by in-place updates.
+    pub fn candidate_stats(&self) -> Vec<(u32, u32)> {
+        self.candidates.iter().map(|c| (c.n_left, c.n_left_pos)).collect()
+    }
+
+    /// Writes a [`Self::candidate_stats`] snapshot back over the pool.
+    /// The pool must have the shape it had when the snapshot was taken.
+    pub fn restore_candidate_stats(&mut self, stats: &[(u32, u32)]) {
+        debug_assert_eq!(
+            self.candidates.len(),
+            stats.len(),
+            "candidate pool shape must match the snapshot"
+        );
+        for (cand, &(n_left, n_left_pos)) in self.candidates.iter_mut().zip(stats) {
+            cand.n_left = n_left;
+            cand.n_left_pos = n_left_pos;
+        }
+    }
+}
+
 /// A tree node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Node {

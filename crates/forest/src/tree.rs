@@ -6,8 +6,9 @@ use fume_tabular::rng::{SeedableRng, StdRng};
 
 use crate::builder::build_node;
 use crate::config::DareConfig;
-use crate::delete::{delete_from_node, DeleteReport};
+use crate::delete::{delete_from_node, DeletePass, DeleteReport};
 use crate::insert::{insert_into_node, InsertReport};
+use crate::journal::{rollback_records, JournalSink, NodePath, TreeUndo};
 use crate::node::Node;
 
 /// A decision tree supporting exact unlearning of training instances.
@@ -56,6 +57,40 @@ impl DareTree {
         let mut report = DeleteReport::default();
         delete_from_node(&mut self.root, del, data, 0, &mut self.rng, cfg, &mut report);
         report
+    }
+
+    /// [`Self::delete`] with an undo journal: performs the same deletion
+    /// while recording every mutated statistic, edited leaf, displaced
+    /// subtree, and the pre-delete RNG state, so that
+    /// [`Self::rollback`] restores the tree byte-identically.
+    pub fn delete_journaled(
+        &mut self,
+        del: &[u32],
+        data: &Dataset,
+        cfg: &DareConfig,
+    ) -> (DeleteReport, TreeUndo) {
+        debug_assert!(del.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
+        let rng_before = self.rng.clone();
+        let mut report = DeleteReport::default();
+        let mut pass =
+            DeletePass::new(data, cfg, &mut self.rng, &mut report, JournalSink::On(Vec::new()));
+        pass.delete(&mut self.root, del, 0, NodePath::ROOT);
+        let records = pass.into_records();
+        (report, TreeUndo { records, rng: rng_before })
+    }
+
+    /// Undoes a journaled deletion, restoring the tree — structure,
+    /// statistics, candidate pools, leaf instance lists and RNG stream —
+    /// to exactly its pre-delete state. Returns the number of node
+    /// restorations applied.
+    ///
+    /// `undo` must come from this tree's most recent
+    /// [`Self::delete_journaled`]; replaying a foreign or stale journal
+    /// corrupts the tree.
+    pub fn rollback(&mut self, undo: TreeUndo) -> usize {
+        let restored = rollback_records(&mut self.root, undo.records);
+        self.rng = undo.rng;
+        restored
     }
 
     /// Incrementally learns the additional training instances `ins`

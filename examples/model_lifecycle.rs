@@ -8,7 +8,7 @@
 //! cargo run --release --example model_lifecycle
 //! ```
 
-use fume::core::{find_slices, overlap_with_subset, rank_instances, Fume, FumeConfig};
+use fume::core::{find_slices, overlap_with_subset, rank_instances, Fume};
 use fume::fairness::FairnessMetric;
 use fume::forest::persist;
 use fume::forest::{DareConfig, DareForest};
@@ -53,11 +53,10 @@ fn main() {
     println!("re-learned the rows as fresh data; {} instances held", served.num_instances());
 
     // --- periodic fairness audit with FUME ---
-    let fume = Fume::new(
-        FumeConfig::default()
-            .with_support(SupportRange::new(0.02, 0.25).expect("valid"))
-            .with_forest(cfg.clone()),
-    );
+    let fume = Fume::builder()
+        .support(SupportRange::new(0.02, 0.25).expect("valid"))
+        .forest(cfg.clone())
+        .build();
     let audit = fume
         .explain_model(&served, &train, &test, group)
         .expect("the toy model is biased");

@@ -9,7 +9,7 @@
 //! cargo run --release --example policing_audit
 //! ```
 
-use fume::core::{Fume, FumeConfig, RetrainRemoval, RemovalMethod};
+use fume::core::{Fume, RetrainRemoval, RemovalMethod};
 use fume::fairness::{permutation_importance, FairnessMetric};
 use fume::forest::{DareConfig, DareForest};
 use fume::tabular::datasets::sqf;
@@ -30,7 +30,7 @@ fn main() {
         metric.bias(&forest, &test, group)
     );
 
-    let fume = Fume::new(FumeConfig::default().with_forest(forest_cfg.clone()));
+    let fume = Fume::builder().forest(forest_cfg.clone()).build();
     let report = fume
         .explain_model(&forest, &train, &test, group)
         .expect("the model is biased");
@@ -45,8 +45,8 @@ fn main() {
     println!("\n== feature importance shift when `{}` is removed ==", top.pattern);
     let before = permutation_importance(&forest, &test, 5, 11);
     let removal = RetrainRemoval::new(&train, forest_cfg);
-    let without = removal.remove(&top.rows);
-    let after = permutation_importance(&without, &test, 5, 11);
+    let after = removal
+        .with_removed(&top.rows, |without| permutation_importance(without, &test, 5, 11));
     let change = after.relative_change_from(&before);
 
     let schema = train.schema();

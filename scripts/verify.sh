@@ -14,6 +14,19 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: unlearn-eval engine must not regress below clone-per-eval"
+cargo bench -q --offline -p fume-bench --bench unlearn_eval -- --smoke
+speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' BENCH_unlearn_eval.json)
+if [ -z "$speedup" ]; then
+    echo "could not read speedup from BENCH_unlearn_eval.json" >&2
+    exit 1
+fi
+if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "pooled unlearn-eval path slower than clone-per-eval (speedup ${speedup}x)" >&2
+    exit 1
+fi
+echo "    pooled path ${speedup}x over clone-per-eval"
+
 echo "==> verify: no crates-io dependencies"
 if cargo tree --offline --workspace --edges normal,build,dev | grep -v '^\s*$' \
     | grep -vE '\(\*\)$' | grep -E 'v[0-9]' | grep -vE 'fume(-[a-z]+)? v'; then

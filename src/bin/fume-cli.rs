@@ -172,22 +172,23 @@ fn load(args: &Args) -> (Dataset, Dataset, GroupSpec) {
 }
 
 fn config(args: &Args) -> FumeConfig {
-    FumeConfig::default()
-        .with_metric(args.metric)
-        .with_support(args.support)
-        .with_max_literals(args.max_literals)
-        .with_top_k(args.top_k)
-        .with_literal_gen(if args.ranges {
+    Fume::builder()
+        .metric(args.metric)
+        .support(args.support)
+        .max_literals(args.max_literals)
+        .top_k(args.top_k)
+        .literal_gen(if args.ranges {
             LiteralGen::WithRanges
         } else {
             LiteralGen::EqOnly
         })
-        .with_forest(
+        .forest(
             DareConfig::default()
                 .with_trees(args.trees)
                 .with_max_depth(args.depth)
                 .with_seed(args.seed),
         )
+        .into_config()
 }
 
 fn main() {

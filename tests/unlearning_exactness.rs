@@ -102,8 +102,8 @@ fn unlearned_fairness_tracks_retrained_fairness() {
     let mut diffs = Vec::new();
     for start in [0u32, 100, 200, 300] {
         let subset: Vec<u32> = (start..start + 70).collect();
-        let b_unlearn = metric.bias(&dare.remove(&subset), &test, group);
-        let b_retrain = metric.bias(&retrain.remove(&subset), &test, group);
+        let b_unlearn = dare.with_removed(&subset, |m| metric.bias(m, &test, group));
+        let b_retrain = retrain.with_removed(&subset, |m| metric.bias(m, &test, group));
         diffs.push((b_unlearn - b_retrain).abs());
     }
     let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
@@ -155,11 +155,11 @@ fn clone_then_delete_leaves_original_usable() {
     let cfg = DareConfig { n_trees: 8, max_depth: 6, seed: 61, ..DareConfig::default() };
     let forest = DareForest::fit(&train, cfg);
     let preds_before = forest.predict_proba(&test);
-    // Many concurrent-style clone+delete rounds (what FUME's parallel
-    // attribution does).
+    // Many scoped delete→rollback rounds against the same deployed model
+    // (what FUME's parallel attribution does via the scratch pool).
+    let removal = DareRemoval::new(&forest, &train);
     for start in (0..200u32).step_by(40) {
-        let removal = DareRemoval::new(&forest, &train);
-        let _ = removal.remove(&(start..start + 30).collect::<Vec<_>>());
+        removal.with_removed(&(start..start + 30).collect::<Vec<_>>(), |_| ());
     }
     assert_eq!(forest.predict_proba(&test), preds_before);
     let _ = FairnessMetric::EqualizedOdds.bias(&forest, &test, group);
