@@ -1,7 +1,7 @@
 //! FUME's Algorithm 1: top-k training-data subsets attributable to a
 //! group-fairness violation.
 
-use std::time::{Duration, Instant};
+use fume_obs::clock::{Duration, Stopwatch};
 
 use fume_fairness::{fairness_report, FairnessMetric};
 use fume_forest::{DareForest, DeleteReport};
@@ -183,7 +183,7 @@ impl Fume {
         if train.is_empty() || test.is_empty() {
             return Err(FumeError::EmptyData);
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let training_time;
         let forest = {
             let _span = fume_obs::span!("fume.phase.train", rows = train.num_rows());
@@ -257,7 +257,7 @@ impl Fume {
             self.config.n_jobs,
         );
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let outcome = {
             let _span = fume_obs::span!("fume.phase.search");
             search(train, &params, &estimator)
@@ -344,6 +344,7 @@ pub fn apply_removal(
     let mut unlearned = forest.clone();
     let report = unlearned
         .delete(rows, train)
+        // fume-lint: allow(F001) -- selection provenance: lattice subsets are drawn from the training universe the forest was fitted on, so every id is present
         .expect("rows come from the training universe");
     (unlearned, report)
 }

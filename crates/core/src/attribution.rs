@@ -3,7 +3,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+
+use fume_obs::clock::{Duration, Stopwatch};
+use fume_tabular::workers;
 
 use fume_fairness::FairnessMetric;
 use fume_lattice::{BatchEvaluator, EvalItem};
@@ -57,8 +59,7 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
         n_jobs: Option<usize>,
     ) -> Self {
         assert!(original_bias > 0.0, "no fairness violation to attribute");
-        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let n_jobs = n_jobs.unwrap_or(avail).max(1);
+        let n_jobs = n_jobs.unwrap_or_else(workers::available_parallelism).max(1);
         removal.prepare(n_jobs);
         Self {
             removal,
@@ -107,7 +108,7 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
         }
         let _span = fume_obs::span!("fume.phase.unlearn_eval", batch = items.len());
         fume_obs::counter!("fume.unlearn_evals", items.len());
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
 
         // Dedupe identical row selections: `slot_of[i]` maps item `i` to
         // its evaluation in `unique`.
@@ -128,25 +129,11 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
         }
 
         let jobs = self.n_jobs.min(unique.len());
-        let rho_unique: Vec<f64> = if jobs <= 1 {
-            unique.iter().map(|rows| self.rho(rows)).collect()
-        } else {
-            let mut out: Vec<Option<f64>> = vec![None; unique.len()];
-            let chunk = unique.len().div_ceil(jobs);
-            std::thread::scope(|scope| {
-                for (slots, work) in out.chunks_mut(chunk).zip(unique.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (slot, rows) in slots.iter_mut().zip(work) {
-                            *slot = Some(self.rho(rows));
-                        }
-                    });
-                }
-            });
-            out.into_iter().map(|o| o.expect("all slots filled")).collect()
-        };
+        let rho_unique: Vec<f64> =
+            workers::parallel_map(&unique, jobs, |rows| self.rho(rows));
         let out = slot_of.into_iter().map(|i| rho_unique[i]).collect();
         self.eval_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t0.elapsed_nanos(), Ordering::Relaxed);
         out
     }
 }

@@ -35,6 +35,7 @@ use crate::config::FumeConfig;
 /// Every knob defaults to the paper's configuration
 /// ([`FumeConfig::default`]); set only what differs.
 #[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
 pub struct FumeBuilder {
     config: FumeConfig,
 }
@@ -114,6 +115,7 @@ impl FumeBuilder {
 impl Fume {
     /// Starts a fluent builder with the paper's default configuration —
     /// the preferred way to construct a [`Fume`] instance.
+    #[must_use = "the builder must be consumed by .build()"]
     pub fn builder() -> FumeBuilder {
         FumeBuilder::default()
     }

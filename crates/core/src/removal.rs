@@ -18,7 +18,7 @@
 //!   efficiency baseline);
 //! * [`GbdtRetrainRemoval`] — model-agnostic retraining for GBDTs.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig};
 use fume_tabular::{Classifier, Dataset};
@@ -65,12 +65,31 @@ impl<'a> DareRemoval<'a> {
 
     /// Number of scratch forests currently resting in the pool.
     pub fn pooled_scratch(&self) -> usize {
-        self.pool.lock().expect("scratch pool lock").len()
+        self.pool_guard().len()
+    }
+
+    /// Locks the pool, recovering explicitly from poisoning.
+    ///
+    /// The lock is only held for a push/pop, but a worker can still die
+    /// between leasing and releasing — its scratch forest is then lost
+    /// mid-journal and never returned. The forests *resting* in the pool
+    /// were each released clean (rollback verified by the debug
+    /// assertion in [`RemovalMethod::with_removed`]), yet distinguishing
+    /// "poisoned while resting" from "poisoned mid-push" is not worth
+    /// reasoning about: on poison we clear the pool and let subsequent
+    /// leases re-clone cold, trading a few clones for certainty.
+    fn pool_guard(&self) -> MutexGuard<'_, Vec<DareForest>> {
+        self.pool.lock().unwrap_or_else(|poisoned| {
+            fume_obs::counter!("fume.scratch.poison_recoveries", 1);
+            let mut pool = poisoned.into_inner();
+            pool.clear();
+            pool
+        })
     }
 
     fn lease(&self) -> DareForest {
         fume_obs::counter!("fume.scratch.leases", 1);
-        match self.pool.lock().expect("scratch pool lock").pop() {
+        match self.pool_guard().pop() {
             Some(scratch) => scratch,
             None => {
                 fume_obs::counter!("fume.scratch.cold_clones", 1);
@@ -80,7 +99,7 @@ impl<'a> DareRemoval<'a> {
     }
 
     fn release(&self, scratch: DareForest) {
-        self.pool.lock().expect("scratch pool lock").push(scratch);
+        self.pool_guard().push(scratch);
     }
 }
 
@@ -95,12 +114,13 @@ impl RemovalMethod for DareRemoval<'_> {
         let restored = scratch.rollback(journal);
         fume_obs::counter!("fume.rollback.nodes_restored", restored);
         debug_assert_eq!(&scratch, self.forest, "rollback must restore the snapshot");
+        fume_forest::deepcheck::check_forest(&scratch, self.train, "rollback");
         self.release(scratch);
         out
     }
 
     fn prepare(&mut self, workers: usize) {
-        let mut pool = self.pool.lock().expect("scratch pool lock");
+        let mut pool = self.pool_guard();
         while pool.len() < workers.max(1) {
             pool.push(self.forest.clone());
         }

@@ -58,6 +58,7 @@ pub fn permutation_importance<C: Classifier + ?Sized>(
     seed: u64,
 ) -> Importances {
     let baseline_accuracy = h.accuracy(data);
+    // fume-lint: allow(F003) -- seed provenance: the caller passes an explicit seed, so permutation order is reproducible per invocation
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scores = Vec::with_capacity(data.num_attributes());
     for attr in 0..data.num_attributes() {
@@ -67,6 +68,7 @@ pub fn permutation_importance<C: Classifier + ?Sized>(
             column.shuffle(&mut rng);
             let permuted = data
                 .with_column(attr, column)
+                // fume-lint: allow(F001) -- shuffle permutes existing codes of the same column, so the domain and length are unchanged by construction
                 .expect("permuted column stays in domain");
             drop_sum += baseline_accuracy - h.accuracy(&permuted);
         }

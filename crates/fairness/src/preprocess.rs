@@ -36,7 +36,7 @@ fn flips_needed(data: &Dataset, group: GroupSpec) -> usize {
             pos_prot += f64::from(u8::from(y));
         }
     }
-    if n_priv == 0.0 || n_prot == 0.0 {
+    if fume_tabular::float::is_zero(n_priv) || fume_tabular::float::is_zero(n_prot) {
         return 0;
     }
     let disc = pos_priv / n_priv - pos_prot / n_prot;
@@ -87,8 +87,9 @@ pub fn massage<C: Classifier + ?Sized>(
     }
     let columns: Vec<Vec<u16>> =
         (0..data.num_attributes()).map(|a| data.column(a).to_vec()).collect();
-    let massaged =
-        Dataset::new(data.schema_handle(), columns, labels).expect("same shape");
+    let massaged = Dataset::new(data.schema_handle(), columns, labels)
+        // fume-lint: allow(F001) -- columns and labels are copied from a dataset already validated against this same schema, so construction cannot fail
+        .expect("same shape");
 
     Massaged { data: massaged, promoted, demoted }
 }

@@ -1,8 +1,9 @@
 //! Tree construction: random upper layers + greedy Gini nodes with cached
 //! candidate-threshold statistics.
 
-use fume_tabular::Dataset;
+use fume_tabular::cast::{code_u16, row_u32};
 use fume_tabular::rng::{Rng, SliceRandom, StdRng};
+use fume_tabular::Dataset;
 
 use crate::config::DareConfig;
 use crate::gini::gini_gain;
@@ -42,7 +43,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, _)| i as u16)
+            .map(|(i, _)| code_u16(i))
             .collect()
     }
 
@@ -77,7 +78,7 @@ pub(crate) fn partition(
 
 fn count_pos(data: &Dataset, ids: &[u32]) -> u32 {
     let labels = data.labels();
-    ids.iter().filter(|&&id| labels[id as usize]).count() as u32
+    row_u32(ids.iter().filter(|&&id| labels[id as usize]).count())
 }
 
 fn make_leaf(data: &Dataset, ids: Vec<u32>) -> Node {
@@ -158,7 +159,7 @@ pub(crate) fn build_node(
     rng: &mut StdRng,
     cfg: &DareConfig,
 ) -> Node {
-    let n = ids.len() as u32;
+    let n = row_u32(ids.len());
     let n_pos = count_pos(data, &ids);
     if n < cfg.min_samples_split || n_pos == 0 || n_pos == n || depth >= cfg.max_depth {
         return make_leaf(data, ids);
@@ -183,7 +184,7 @@ fn build_random_node(
     cfg: &DareConfig,
 ) -> Node {
     let p = data.num_attributes();
-    let mut attrs: Vec<u16> = (0..p as u16).collect();
+    let mut attrs: Vec<u16> = (0..code_u16(p)).collect();
     attrs.shuffle(rng);
     for attr in attrs {
         let column = data.column(attr as usize);
@@ -198,8 +199,8 @@ fn build_random_node(
         }
         let threshold = rng.gen_range(lo..hi);
         let (left_ids, right_ids) = partition(data, &ids, attr, threshold);
-        if (left_ids.len() as u32) < cfg.min_samples_leaf
-            || (right_ids.len() as u32) < cfg.min_samples_leaf
+        if row_u32(left_ids.len()) < cfg.min_samples_leaf
+            || row_u32(right_ids.len()) < cfg.min_samples_leaf
         {
             continue;
         }
@@ -234,7 +235,7 @@ fn build_greedy_node(
 ) -> Node {
     let p = data.num_attributes();
     let p_tilde = cfg.max_features.resolve(p);
-    let mut attrs: Vec<u16> = (0..p as u16).collect();
+    let mut attrs: Vec<u16> = (0..code_u16(p)).collect();
     attrs.shuffle(rng);
     attrs.truncate(p_tilde);
     attrs.sort_unstable(); // deterministic candidate layout
@@ -264,7 +265,7 @@ fn build_greedy_node(
                 n,
                 n_pos,
                 candidates,
-                chosen: chosen as u32,
+                chosen: row_u32(chosen),
                 left,
                 right,
             }))

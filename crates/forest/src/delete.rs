@@ -7,8 +7,9 @@
 //! *could* have produced on the surviving data — DaRE's exactness
 //! guarantee.
 
-use fume_tabular::Dataset;
+use fume_tabular::cast::row_u32;
 use fume_tabular::rng::StdRng;
+use fume_tabular::Dataset;
 
 use crate::builder::{
     best_candidate, build_node, candidate_valid, partition, sample_candidates, Histogram,
@@ -114,7 +115,7 @@ impl<'a> DeletePass<'a> {
         }
         let (data, cfg) = (self.data, self.cfg);
         let labels = data.labels();
-        let del_pos = del.iter().filter(|&&id| labels[id as usize]).count() as u32;
+        let del_pos = row_u32(del.iter().filter(|&&id| labels[id as usize]).count());
 
         match node {
             Node::Leaf(leaf) => {
@@ -124,7 +125,7 @@ impl<'a> DeletePass<'a> {
                 self.report.leaves_updated += 1;
             }
             Node::Internal(internal) => {
-                let new_n = internal.n - del.len() as u32;
+                let new_n = internal.n - row_u32(del.len());
                 let new_n_pos = internal.n_pos - del_pos;
 
                 // The builder would now make this node a leaf: rebuild.
@@ -231,12 +232,13 @@ impl<'a> DeletePass<'a> {
         }
 
         // Re-locate the chosen candidate after the reshuffle.
-        internal.chosen = internal
+        let chosen_pos = internal
             .candidates
             .iter()
             .position(|c| (c.attr, c.threshold) == chosen_key)
-            .expect("chosen candidate is valid and therefore retained")
-            as u32;
+            // fume-lint: allow(F001) -- replenish invariant: the chosen candidate passed candidate_valid above, so the retain/extend pass cannot have dropped it
+            .expect("chosen candidate is valid and therefore retained");
+        internal.chosen = row_u32(chosen_pos);
     }
 }
 
@@ -249,8 +251,8 @@ fn random_split_invalid(
     del_right: &[u32],
     cfg: &DareConfig,
 ) -> bool {
-    let left_n = internal.left.n() - del_left.len() as u32;
-    let right_n = internal.right.n() - del_right.len() as u32;
+    let left_n = internal.left.n() - row_u32(del_left.len());
+    let right_n = internal.right.n() - row_u32(del_right.len());
     left_n < cfg.min_samples_leaf.max(1) || right_n < cfg.min_samples_leaf.max(1)
 }
 

@@ -5,6 +5,8 @@
 //! attribute/threshold sampling. (Bagging would make exact unlearning
 //! ambiguous — a deleted instance appears in a random subset of trees.)
 
+use fume_tabular::cast::row_u32;
+use fume_tabular::workers::{parallel_map, parallel_map_mut, parallel_zip_map, resolve_jobs};
 use fume_tabular::{Classifier, Dataset};
 
 use crate::config::DareConfig;
@@ -75,19 +77,12 @@ impl DareForest {
     pub fn fit_on(data: &Dataset, ids: Vec<u32>, config: DareConfig) -> Self {
         let _span =
             fume_obs::span!("forest.fit", trees = config.n_trees, instances = ids.len());
-        let n_instances = ids.len() as u32;
+        let n_instances = row_u32(ids.len());
         let seeds: Vec<u64> = (0..config.n_trees)
             .map(|i| config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64))
             .collect();
         let jobs = resolve_jobs(config.n_jobs, config.n_trees);
-        let trees = if jobs <= 1 || config.n_trees <= 1 {
-            seeds
-                .iter()
-                .map(|&s| DareTree::fit(data, ids.clone(), &config, s))
-                .collect()
-        } else {
-            parallel_map(&seeds, jobs, |&s| DareTree::fit(data, ids.clone(), &config, s))
-        };
+        let trees = parallel_map(&seeds, jobs, |&s| DareTree::fit(data, ids.clone(), &config, s));
         Self { trees, config, n_instances }
     }
 
@@ -146,13 +141,10 @@ impl DareForest {
         let _span = fume_obs::span!("forest.delete", ids = del.len());
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
         let (config, del_ref) = (&self.config, &del);
-        let reports: Vec<DeleteReport> = if jobs <= 1 || self.trees.len() <= 1 {
-            self.trees.iter_mut().map(|t| t.delete(del_ref, data, config)).collect()
-        } else {
-            parallel_map_mut(&mut self.trees, jobs, |t| t.delete(del_ref, data, config))
-        };
+        let reports: Vec<DeleteReport> =
+            parallel_map_mut(&mut self.trees, jobs, |t| t.delete(del_ref, data, config));
         let total = merge_delete_reports(&reports);
-        self.n_instances -= del.len() as u32;
+        self.n_instances -= row_u32(del.len());
         emit_delete_counters(del.len(), &total);
         total
     }
@@ -176,22 +168,19 @@ impl DareForest {
         let _span = fume_obs::span!("forest.delete", ids = del.len(), journaled = true);
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
         let (config, del_ref) = (&self.config, &del);
-        let outcomes: Vec<(DeleteReport, TreeUndo)> = if jobs <= 1 || self.trees.len() <= 1 {
-            self.trees
-                .iter_mut()
-                .map(|t| t.delete_journaled(del_ref, data, config))
-                .collect()
-        } else {
+        let outcomes: Vec<(DeleteReport, TreeUndo)> =
             parallel_map_mut(&mut self.trees, jobs, |t| {
                 t.delete_journaled(del_ref, data, config)
-            })
-        };
+            });
         let (reports, undos): (Vec<DeleteReport>, Vec<TreeUndo>) =
             outcomes.into_iter().unzip();
         let total = merge_delete_reports(&reports);
-        self.n_instances -= del.len() as u32;
+        let n_deleted = row_u32(del.len());
+        self.n_instances -= n_deleted;
         emit_delete_counters(del.len(), &total);
-        UndoJournal { trees: undos, n_deleted: del.len() as u32, report: total }
+        let journal = UndoJournal { trees: undos, n_deleted, report: total };
+        crate::deepcheck::check_forest(self, data, "delete_journaled");
+        journal
     }
 
     /// Undoes a journaled deletion, restoring the forest to exactly its
@@ -212,17 +201,10 @@ impl DareForest {
         );
         let _span = fume_obs::span!("forest.rollback", records = journal.nodes_recorded());
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
-        let restored: Vec<usize> = if jobs <= 1 || self.trees.len() <= 1 {
-            self.trees
-                .iter_mut()
-                .zip(journal.trees)
-                .map(|(t, undo)| t.rollback(undo))
-                .collect()
-        } else {
+        let restored: Vec<usize> =
             parallel_zip_map(&mut self.trees, journal.trees, jobs, |t, undo| {
                 t.rollback(undo)
-            })
-        };
+            });
         self.n_instances += journal.n_deleted;
         restored.into_iter().sum()
     }
@@ -254,16 +236,13 @@ impl DareForest {
         let _span = fume_obs::span!("forest.insert", ids = ins.len());
         let jobs = resolve_jobs(self.config.n_jobs, self.trees.len());
         let (config, ins_ref) = (&self.config, &ins);
-        let reports: Vec<InsertReport> = if jobs <= 1 || self.trees.len() <= 1 {
-            self.trees.iter_mut().map(|t| t.insert(ins_ref, data, config)).collect()
-        } else {
-            parallel_map_mut(&mut self.trees, jobs, |t| t.insert(ins_ref, data, config))
-        };
+        let reports: Vec<InsertReport> =
+            parallel_map_mut(&mut self.trees, jobs, |t| t.insert(ins_ref, data, config));
         let mut total = InsertReport::default();
         for r in &reports {
             total.merge(r);
         }
-        self.n_instances += ins.len() as u32;
+        self.n_instances += row_u32(ins.len());
         fume_obs::counter!("forest.instances_inserted", ins.len());
         fume_obs::counter!("forest.subtrees_rebuilt", total.subtrees_rebuilt);
         fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
@@ -321,83 +300,6 @@ fn emit_delete_counters(n_deleted: usize, total: &DeleteReport) {
     fume_obs::counter!("forest.nodes_updated", total.nodes_updated);
     fume_obs::counter!("forest.leaves_updated", total.leaves_updated);
     fume_obs::counter!("forest.candidates_replenished", total.candidates_replenished);
-}
-
-fn resolve_jobs(n_jobs: Option<usize>, work_items: usize) -> usize {
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    n_jobs.unwrap_or(avail).clamp(1, work_items.max(1))
-}
-
-/// Maps `f` over `items` using `jobs` scoped threads, preserving order.
-fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    jobs: usize,
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    let chunk = items.len().div_ceil(jobs);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
-}
-
-/// Maps `f` over `items` mutably using `jobs` scoped threads.
-fn parallel_map_mut<T: Send, R: Send>(
-    items: &mut [T],
-    jobs: usize,
-    f: impl Fn(&mut T) -> R + Sync,
-) -> Vec<R> {
-    let chunk = items.len().div_ceil(jobs);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
-}
-
-/// Zips `items` with owned `args` and maps `f` over the pairs mutably
-/// using `jobs` scoped threads, preserving order. Used by rollback, where
-/// each tree consumes its own `TreeUndo` by value.
-fn parallel_zip_map<T: Send, A: Send, R: Send>(
-    items: &mut [T],
-    args: Vec<A>,
-    jobs: usize,
-    f: impl Fn(&mut T, A) -> R + Sync,
-) -> Vec<R> {
-    debug_assert_eq!(items.len(), args.len());
-    let chunk = items.len().div_ceil(jobs);
-    let mut args: Vec<Option<A>> = args.into_iter().map(Some).collect();
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for ((slot_chunk, item_chunk), arg_chunk) in
-            out.chunks_mut(chunk).zip(items.chunks_mut(chunk)).zip(args.chunks_mut(chunk))
-        {
-            let f = &f;
-            scope.spawn(move || {
-                for ((slot, item), arg) in
-                    slot_chunk.iter_mut().zip(item_chunk).zip(arg_chunk)
-                {
-                    *slot = Some(f(item, arg.take().expect("arg present")));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]

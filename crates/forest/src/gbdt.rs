@@ -10,8 +10,9 @@
 //! into FUME through the model-agnostic retraining removal, demonstrating
 //! the extensibility claim end-to-end.
 
-use fume_tabular::{Classifier, Dataset};
+use fume_tabular::cast::{code_u16, row_u32};
 use fume_tabular::rng::{SeedableRng, SliceRandom, StdRng};
+use fume_tabular::{Classifier, Dataset};
 
 /// GBDT hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,7 +91,7 @@ fn build_reg_node(
     let sum_g: f64 = ids.iter().map(|&i| grad[i as usize]).sum();
     let sum_h: f64 = ids.iter().map(|&i| hess[i as usize]).sum();
     let leaf = || RegNode::Leaf { value: sum_g / (sum_h + 1e-9) };
-    if depth >= cfg.max_depth || (ids.len() as u32) < 2 * cfg.min_samples_leaf {
+    if depth >= cfg.max_depth || row_u32(ids.len()) < 2 * cfg.min_samples_leaf {
         return leaf();
     }
 
@@ -100,7 +101,7 @@ fn build_reg_node(
     let parent_score = score(sum_g, sum_h);
 
     let p = data.num_attributes();
-    let mut attrs: Vec<u16> = (0..p as u16).collect();
+    let mut attrs: Vec<u16> = (0..code_u16(p)).collect();
     attrs.shuffle(rng);
     attrs.truncate(cfg.max_features.unwrap_or(p).clamp(1, p));
 
@@ -127,14 +128,14 @@ fn build_reg_node(
             gl += g;
             hl += h;
             nl += n_bucket;
-            let nr = ids.len() as u32 - nl;
+            let nr = row_u32(ids.len()) - nl;
             if nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf {
                 continue;
             }
             let gain =
                 score(gl, hl) + score(sum_g - gl, sum_h - hl) - parent_score;
             if best.map(|(bg, _, _)| gain > bg + 1e-12).unwrap_or(gain > 1e-12) {
-                best = Some((gain, attr, cut as u16));
+                best = Some((gain, attr, code_u16(cut)));
             }
         }
     }
@@ -185,7 +186,8 @@ impl Gbdt {
         let mut margin = vec![base_score; n];
         let mut grad = vec![0.0f64; n];
         let mut hess = vec![0.0f64; n];
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        // fume-lint: allow(F003) -- seed provenance: taken directly from GbdtConfig::seed, so boosting is reproducible per config
+    let mut rng = StdRng::seed_from_u64(config.seed);
         let mut trees = Vec::with_capacity(config.n_rounds);
         for _ in 0..config.n_rounds {
             for &i in &ids {
@@ -201,7 +203,7 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Self { base_score, trees, config, n_instances: ids.len() as u32 }
+        Self { base_score, trees, config, n_instances: row_u32(ids.len()) }
     }
 
     /// Number of training instances.

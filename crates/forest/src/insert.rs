@@ -17,8 +17,9 @@
 //! always triggers a redraw). Greedy nodes, which carry all predictive
 //! structure, are re-checked exactly.
 
-use fume_tabular::Dataset;
+use fume_tabular::cast::row_u32;
 use fume_tabular::rng::StdRng;
+use fume_tabular::Dataset;
 
 use crate::builder::{build_node, partition};
 use crate::config::DareConfig;
@@ -63,13 +64,13 @@ pub(crate) fn insert_into_node(
         return;
     }
     let labels = data.labels();
-    let ins_pos = ins.iter().filter(|&&id| labels[id as usize]).count() as u32;
+    let ins_pos = row_u32(ins.iter().filter(|&&id| labels[id as usize]).count());
 
     match node {
         Node::Leaf(leaf) => {
             leaf.ids.extend_from_slice(ins);
             leaf.n_pos += ins_pos;
-            let (n, n_pos) = (leaf.ids.len() as u32, leaf.n_pos);
+            let (n, n_pos) = (row_u32(leaf.ids.len()), leaf.n_pos);
             if leaf_should_split(n, n_pos, depth, cfg) {
                 let ids = std::mem::take(&mut leaf.ids);
                 *node = build_node(data, ids, depth, rng, cfg);
@@ -80,7 +81,7 @@ pub(crate) fn insert_into_node(
             }
         }
         Node::Internal(internal) => {
-            internal.n += ins.len() as u32;
+            internal.n += row_u32(ins.len());
             internal.n_pos += ins_pos;
             report.nodes_updated += 1;
 

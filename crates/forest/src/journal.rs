@@ -59,6 +59,7 @@ impl NodePath {
                         &mut internal.left
                     }
                 }
+                // fume-lint: allow(F001) -- path invariant: NodePath bits are recorded while descending this same tree, and structural records are replayed in reverse order, so every prefix resolves to the internal node it was recorded at
                 Node::Leaf(_) => unreachable!("journal path descends through a leaf"),
             };
         }
@@ -198,6 +199,7 @@ impl JournalSink {
 
 /// The undo log of one journaled deletion on one tree.
 #[derive(Debug, Clone)]
+#[must_use = "dropping an undo log forfeits the only way to roll the tree back"]
 pub struct TreeUndo {
     pub(crate) records: Vec<UndoRecord>,
     /// The tree's RNG state before the delete consumed it.
@@ -234,6 +236,7 @@ pub(crate) fn rollback_records(root: &mut Node, records: Vec<UndoRecord>) -> usi
                     leaf.ids = ids;
                     leaf.n_pos = n_pos;
                 }
+                // fume-lint: allow(F001) -- record-kind invariant: a Leaf record is only emitted for a node that was a leaf, and later Subtree restores cannot change a node's kind before its own record replays
                 Node::Internal(_) => unreachable!("leaf record points at a decision node"),
             },
             UndoRecord::InternalStats { path, n, n_pos, cand_stats } => {
@@ -243,6 +246,7 @@ pub(crate) fn rollback_records(root: &mut Node, records: Vec<UndoRecord>) -> usi
                         internal.n_pos = n_pos;
                         internal.restore_candidate_stats(&cand_stats);
                     }
+                    // fume-lint: allow(F001) -- record-kind invariant: InternalStats records are emitted only at internal nodes, and reverse-order replay restores structure before stats
                     Node::Leaf(_) => unreachable!("stats record points at a leaf"),
                 }
             }
@@ -252,6 +256,7 @@ pub(crate) fn rollback_records(root: &mut Node, records: Vec<UndoRecord>) -> usi
                         internal.candidates = candidates;
                         internal.chosen = chosen;
                     }
+                    // fume-lint: allow(F001) -- record-kind invariant: Candidates records are emitted only at greedy internal nodes, preserved by reverse-order replay
                     Node::Leaf(_) => unreachable!("candidate record points at a leaf"),
                 }
             }
@@ -266,6 +271,7 @@ pub(crate) fn rollback_records(root: &mut Node, records: Vec<UndoRecord>) -> usi
 /// The undo log of one journaled deletion across a whole forest:
 /// per-tree records plus the forest-level instance count delta.
 #[derive(Debug, Clone)]
+#[must_use = "dropping the journal forfeits the only way to roll the forest back"]
 pub struct UndoJournal {
     pub(crate) trees: Vec<TreeUndo>,
     pub(crate) n_deleted: u32,

@@ -33,6 +33,7 @@
 
 mod builder;
 pub mod config;
+pub mod deepcheck;
 pub mod delete;
 pub mod extra_trees;
 pub mod forest;

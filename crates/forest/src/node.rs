@@ -9,6 +9,7 @@
 //!
 //! Splits are of the form `code(attr) <= threshold → left`.
 
+use fume_tabular::cast::row_u32;
 use fume_tabular::Dataset;
 
 /// A cached candidate split with its sufficient statistics.
@@ -109,7 +110,7 @@ impl Node {
     /// Instances under this node.
     pub fn n(&self) -> u32 {
         match self {
-            Node::Leaf(l) => l.ids.len() as u32,
+            Node::Leaf(l) => row_u32(l.ids.len()),
             Node::Internal(i) => i.n,
         }
     }

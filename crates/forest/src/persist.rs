@@ -16,6 +16,8 @@
 
 use std::path::Path;
 
+use fume_tabular::cast::{code_u16, row_u32};
+
 use crate::config::{DareConfig, MaxFeatures};
 use crate::forest::DareForest;
 use crate::node::{Candidate, Internal, Leaf, Node};
@@ -124,18 +126,21 @@ impl Buf for &[u8] {
     fn get_u16_le(&mut self) -> u16 {
         let (head, rest) = self.split_at(2);
         *self = rest;
+        // fume-lint: allow(F001) -- split_at(2) always yields a 2-byte head; the conversion cannot fail
         u16::from_le_bytes(head.try_into().expect("split_at(2)"))
     }
     #[inline]
     fn get_u32_le(&mut self) -> u32 {
         let (head, rest) = self.split_at(4);
         *self = rest;
+        // fume-lint: allow(F001) -- split_at(4) always yields a 4-byte head; the conversion cannot fail
         u32::from_le_bytes(head.try_into().expect("split_at(4)"))
     }
     #[inline]
     fn get_u64_le(&mut self) -> u64 {
         let (head, rest) = self.split_at(8);
         *self = rest;
+        // fume-lint: allow(F001) -- split_at(8) always yields an 8-byte head; the conversion cannot fail
         u64::from_le_bytes(head.try_into().expect("split_at(8)"))
     }
     #[inline]
@@ -155,10 +160,10 @@ fn need(buf: &&[u8], n: usize, what: &'static str) -> Result<(), PersistError> {
 }
 
 fn encode_config(out: &mut Vec<u8>, cfg: &DareConfig) {
-    out.put_u32_le(cfg.n_trees as u32);
-    out.put_u32_le(cfg.max_depth as u32);
-    out.put_u32_le(cfg.random_depth as u32);
-    out.put_u32_le(cfg.n_thresholds as u32);
+    out.put_u32_le(row_u32(cfg.n_trees));
+    out.put_u32_le(row_u32(cfg.max_depth));
+    out.put_u32_le(row_u32(cfg.random_depth));
+    out.put_u32_le(row_u32(cfg.n_thresholds));
     match cfg.max_features {
         MaxFeatures::All => {
             out.put_u8(0);
@@ -170,7 +175,7 @@ fn encode_config(out: &mut Vec<u8>, cfg: &DareConfig) {
         }
         MaxFeatures::Count(c) => {
             out.put_u8(2);
-            out.put_u32_le(c as u32);
+            out.put_u32_le(row_u32(c));
         }
     }
     out.put_u32_le(cfg.min_samples_split);
@@ -183,7 +188,7 @@ fn encode_config(out: &mut Vec<u8>, cfg: &DareConfig) {
         }
         Some(j) => {
             out.put_u8(1);
-            out.put_u32_le(j as u32);
+            out.put_u32_le(row_u32(j));
         }
     }
 }
@@ -229,7 +234,7 @@ fn encode_node(out: &mut Vec<u8>, node: &Node) {
     match node {
         Node::Leaf(l) => {
             out.put_u8(0);
-            out.put_u32_le(l.ids.len() as u32);
+            out.put_u32_le(row_u32(l.ids.len()));
             for &id in &l.ids {
                 out.put_u32_le(id);
             }
@@ -243,7 +248,7 @@ fn encode_node(out: &mut Vec<u8>, node: &Node) {
             out.put_u32_le(i.n);
             out.put_u32_le(i.n_pos);
             out.put_u32_le(i.chosen);
-            out.put_u16_le(i.candidates.len() as u16);
+            out.put_u16_le(code_u16(i.candidates.len()));
             for c in &i.candidates {
                 out.put_u16_le(c.attr);
                 out.put_u16_le(c.threshold);
@@ -326,7 +331,7 @@ pub fn to_bytes(forest: &DareForest) -> Vec<u8> {
     out.put_u16_le(VERSION);
     encode_config(&mut out, forest.config());
     out.put_u32_le(forest.num_instances());
-    out.put_u32_le(forest.trees().len() as u32);
+    out.put_u32_le(row_u32(forest.trees().len()));
     for tree in forest.trees() {
         encode_node(&mut out, tree.root());
     }

@@ -25,6 +25,7 @@ pub struct DareTree {
 impl DareTree {
     /// Trains a tree on the instances `ids` of `data`.
     pub fn fit(data: &Dataset, ids: Vec<u32>, cfg: &DareConfig, seed: u64) -> Self {
+        // fume-lint: allow(F003) -- seed provenance: derived by DareForest::fit_on from config.seed and the tree index, so the stream is reproducible per (config, tree)
         let mut rng = StdRng::seed_from_u64(seed);
         let root = build_node(data, ids, 0, &mut rng, cfg);
         Self { root, rng }
@@ -40,6 +41,7 @@ impl DareTree {
             .wrapping_mul(0xA076_1D64_78BD_642F)
             .wrapping_add(index as u64)
             .rotate_left(17);
+        // fume-lint: allow(F003) -- seed provenance: reseeded deterministically from (config.seed, tree index); see the persist module's reseeding caveat
         Self { root, rng: StdRng::seed_from_u64(seed) }
     }
 

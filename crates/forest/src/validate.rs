@@ -5,6 +5,7 @@
 //! verifies that property and is used heavily by the workspace's tests
 //! (including property-based tests).
 
+use fume_tabular::cast::row_u32;
 use fume_tabular::Dataset;
 
 use crate::builder::candidate_valid;
@@ -33,11 +34,9 @@ fn check_node(
 ) {
     match node {
         Node::Leaf(leaf) => {
-            let pos = leaf
-                .ids
-                .iter()
-                .filter(|&&id| data.label(id as usize))
-                .count() as u32;
+            let pos = row_u32(
+                leaf.ids.iter().filter(|&&id| data.label(id as usize)).count(),
+            );
             if pos != leaf.n_pos {
                 out.push(Violation(format!(
                     "leaf at depth {depth}: cached n_pos {} != recomputed {pos}",
@@ -145,13 +144,14 @@ fn check_greedy_candidates(
     for (ci, c) in i.candidates.iter().enumerate() {
         let column = data.column(c.attr as usize);
         let n_left =
-            ids.iter().filter(|&&id| column[id as usize] <= c.threshold).count() as u32;
-        let n_left_pos = ids
-            .iter()
-            .filter(|&&id| {
-                column[id as usize] <= c.threshold && data.label(id as usize)
-            })
-            .count() as u32;
+            row_u32(ids.iter().filter(|&&id| column[id as usize] <= c.threshold).count());
+        let n_left_pos = row_u32(
+            ids.iter()
+                .filter(|&&id| {
+                    column[id as usize] <= c.threshold && data.label(id as usize)
+                })
+                .count(),
+        );
         if (c.n_left, c.n_left_pos) != (n_left, n_left_pos) {
             out.push(Violation(format!(
                 "greedy node at depth {depth}: candidate {ci} stats ({}, {}) != recomputed ({n_left}, {n_left_pos})",

@@ -1,5 +1,6 @@
 //! Lattice node generation: level-1 literals and the apriori join.
 
+use fume_tabular::cast::{code_u16, row_u32};
 use fume_tabular::{AttrKind, Dataset};
 
 use crate::literal::{Literal, Op};
@@ -66,7 +67,7 @@ pub fn level1_nodes_with(
     gen: LiteralGen,
 ) -> Vec<LatticeNode> {
     let mut nodes = Vec::new();
-    for attr in 0..data.num_attributes() as u16 {
+    for attr in 0..code_u16(data.num_attributes()) {
         if exclude_attrs.contains(&attr) {
             continue;
         }
@@ -76,7 +77,7 @@ pub fn level1_nodes_with(
         let card = attribute.cardinality();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); card as usize];
         for (row, &code) in data.column(attr as usize).iter().enumerate() {
-            buckets[code as usize].push(row as u32);
+            buckets[code as usize].push(row_u32(row));
         }
 
         if gen == LiteralGen::WithRanges
@@ -109,7 +110,7 @@ pub fn level1_nodes_with(
 
         for (value, rows) in buckets.into_iter().enumerate() {
             nodes.push(LatticeNode {
-                predicate: Predicate::single(Literal::eq(attr, value as u16)),
+                predicate: Predicate::single(Literal::eq(attr, code_u16(value))),
                 rows,
                 rho: None,
                 parent_floor: f64::NEG_INFINITY,

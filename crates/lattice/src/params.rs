@@ -134,6 +134,7 @@ impl SearchParams {
 
     /// The paper's defaults: 5–15 % support, 2-literal subsets.
     pub fn paper_defaults() -> Self {
+        // fume-lint: allow(F001) -- constant arguments: SupportRange::medium() and eta=2 satisfy every validation rule, checked by the params tests
         Self::new(SupportRange::medium(), 2).expect("static params valid")
     }
 }

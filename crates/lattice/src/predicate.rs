@@ -1,5 +1,6 @@
 //! Conjunctive predicates over coded datasets.
 
+use fume_tabular::cast::row_u32;
 use fume_tabular::{Dataset, Schema};
 
 use crate::literal::Literal;
@@ -49,7 +50,7 @@ impl Predicate {
 
     /// Sorted row ids of `data` satisfying the predicate.
     pub fn select(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.num_rows() as u32)
+        (0..row_u32(data.num_rows()))
             .filter(|&r| self.matches(data, r as usize))
             .collect()
     }

@@ -1,0 +1,533 @@
+//! A hand-rolled Rust token scanner: just enough lexical structure to
+//! drive the rule engine without pulling `syn`/`proc-macro2` into a
+//! deliberately dependency-free workspace.
+//!
+//! The scanner understands the constructs that defeat naive `grep`-style
+//! linting: string literals (including raw strings with arbitrary `#`
+//! fences and byte strings), char literals vs. lifetimes, nested block
+//! comments, and numeric literals (so float literals can be told apart
+//! from integers for the float-equality rule). Everything else is emitted
+//! as identifier or punctuation tokens carrying exact line/column spans.
+//!
+//! Comments are not discarded: `// fume-lint: allow(RULE) -- reason`
+//! directives are parsed into [`Suppression`]s as the scanner passes them.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `struct`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-9`, `0.5f32`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about (`==`,
+    /// `!=`, `::`, `->`, `=>`) are fused into one token.
+    Punct,
+}
+
+/// One token with its source span (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The raw text of the token (for `Str`, the opening quote only —
+    /// rules never need string contents, and skipping them is the point).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+/// An inline `// fume-lint: allow(…) -- reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule IDs listed inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Whether a non-empty reason followed `--`.
+    pub has_reason: bool,
+}
+
+/// Output of [`lex`]: the token stream plus any suppression directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Suppression directives in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans `source` into tokens and suppression directives. The scanner
+/// never fails: unrecognised bytes become single-char punctuation, and
+/// unterminated literals simply run to end of input.
+pub fn lex(source: &str) -> Lexed {
+    let mut c = Cursor { src: source.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => line_comment(&mut c, &mut out),
+            b'/' if c.peek(1) == Some(b'*') => block_comment(&mut c),
+            b'"' => {
+                string_literal(&mut c);
+                out.tokens.push(Tok { kind: TokKind::Str, text: "\"".into(), line, col });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                raw_or_byte_string(&mut c);
+                out.tokens.push(Tok { kind: TokKind::Str, text: "\"".into(), line, col });
+            }
+            b'\'' => char_or_lifetime(&mut c, &mut out, line, col),
+            b if is_ident_start(b) => {
+                let mut text = String::new();
+                while let Some(b) = c.peek(0) {
+                    if is_ident_continue(b) {
+                        text.push(b as char);
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok { kind: TokKind::Ident, text, line, col });
+            }
+            b if b.is_ascii_digit() => number(&mut c, &mut out, line, col),
+            _ => punct(&mut c, &mut out, line, col),
+        }
+    }
+    out
+}
+
+/// `r"`, `r#`, `br"`, `br#`, `b"` — raw and/or byte string openers.
+/// Plain identifiers starting with `r`/`b` (e.g. `rollback`) must not
+/// match, so the check requires the quote/fence immediately after.
+fn starts_raw_or_byte_string(c: &Cursor) -> bool {
+    let mut i = 1;
+    if c.peek(0) == Some(b'b') && c.peek(1) == Some(b'r') {
+        i = 2;
+    }
+    match c.peek(i) {
+        Some(b'"') => c.peek(0) == Some(b'b') || i == 1, // b"…", r"…", br"…"
+        Some(b'#') => {
+            // r#"…"# or br#"…"# (any number of #), but NOT r#ident (raw
+            // identifier): require a quote after the fence run.
+            if c.peek(0) == Some(b'b') && i == 1 {
+                return false; // b#… is not a string
+            }
+            let mut j = i;
+            while c.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            c.peek(j) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn line_comment(c: &mut Cursor, out: &mut Lexed) {
+    let line = c.line;
+    let start = c.pos;
+    while let Some(b) = c.peek(0) {
+        if b == b'\n' {
+            break;
+        }
+        c.bump();
+    }
+    let text = std::str::from_utf8(&c.src[start..c.pos]).unwrap_or("");
+    if let Some(supp) = parse_suppression(text, line) {
+        out.suppressions.push(supp);
+    }
+}
+
+/// Parses `// fume-lint: allow(F001, F002) -- reason` (also tolerated
+/// inside doc comments). Returns `None` for ordinary comments.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let idx = comment.find("fume-lint:")?;
+    let rest = comment[idx + "fume-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix("--")
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    Some(Suppression { rules, line, has_reason })
+}
+
+fn block_comment(c: &mut Cursor) {
+    c.bump(); // '/'
+    c.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(0), c.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                c.bump();
+                c.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                c.bump();
+                c.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn string_literal(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'"' => break,
+            b'\\' => {
+                c.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn raw_or_byte_string(c: &mut Cursor) {
+    if c.peek(0) == Some(b'b') {
+        c.bump();
+    }
+    let raw = c.peek(0) == Some(b'r');
+    if raw {
+        c.bump();
+    }
+    let mut fence = 0usize;
+    while c.peek(0) == Some(b'#') {
+        fence += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    if !raw {
+        // b"…" obeys escape rules like a normal string.
+        while let Some(b) = c.bump() {
+            match b {
+                b'"' => return,
+                b'\\' => {
+                    c.bump();
+                }
+                _ => {}
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by `fence` hashes; no escapes.
+    'scan: while let Some(b) = c.bump() {
+        if b == b'"' {
+            for i in 0..fence {
+                if c.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..fence {
+                c.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// `'a'` is a char literal; `'a` (not followed by a closing quote) is a
+/// lifetime. `'\n'` and other escapes are always chars.
+fn char_or_lifetime(c: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    c.bump(); // opening quote
+    match c.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            c.bump();
+            c.bump();
+            if c.peek(0) == Some(b'\'') {
+                c.bump();
+            }
+            out.tokens.push(Tok { kind: TokKind::Char, text: "'".into(), line, col });
+        }
+        Some(b) if is_ident_start(b) => {
+            if c.peek(1) == Some(b'\'') {
+                // 'x' — single-char literal.
+                c.bump();
+                c.bump();
+                out.tokens.push(Tok { kind: TokKind::Char, text: "'".into(), line, col });
+            } else {
+                // 'lifetime — consume the identifier.
+                let mut text = String::from("'");
+                while let Some(b) = c.peek(0) {
+                    if is_ident_continue(b) {
+                        text.push(b as char);
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok { kind: TokKind::Lifetime, text, line, col });
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '.' or ' '.
+            c.bump();
+            if c.peek(0) == Some(b'\'') {
+                c.bump();
+            }
+            out.tokens.push(Tok { kind: TokKind::Char, text: "'".into(), line, col });
+        }
+        None => {}
+    }
+}
+
+fn number(c: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
+    let mut is_float = false;
+    let radix_prefix = c.peek(0) == Some(b'0')
+        && matches!(c.peek(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'));
+    if radix_prefix {
+        text.push(c.bump().unwrap_or(b'0') as char);
+        text.push(c.bump().unwrap_or(b'x') as char);
+        while let Some(b) = c.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                text.push(b as char);
+                c.bump();
+            } else {
+                break;
+            }
+        }
+        out.tokens.push(Tok { kind: TokKind::Int, text, line, col });
+        return;
+    }
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_digit() || b == b'_' {
+            text.push(b as char);
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: `1.5` yes, `1..2` no, `1.max(…)` no.
+    if c.peek(0) == Some(b'.') {
+        if let Some(next) = c.peek(1) {
+            if next.is_ascii_digit() {
+                is_float = true;
+                text.push('.');
+                c.bump();
+                while let Some(b) = c.peek(0) {
+                    if b.is_ascii_digit() || b == b'_' {
+                        text.push(b as char);
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Trailing `1.` at end of expression is a float.
+            is_float = true;
+            text.push('.');
+            c.bump();
+        }
+    }
+    // Exponent: `1e9`, `2.5E-3`.
+    if matches!(c.peek(0), Some(b'e') | Some(b'E')) {
+        let (sign_len, first_digit) = match c.peek(1) {
+            Some(b'+') | Some(b'-') => (1, c.peek(2)),
+            other => (0, other),
+        };
+        if first_digit.map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            is_float = true;
+            for _ in 0..(1 + sign_len) {
+                if let Some(b) = c.bump() {
+                    text.push(b as char);
+                }
+            }
+            while let Some(b) = c.peek(0) {
+                if b.is_ascii_digit() || b == b'_' {
+                    text.push(b as char);
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`): `1f64` is a float even without a dot.
+    if c.peek(0).map(is_ident_start).unwrap_or(false) {
+        let mut suffix = String::new();
+        while let Some(b) = c.peek(0) {
+            if is_ident_continue(b) {
+                suffix.push(b as char);
+                c.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+    }
+    let kind = if is_float { TokKind::Float } else { TokKind::Int };
+    out.tokens.push(Tok { kind, text, line, col });
+}
+
+fn punct(c: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    let a = c.bump().unwrap_or(b' ');
+    let two = |c: &Cursor, second: u8| c.peek(0) == Some(second);
+    let text = match a {
+        b'=' if two(c, b'=') => {
+            c.bump();
+            "==".to_string()
+        }
+        b'!' if two(c, b'=') => {
+            c.bump();
+            "!=".to_string()
+        }
+        b':' if two(c, b':') => {
+            c.bump();
+            "::".to_string()
+        }
+        b'-' if two(c, b'>') => {
+            c.bump();
+            "->".to_string()
+        }
+        b'=' if two(c, b'>') => {
+            c.bump();
+            "=>".to_string()
+        }
+        _ => (a as char).to_string(),
+    };
+    out.tokens.push(Tok { kind: TokKind::Punct, text, line, col });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unwrap(` inside string literals must not surface as tokens.
+        let src = r##"let s = "calls .unwrap() inside"; let r = r#"also .unwrap("#; x.real();"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ tail()";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["tail"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("x<'a>('b', '\\n')").tokens;
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        let toks = lex("1.5 + 2 + 3.max(4) + 1e9 + 0x10 + 2f64").tokens;
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e9", "2f64"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["2", "3", "4", "0x10"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = lex("a\n  bb\n").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_reason() {
+        let lexed = lex("// fume-lint: allow(F001, F002) -- invariant documented\nx();\n// fume-lint: allow(F003)\n");
+        assert_eq!(lexed.suppressions.len(), 2);
+        assert_eq!(lexed.suppressions[0].rules, vec!["F001", "F002"]);
+        assert!(lexed.suppressions[0].has_reason);
+        assert_eq!(lexed.suppressions[0].line, 1);
+        assert!(!lexed.suppressions[1].has_reason);
+        assert_eq!(lexed.suppressions[1].line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string(){
+        let ids = idents("let r#type = 1; br#tag");
+        assert!(ids.contains(&"type".to_string()) || ids.contains(&"r".to_string()));
+        // Most importantly: the lexer must not swallow the rest of the file.
+        assert!(ids.contains(&"br".to_string()) || ids.contains(&"tag".to_string()));
+    }
+}

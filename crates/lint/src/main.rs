@@ -1,0 +1,142 @@
+//! The `fume-lint` CLI.
+//!
+//! ```text
+//! fume-lint --workspace [--deny-all] [--json PATH]   # lint the tree
+//! fume-lint FILE…                                     # lint files, full rule set
+//! fume-lint --explain                                 # print the rule catalog
+//! ```
+//!
+//! Exit status: 0 when lint-clean, 1 when any unsuppressed diagnostic
+//! remains, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    deny_all: bool,
+    explain: bool,
+    json: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        deny_all: false,
+        explain: false,
+        json: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--deny-all" => args.deny_all = true,
+            "--explain" => args.explain = true,
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path argument")?;
+                args.json = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: fume-lint [--workspace] [--deny-all] [--json PATH] [FILE…]"
+                    .to_string())
+            }
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !args.workspace && !args.explain && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths (see --help)".to_string());
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding a `crates/` folder and a `Cargo.toml`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("fume-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.explain {
+        println!("fume-lint rule catalog (see docs/static-analysis.md):");
+        for (id, summary) in fume_lint::CATALOG {
+            println!("  {id}  {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = fume_lint::LintReport::default();
+    if args.workspace {
+        let Some(root) = find_root() else {
+            eprintln!("fume-lint: could not locate the workspace root from the current directory");
+            return ExitCode::from(2);
+        };
+        match fume_lint::lint_workspace(&root) {
+            Ok(r) => report.merge(r),
+            Err(e) => {
+                eprintln!("fume-lint: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for file in &args.files {
+        // Explicit file arguments always get the full rule set — that is
+        // what the fixture corpus relies on.
+        let rel = file.to_string_lossy().replace('\\', "/");
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fume-lint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        report.merge(fume_lint::lint_source(&rel, &source, &fume_lint::FilePolicy::all()));
+    }
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if let Some(json_path) = &args.json {
+        if let Some(parent) = json_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("fume-lint: cannot write JSON report {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+        println!("fume-lint: JSON report written to {}", json_path.display());
+    }
+    println!(
+        "fume-lint: {} file(s), {} unsuppressed diagnostic(s), {} suppressed",
+        report.files,
+        report.diagnostics.len(),
+        report.suppressed
+    );
+    // All catalog rules deny by default; --deny-all is the explicit CI
+    // spelling of the same contract.
+    let _ = args.deny_all;
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

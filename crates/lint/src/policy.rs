@@ -1,0 +1,138 @@
+//! Per-file rule applicability: which rules run where.
+//!
+//! The workspace deliberately sanctions a small number of modules for
+//! otherwise-banned constructs — `fume-obs` owns the clock,
+//! `fume_tabular::rng` owns randomness, `fume_tabular::workers` owns
+//! scoped threads, `fume_tabular::float` owns epsilon comparison, and
+//! `fume_tabular::cast` owns narrowing index casts. Everything else is
+//! path policy: test/bench/example/bin targets are exempt from the
+//! panic-freedom and determinism rules, and the cast rule only bites in
+//! the index-arithmetic-heavy crates (`fume-forest`, `fume-lattice`).
+
+/// Which rules apply to one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FilePolicy {
+    /// File is skipped entirely (generated/vendored — none today).
+    pub skip_all: bool,
+    /// F001 panic-freedom.
+    pub panic_freedom: bool,
+    /// F002 explicit poisoned-mutex handling.
+    pub lock_unwrap: bool,
+    /// F003 determinism: clock sources.
+    pub time_sources: bool,
+    /// F003 determinism: RNG construction.
+    pub rng_construction: bool,
+    /// F004 lossy narrowing casts.
+    pub narrow_casts: bool,
+    /// F005 exact float equality.
+    pub float_eq: bool,
+    /// F006 thread discipline.
+    pub threads: bool,
+    /// F007 `#[must_use]` on journal/builder/guard types.
+    pub must_use: bool,
+}
+
+impl FilePolicy {
+    /// Every rule on — what explicit CLI file arguments and the fixture
+    /// tests use.
+    pub fn all() -> Self {
+        FilePolicy {
+            skip_all: false,
+            panic_freedom: true,
+            lock_unwrap: true,
+            time_sources: true,
+            rng_construction: true,
+            narrow_casts: true,
+            float_eq: true,
+            threads: true,
+            must_use: true,
+        }
+    }
+}
+
+/// Normalises `\` to `/` so policies match on Windows checkouts too.
+fn norm(path: &str) -> String {
+    path.replace('\\', "/")
+}
+
+/// The crate a workspace-relative path belongs to (`crates/forest/src/…`
+/// → `forest`; the facade's `src/…` → `fume`).
+fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("")
+    } else {
+        "fume"
+    }
+}
+
+/// Computes the rule set for a workspace-relative path.
+pub fn policy_for(path: &str) -> FilePolicy {
+    let path = norm(path);
+    let p = path.as_str();
+    // Test, bench, example, and bin targets: panic-freedom and
+    // determinism do not apply (they are allowed to unwrap, time, and
+    // seed ad hoc); thread/lock discipline still does.
+    let is_test_target = p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.starts_with("benches/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+        || p.contains("/bin/");
+    let krate = crate_of(p);
+    // fume-bench is the measurement harness: wall clocks and unwraps are
+    // its job, so it gets the same exemptions as bench targets.
+    let harness = is_test_target || krate == "bench";
+    FilePolicy {
+        skip_all: false,
+        panic_freedom: !harness,
+        lock_unwrap: true,
+        time_sources: !harness && krate != "obs",
+        rng_construction: !harness && p != "crates/tabular/src/rng.rs",
+        narrow_casts: !is_test_target
+            && matches!(krate, "forest" | "lattice")
+            && p != "crates/tabular/src/cast.rs",
+        float_eq: !harness && p != "crates/tabular/src/float.rs",
+        threads: p != "crates/tabular/src/workers.rs",
+        must_use: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_code_gets_the_full_set() {
+        let p = policy_for("crates/forest/src/forest.rs");
+        assert!(p.panic_freedom && p.time_sources && p.narrow_casts && p.threads);
+    }
+
+    #[test]
+    fn bench_crate_is_a_harness() {
+        let p = policy_for("crates/bench/src/harness.rs");
+        assert!(!p.panic_freedom && !p.time_sources);
+        assert!(p.lock_unwrap && p.threads, "discipline rules still apply");
+    }
+
+    #[test]
+    fn sanctioned_modules_are_carved_out() {
+        assert!(!policy_for("crates/tabular/src/rng.rs").rng_construction);
+        assert!(!policy_for("crates/tabular/src/workers.rs").threads);
+        assert!(!policy_for("crates/tabular/src/float.rs").float_eq);
+        assert!(!policy_for("crates/obs/src/span.rs").time_sources);
+    }
+
+    #[test]
+    fn casts_only_bite_in_index_crates() {
+        assert!(policy_for("crates/lattice/src/search.rs").narrow_casts);
+        assert!(!policy_for("crates/tabular/src/stats.rs").narrow_casts);
+    }
+
+    #[test]
+    fn facade_sources_are_library_code() {
+        let p = policy_for("src/lib.rs");
+        assert!(p.panic_freedom);
+        assert!(!policy_for("src/bin/fume.rs").panic_freedom);
+    }
+}

@@ -1,0 +1,437 @@
+//! The rule catalog and the token-level checking pass.
+//!
+//! Rules have stable IDs (`F001`…) so suppressions and docs never break
+//! when messages are reworded. Each check is a window over the token
+//! stream produced by [`crate::lexer::lex`]; test-scope exemptions come
+//! from [`crate::scope::test_scopes`] and per-file applicability from
+//! [`crate::policy::FilePolicy`].
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::policy::FilePolicy;
+use crate::scope::test_scopes;
+
+/// A rule violation before suppression filtering (no file/excerpt yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDiag {
+    /// Stable rule ID (`F001`…`F007`, `F000` for malformed suppressions).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+/// Rule IDs with their one-line summaries (drives `--explain` and docs).
+pub const CATALOG: &[(&str, &str)] = &[
+    ("F000", "fume-lint suppression without a reason (`-- reason` is mandatory)"),
+    ("F001", "panic path in library code: unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!"),
+    ("F002", "`lock().unwrap()`-style poisoned-mutex erasure; handle poisoning explicitly"),
+    ("F003", "nondeterminism: clock source (Instant/SystemTime/std::time) or RNG construction outside sanctioned modules"),
+    ("F004", "potentially lossy `as` cast to a narrow integer type in index arithmetic; use fume_tabular::cast helpers or try_into"),
+    ("F005", "exact float equality (==/!= with a float operand); use fume_tabular::float epsilon helpers"),
+    ("F006", "thread creation outside the sanctioned scoped worker module (fume_tabular::workers)"),
+    ("F007", "journal/builder/guard type without #[must_use] (dropping one silently forfeits work)"),
+];
+
+const NARROW_INT: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
+const MUST_USE_SUFFIXES: &[&str] = &["Journal", "Builder", "Guard", "Undo"];
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Runs every applicable rule over the lexed file.
+pub fn check(lexed: &Lexed, policy: &FilePolicy) -> Vec<RawDiag> {
+    let toks = &lexed.tokens;
+    let exempt = test_scopes(toks);
+    let mut out = Vec::new();
+
+    // Attribute accumulation for F007 (see below).
+    let mut pending_attrs: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+
+        // ---- F007 attribute bookkeeping (also skips attr contents so
+        // `#[cfg(test)]`'s `test` ident can't confuse other rules).
+        if punct(t, "#") {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| punct(t, "!")).unwrap_or(false) {
+                j += 1;
+            }
+            if toks.get(j).map(|t| punct(t, "[")).unwrap_or(false) {
+                let mut depth = 0u32;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    if a.kind == TokKind::Punct {
+                        match a.text.as_str() {
+                            "[" | "(" => depth += 1,
+                            "]" | ")" => {
+                                if depth <= 1 {
+                                    j += 1;
+                                    break;
+                                }
+                                depth -= 1;
+                            }
+                            _ => {}
+                        }
+                    } else if a.kind == TokKind::Ident {
+                        pending_attrs.push(a.text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+
+        if !exempt.get(i).copied().unwrap_or(false) {
+            check_panic_rules(toks, i, policy, &mut out);
+            check_determinism(toks, i, policy, &mut out);
+            check_casts(toks, i, policy, &mut out);
+            check_float_eq(toks, i, policy, &mut out);
+            check_threads(toks, i, policy, &mut out);
+            check_must_use(toks, i, policy, &pending_attrs, &mut out);
+        }
+
+        // Attribute scope: attrs attach to the next item. Visibility
+        // tokens and path syntax between attr and item keep them alive;
+        // anything else consumes/clears them.
+        let keeps_attrs = (t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "pub" | "crate" | "in" | "super" | "self"))
+            || (t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | ")" | "::"));
+        if !keeps_attrs {
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+
+    for s in &lexed.suppressions {
+        if !s.has_reason {
+            out.push(RawDiag {
+                rule: "F000",
+                line: s.line,
+                col: 1,
+                message: "suppression is missing its mandatory `-- reason`".to_string(),
+            });
+        }
+    }
+
+    // At most one diagnostic per (rule, line): `std::time::Instant` is
+    // one problem, not three.
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out
+}
+
+/// F001/F002: `.unwrap()`, `.expect(…)`, and the panicking macros.
+fn check_panic_rules(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    let method_call = i >= 1
+        && punct(&toks[i - 1], ".")
+        && toks.get(i + 1).map(|n| punct(n, "(")).unwrap_or(false);
+    if method_call && (t.text == "unwrap" || t.text == "expect") {
+        // `.lock().unwrap()` / `.lock().expect(…)` is the more specific
+        // poisoning rule.
+        let on_lock = i >= 4
+            && ident(&toks[i - 4], "lock")
+            && punct(&toks[i - 3], "(")
+            && punct(&toks[i - 2], ")");
+        if on_lock {
+            if policy.lock_unwrap {
+                out.push(RawDiag {
+                    rule: "F002",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`.lock().{}()` erases mutex poisoning; recover the guard or surface a typed error",
+                        t.text
+                    ),
+                });
+            }
+        } else if policy.panic_freedom {
+            out.push(RawDiag {
+                rule: "F001",
+                line: t.line,
+                col: t.col,
+                message: format!("`.{}()` can panic in library code; return a typed error or document a suppression", t.text),
+            });
+        }
+        return;
+    }
+    if policy.panic_freedom
+        && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        && toks.get(i + 1).map(|n| punct(n, "!")).unwrap_or(false)
+    {
+        out.push(RawDiag {
+            rule: "F001",
+            line: t.line,
+            col: t.col,
+            message: format!("`{}!` in library code; return a typed error or document a suppression", t.text),
+        });
+    }
+}
+
+/// F003: clock sources and RNG construction.
+fn check_determinism(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    if policy.time_sources {
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(RawDiag {
+                rule: "F003",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` is a wall-clock source; route timing through `fume_obs` (spans or `clock::Stopwatch`)",
+                    t.text
+                ),
+            });
+            return;
+        }
+        if ident(t, "std")
+            && toks.get(i + 1).map(|n| punct(n, "::")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| ident(n, "time")).unwrap_or(false)
+        {
+            out.push(RawDiag {
+                rule: "F003",
+                line: t.line,
+                col: t.col,
+                message: "`std::time` outside fume-obs; import `fume_obs::clock` instead".to_string(),
+            });
+            return;
+        }
+    }
+    if policy.rng_construction && t.text == "seed_from_u64" {
+        out.push(RawDiag {
+            rule: "F003",
+            line: t.line,
+            col: t.col,
+            message: "RNG construction outside `fume_tabular::rng`; thread an existing stream through, or suppress with the seed's provenance".to_string(),
+        });
+    }
+}
+
+/// F004: `as <narrow-int>` in index-arithmetic crates.
+fn check_casts(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.narrow_casts {
+        return;
+    }
+    let t = &toks[i];
+    if !ident(t, "as") {
+        return;
+    }
+    if let Some(target) = toks.get(i + 1) {
+        if target.kind == TokKind::Ident && NARROW_INT.contains(&target.text.as_str()) {
+            out.push(RawDiag {
+                rule: "F004",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`as {}` silently truncates; use `fume_tabular::cast` helpers or `try_into`",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+/// F005: `==`/`!=` with a float literal operand.
+fn check_float_eq(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.float_eq {
+        return;
+    }
+    let t = &toks[i];
+    if !(t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=")) {
+        return;
+    }
+    let float_neighbour = (i >= 1 && toks[i - 1].kind == TokKind::Float)
+        || toks.get(i + 1).map(|n| n.kind == TokKind::Float).unwrap_or(false)
+        // `x != -0.5`: the literal hides behind a unary minus.
+        || (toks.get(i + 1).map(|n| punct(n, "-")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.kind == TokKind::Float).unwrap_or(false));
+    if float_neighbour {
+        out.push(RawDiag {
+            rule: "F005",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{}` against a float literal; use `fume_tabular::float::approx_eq`/`is_zero` (or compare bits deliberately)",
+                t.text
+            ),
+        });
+    }
+}
+
+/// F006: `thread::spawn`/`thread::scope` outside the sanctioned module.
+fn check_threads(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.threads {
+        return;
+    }
+    let t = &toks[i];
+    if !ident(t, "thread") {
+        return;
+    }
+    if toks.get(i + 1).map(|n| punct(n, "::")).unwrap_or(false) {
+        if let Some(target) = toks.get(i + 2) {
+            if target.kind == TokKind::Ident
+                && (target.text == "spawn" || target.text == "scope")
+            {
+                out.push(RawDiag {
+                    rule: "F006",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`thread::{}` outside `fume_tabular::workers`; use the sanctioned parallel helpers",
+                        target.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// F007: `struct FooJournal`/`FooBuilder`/`FooGuard` without
+/// `#[must_use]` among its attributes.
+fn check_must_use(
+    toks: &[Tok],
+    i: usize,
+    policy: &FilePolicy,
+    pending_attrs: &[String],
+    out: &mut Vec<RawDiag>,
+) {
+    if !policy.must_use {
+        return;
+    }
+    let t = &toks[i];
+    if !ident(t, "struct") {
+        return;
+    }
+    let Some(name) = toks.get(i + 1) else { return };
+    if name.kind != TokKind::Ident {
+        return;
+    }
+    let flagged = MUST_USE_SUFFIXES.iter().any(|s| name.text.ends_with(s) && name.text != *s);
+    if flagged && !pending_attrs.iter().any(|a| a == "must_use") {
+        out.push(RawDiag {
+            rule: "F007",
+            line: name.line,
+            col: name.col,
+            message: format!(
+                "`{}` looks like a journal/builder/guard handle; annotate the type `#[must_use]` so dropping it is a compile warning",
+                name.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<RawDiag> {
+        check(&lex(src), &FilePolicy::all())
+    }
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_f001() {
+        assert_eq!(rules_hit("fn f() { x.unwrap(); }"), vec!["F001"]);
+        assert_eq!(rules_hit("fn f() { x.expect(\"reason\"); }"), vec!["F001"]);
+        assert_eq!(rules_hit("fn f() { panic!(\"boom\"); }"), vec!["F001"]);
+        assert_eq!(rules_hit("fn f() { unreachable!(); }"), vec!["F001"]);
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert!(rules_hit("#[cfg(test)] mod t { fn f() { x.unwrap(); } }").is_empty());
+        assert!(rules_hit("#[test] fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_f001() {
+        assert!(rules_hit("fn f() { x.unwrap_or_else(|| 3); x.unwrap_or(4); }").is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_is_f002_not_f001() {
+        assert_eq!(rules_hit("fn f() { m.lock().unwrap(); }"), vec!["F002"]);
+        assert_eq!(rules_hit("fn f() { m.lock().expect(\"l\"); }"), vec!["F002"]);
+    }
+
+    #[test]
+    fn clock_sources_are_f003() {
+        assert_eq!(rules_hit("fn f() { let t = Instant::now(); }"), vec!["F003"]);
+        assert_eq!(rules_hit("use std::time::Duration;"), vec!["F003"]);
+        assert_eq!(rules_hit("fn f() { SystemTime::now(); }"), vec!["F003"]);
+    }
+
+    #[test]
+    fn rng_construction_is_f003() {
+        assert_eq!(rules_hit("fn f() { StdRng::seed_from_u64(7); }"), vec!["F003"]);
+    }
+
+    #[test]
+    fn narrowing_casts_are_f004() {
+        assert_eq!(rules_hit("fn f() { let x = n as u32; }"), vec!["F004"]);
+        assert!(rules_hit("fn f() { let x = n as u64; let y = n as usize; }").is_empty());
+    }
+
+    #[test]
+    fn float_equality_is_f005() {
+        assert_eq!(rules_hit("fn f() { if x == 0.0 {} }"), vec!["F005"]);
+        assert_eq!(rules_hit("fn f() { if 1.5 != y {} }"), vec!["F005"]);
+        assert_eq!(rules_hit("fn f() { if y != -0.5 {} }"), vec!["F005"]);
+        assert!(rules_hit("fn f() { if x == 0 {} }").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_and_scope_are_f006() {
+        assert_eq!(rules_hit("fn f() { std::thread::spawn(|| {}); }"), vec!["F006"]);
+        assert_eq!(rules_hit("fn f() { thread::scope(|s| {}); }"), vec!["F006"]);
+        assert!(rules_hit("fn f() { scope.spawn(|| {}); }").is_empty());
+    }
+
+    #[test]
+    fn must_use_suffix_types_are_f007() {
+        assert_eq!(rules_hit("pub struct UndoJournal { x: u32 }"), vec!["F007"]);
+        assert!(rules_hit("#[must_use]\npub struct UndoJournal { x: u32 }").is_empty());
+        assert!(rules_hit("#[must_use = \"reason\"]\n#[derive(Debug)]\npub struct FumeBuilder {}").is_empty());
+        assert!(rules_hit("pub struct Journal {}").is_empty(), "bare suffix name is not flagged");
+    }
+
+    #[test]
+    fn cfg_test_attr_idents_do_not_leak_into_rules() {
+        // The `test` ident inside #[cfg(test)] must not trip anything.
+        assert!(rules_hit("#[cfg(test)] mod t { }").is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_f000() {
+        let src = "// fume-lint: allow(F001)\nfn f() { x.unwrap(); }";
+        let rules = rules_hit(src);
+        assert!(rules.contains(&"F000"), "{rules:?}");
+    }
+
+    #[test]
+    fn one_diagnostic_per_rule_per_line() {
+        let hits = run("use std::time::Instant;");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+}

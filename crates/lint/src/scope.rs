@@ -1,0 +1,171 @@
+//! Test-scope tracking: which tokens live inside `#[cfg(test)]` modules,
+//! `#[test]`/`#[bench]` functions, or doc-test-free production code.
+//!
+//! The rule catalog exempts test code from most rules (tests may
+//! `unwrap`, compare floats exactly, and read clocks). Exemption is
+//! computed by a single forward walk over the token stream: a test-ish
+//! attribute (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, or any
+//! attribute whose arguments mention the `test`/`bench` idents) marks the
+//! next item body — the first `{` not inside parentheses/brackets — and
+//! the region to its matching `}` is exempt. Regions nest naturally.
+
+use crate::lexer::{Tok, TokKind};
+
+/// For each token index, whether the token sits inside test-exempt code.
+pub fn test_scopes(tokens: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; tokens.len()];
+    // Stack of brace depths at which an exempt region opened.
+    let mut exempt_stack: Vec<u32> = Vec::new();
+    let mut brace_depth: u32 = 0;
+    // Between a test attribute and its item body: scan for the body `{`.
+    let mut pending_attr = false;
+    // Paren/bracket nesting while scanning for the pending body.
+    let mut pending_nest: u32 = 0;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        exempt[i] = !exempt_stack.is_empty();
+        if t.kind == TokKind::Punct && t.text == "#" {
+            // Attribute: `#[…]` (outer) — inner `#![…]` is skipped.
+            let mut j = i + 1;
+            let inner = matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "!");
+            if inner {
+                j += 1;
+            }
+            if matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "[") {
+                let (end, is_testish) = scan_attribute(tokens, j);
+                for slot in exempt.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *slot = !exempt_stack.is_empty();
+                }
+                if is_testish && !inner {
+                    pending_attr = true;
+                    pending_nest = 0;
+                }
+                i = end;
+                continue;
+            }
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    brace_depth += 1;
+                    if pending_attr && pending_nest == 0 {
+                        exempt_stack.push(brace_depth);
+                        pending_attr = false;
+                        exempt[i] = true;
+                    }
+                }
+                "}" => {
+                    if exempt_stack.last() == Some(&brace_depth) {
+                        exempt_stack.pop();
+                        exempt[i] = true;
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                "(" | "[" if pending_attr => pending_nest += 1,
+                ")" | "]" if pending_attr => pending_nest = pending_nest.saturating_sub(1),
+                ";" if pending_attr && pending_nest == 0 => {
+                    // Item without a body (`#[cfg(test)] mod tests;`,
+                    // `#[cfg(test)] use …;`) — nothing inline to exempt.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Scans the attribute starting at the `[` token index; returns the index
+/// one past the closing `]` and whether the attribute is test-ish.
+fn scan_attribute(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0u32;
+    let mut testish = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    if depth <= 1 {
+                        return (j + 1, testish);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && matches!(t.text.as_str(), "test" | "tests" | "bench") {
+            testish = true;
+        }
+        j += 1;
+    }
+    (j, testish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn exempt_idents(src: &str) -> Vec<(String, bool)> {
+        let lexed = lex(src);
+        let scopes = test_scopes(&lexed.tokens);
+        lexed
+            .tokens
+            .iter()
+            .zip(scopes)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, e)| (t.text.clone(), e))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn prod() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn prod2() { c(); }";
+        let pairs = exempt_idents(src);
+        let lookup = |name: &str| pairs.iter().find(|(n, _)| n == name).map(|(_, e)| *e);
+        assert_eq!(lookup("a"), Some(false));
+        assert_eq!(lookup("b"), Some(true));
+        assert_eq!(lookup("c"), Some(false));
+    }
+
+    #[test]
+    fn test_fn_with_return_type_is_exempt() {
+        let src = "#[test]\nfn t() -> Result<(), E> { body() }\nfn prod() { p() }";
+        let pairs = exempt_idents(src);
+        let lookup = |name: &str| pairs.iter().find(|(n, _)| n == name).map(|(_, e)| *e);
+        assert_eq!(lookup("body"), Some(true));
+        assert_eq!(lookup("p"), Some(false));
+    }
+
+    #[test]
+    fn stacked_attributes_keep_the_pending_mark() {
+        let src = "#[test]\n#[ignore]\nfn t() { body() }";
+        let pairs = exempt_idents(src);
+        assert!(pairs.iter().any(|(n, e)| n == "body" && *e));
+    }
+
+    #[test]
+    fn cfg_all_test_is_exempt() {
+        let src = "#[cfg(all(test, unix))] mod m { fn f() { x() } }";
+        let pairs = exempt_idents(src);
+        assert!(pairs.iter().any(|(n, e)| n == "x" && *e));
+    }
+
+    #[test]
+    fn non_test_attribute_is_not_exempt() {
+        let src = "#[derive(Debug)] struct S { f: u32 }\nfn prod() { y() }";
+        let pairs = exempt_idents(src);
+        assert!(pairs.iter().all(|(_, e)| !e), "{pairs:?}");
+    }
+
+    #[test]
+    fn bodiless_item_clears_pending() {
+        let src = "#[cfg(test)] mod tests;\nfn prod() { z() }";
+        let pairs = exempt_idents(src);
+        assert!(pairs.iter().any(|(n, e)| n == "z" && !*e));
+    }
+}

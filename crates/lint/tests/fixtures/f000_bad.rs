@@ -1,0 +1,7 @@
+//! F000 fixture: a reasonless suppression is itself flagged and does
+//! not silence the diagnostic beneath it.
+
+pub fn sloppy(x: Option<u32>) -> u32 {
+    // fume-lint: allow(F001)
+    x.unwrap()
+}

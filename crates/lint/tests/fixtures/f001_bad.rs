@@ -1,0 +1,25 @@
+//! F001 fixture: panic paths in library code.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn third() {
+    panic!("boom");
+}
+
+pub fn fourth() -> u32 {
+    unreachable!("never")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        None::<u32>.unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! F002 fixture: poisoned-mutex erasure.
+
+use std::sync::Mutex;
+
+pub fn read(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn write(m: &Mutex<u32>, v: u32) {
+    *m.lock().expect("lock") = v;
+}

@@ -1,0 +1,12 @@
+//! F003 fixture: nondeterminism sources.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn fresh_stream(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,13 @@
+//! F004 fixture: lossy narrowing casts in index arithmetic.
+
+pub fn count(rows: &[u64]) -> u32 {
+    rows.len() as u32
+}
+
+pub fn code(i: usize) -> u16 {
+    i as u16
+}
+
+pub fn widening_is_fine(n: u32) -> u64 {
+    n as u64
+}

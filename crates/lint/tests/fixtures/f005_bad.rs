@@ -1,0 +1,13 @@
+//! F005 fixture: exact float equality.
+
+pub fn is_empty_rate(rate: f64) -> bool {
+    rate == 0.0
+}
+
+pub fn differs(x: f64) -> bool {
+    x != -0.5
+}
+
+pub fn integers_are_fine(n: u32) -> bool {
+    n == 0
+}

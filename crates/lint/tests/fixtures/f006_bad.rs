@@ -1,0 +1,11 @@
+//! F006 fixture: thread creation outside the sanctioned module.
+
+pub fn detached() {
+    std::thread::spawn(|| {});
+}
+
+pub fn scoped(xs: &mut [u32]) {
+    std::thread::scope(|s| {
+        s.spawn(|| xs.len());
+    });
+}

@@ -1,0 +1,14 @@
+//! F007 fixture: handle types missing #[must_use].
+
+pub struct ScratchJournal {
+    pub records: Vec<u32>,
+}
+
+#[must_use = "annotated handles pass"]
+pub struct ReportBuilder {
+    pub fields: Vec<String>,
+}
+
+pub struct Journal {
+    pub bare_suffix_name_is_fine: bool,
+}

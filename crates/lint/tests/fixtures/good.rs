@@ -1,0 +1,25 @@
+//! Known-good fixture: rule-triggering *spellings* tucked inside
+//! strings, raw strings, chars and comments, where the lexer must not
+//! see them.
+
+/* A block comment mentioning x.unwrap() and panic!().
+   /* Nested: thread::spawn(|| {}) and n as u32 inside. */
+   Still inside the outer comment: Instant::now(). */
+
+pub const DOC: &str = "call .unwrap() or .lock().unwrap() at line 9";
+
+pub const RAW: &str = r#"raw string with "quotes" and x.expect("y")"#;
+
+pub const HASHED: &str = r##"fenced raw: seed_from_u64(1) == 0.5"##;
+
+pub const BYTES: &[u8] = b"panic!(\"boom\") as u16";
+
+pub fn chars_and_lifetimes<'a>(x: &'a u32) -> (char, &'a u32) {
+    ('=', x)
+}
+
+// A line comment with thread::scope(|s| {}) and 1.0 == 2.0 in it.
+
+pub fn epsilon_compare(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9
+}

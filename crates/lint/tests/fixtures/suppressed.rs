@@ -1,0 +1,36 @@
+//! Known-suppressed fixture: one violation per rule, each silenced by a
+//! well-formed suppression carrying a reason.
+
+pub fn one(x: Option<u32>) -> u32 {
+    // fume-lint: allow(F001) -- fixture: invariant documented here
+    x.unwrap()
+}
+
+pub fn two(m: &std::sync::Mutex<u32>) -> u32 {
+    // fume-lint: allow(F002) -- fixture: poisoning handled by process restart
+    *m.lock().unwrap()
+}
+
+pub fn three(seed: u64) -> StdRng {
+    // fume-lint: allow(F003) -- fixture: seed provenance documented
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn four(n: usize) -> u32 {
+    // fume-lint: allow(F004) -- fixture: bounded by construction
+    n as u32
+}
+
+pub fn five(x: f64) -> bool {
+    x == 0.0 // fume-lint: allow(F005) -- fixture: counts stored in f64 are exact
+}
+
+pub fn six() {
+    // fume-lint: allow(F006) -- fixture: sanctioned module itself
+    std::thread::spawn(|| {});
+}
+
+// fume-lint: allow(F007) -- fixture: consumed internally, drop is harmless
+pub struct IgnoredGuard {
+    pub token: u32,
+}

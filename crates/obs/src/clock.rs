@@ -1,0 +1,53 @@
+//! The workspace's sanctioned clock (lint rule **F003**).
+//!
+//! Model, lattice, and attribution code must be bit-for-bit
+//! reproducible, so raw `std::time` reads are banned outside `fume-obs`
+//! and the bench harness. Code that legitimately *reports* wall-clock
+//! durations (experiment timings, `AttributionReport::eval_time`)
+//! imports this module instead: every clock read in the workspace is
+//! then greppable as either a span or a [`Stopwatch`], and the lint can
+//! vouch that no timing value ever feeds back into model state.
+
+use std::time::Instant;
+
+pub use std::time::Duration;
+
+/// A started monotonic timer. Reading it cannot perturb determinism —
+/// there is deliberately no way to get "the current time", only elapsed
+/// durations for reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (~584 years).
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let d = sw.elapsed();
+        assert!(d >= Duration::from_millis(2));
+        assert!(sw.elapsed_nanos() >= 2_000_000);
+    }
+}

@@ -19,6 +19,7 @@
 //! `forest.delete`, `lattice.pruned.rule4`, `fume.phase.train`. The
 //! full vocabulary is catalogued in `docs/observability.md`.
 
+pub mod clock;
 pub mod json;
 mod recorder;
 mod span;

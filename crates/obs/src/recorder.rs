@@ -2,7 +2,7 @@
 //! gauges, plus the bounded raw event stream behind JSONL export.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::json::{write_f64, write_key, write_str};
@@ -114,6 +114,17 @@ impl Recorder {
         Recorder { epoch: Instant::now(), state: Mutex::new(State::default()) }
     }
 
+    /// Locks the aggregate state, recovering from poisoning.
+    ///
+    /// Telemetry must never turn one panicking worker thread into a
+    /// cascade: every mutation under this lock (push, BTreeMap insert,
+    /// counter add) either completes or leaves the maps structurally
+    /// valid, so after a poison the worst case is one lost event — we
+    /// keep recording rather than propagate the panic.
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Nanoseconds since this recorder was created (saturating).
     pub fn now_ns(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -135,14 +146,14 @@ impl Recorder {
         thread: u64,
     ) {
         let t_ns = self.now_ns();
-        let mut st = self.state.lock().expect("recorder lock");
+        let mut st = self.state();
         Self::push_event(&mut st, Event::SpanStart { name, fields, t_ns, thread });
     }
 
     /// Records a span closing and folds it into the aggregates.
     pub fn span_end(&self, name: &'static str, thread: u64, total_ns: u64, self_ns: u64) {
         let t_ns = self.now_ns();
-        let mut st = self.state.lock().expect("recorder lock");
+        let mut st = self.state();
         let s = st.spans.entry(name).or_default();
         s.calls += 1;
         s.total_ns += total_ns;
@@ -154,7 +165,7 @@ impl Recorder {
     /// Adds `delta` to a monotonic counter.
     pub fn add_counter(&self, name: &'static str, delta: u64) {
         let t_ns = self.now_ns();
-        let mut st = self.state.lock().expect("recorder lock");
+        let mut st = self.state();
         *st.counters.entry(name).or_insert(0) += delta;
         Self::push_event(&mut st, Event::Counter { name, delta, t_ns });
     }
@@ -162,46 +173,46 @@ impl Recorder {
     /// Sets a gauge to an instantaneous value.
     pub fn set_gauge(&self, name: &'static str, value: f64) {
         let t_ns = self.now_ns();
-        let mut st = self.state.lock().expect("recorder lock");
+        let mut st = self.state();
         st.gauges.insert(name, value);
         Self::push_event(&mut st, Event::Gauge { name, value, t_ns });
     }
 
     /// Aggregated stats for one span name, if it ever completed.
     pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
-        self.state.lock().expect("recorder lock").spans.get(name).copied()
+        self.state().spans.get(name).copied()
     }
 
     /// Current value of a counter, if it was ever incremented.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        self.state.lock().expect("recorder lock").counters.get(name).copied()
+        self.state().counters.get(name).copied()
     }
 
     /// Last value of a gauge, if it was ever set.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        self.state.lock().expect("recorder lock").gauges.get(name).copied()
+        self.state().gauges.get(name).copied()
     }
 
     /// Number of buffered raw events.
     pub fn event_count(&self) -> usize {
-        self.state.lock().expect("recorder lock").events.len()
+        self.state().events.len()
     }
 
     /// Raw events dropped after the buffer cap was reached.
     pub fn dropped_events(&self) -> u64 {
-        self.state.lock().expect("recorder lock").dropped
+        self.state().dropped
     }
 
     /// Clears events and aggregates; the epoch keeps running.
     pub fn reset(&self) {
-        let mut st = self.state.lock().expect("recorder lock");
+        let mut st = self.state();
         *st = State::default();
     }
 
     /// Serializes the buffered event stream as JSONL, one event per
     /// line (see `docs/observability.md` for the schema).
     pub fn events_to_jsonl(&self) -> String {
-        let st = self.state.lock().expect("recorder lock");
+        let st = self.state();
         let mut out = String::with_capacity(st.events.len() * 96);
         for ev in &st.events {
             write_event(&mut out, ev);
@@ -219,7 +230,7 @@ impl Recorder {
     /// Renders the aggregate profile: spans sorted by total time, then
     /// counters and gauges, as a fixed-width text table.
     pub fn profile_table(&self) -> String {
-        let st = self.state.lock().expect("recorder lock");
+        let st = self.state();
         let mut out = String::new();
         let mut spans: Vec<(&str, SpanStats)> =
             st.spans.iter().map(|(k, v)| (*k, *v)).collect();

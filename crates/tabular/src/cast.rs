@@ -1,0 +1,62 @@
+//! Audited narrowing casts for index arithmetic.
+//!
+//! The forest and lattice address rows as `u32` and attributes/codes as
+//! `u16` while iterating with `usize` — a bare `as` cast at each site
+//! would truncate silently if a dataset ever outgrew those universes,
+//! corrupting cached statistics instead of failing. Lint rule **F004**
+//! bans `as` narrowing in `fume-forest`/`fume-lattice`; these helpers
+//! are the sanctioned replacement: the checked conversion lives in one
+//! place, and the (unreachable-by-validation) failure aborts loudly at
+//! the exact cast instead of poisoning ρ scores downstream.
+//!
+//! The bounds are real invariants, established at the edges: dataset
+//! loading rejects row counts above `u32::MAX` and schemas above
+//! `u16::MAX` attributes/codes, so interior arithmetic stays in range.
+
+/// A row count or row id as `u32`.
+///
+/// # Panics
+/// If `n` exceeds `u32::MAX` — impossible for values derived from a
+/// loaded [`Dataset`](crate::Dataset), whose row universe is `u32`.
+#[inline]
+#[track_caller]
+pub fn row_u32(n: usize) -> u32 {
+    // fume-lint: allow(F001) -- the audited truncation point F004 funnels into: row universes are bounded to u32 at dataset construction
+    n.try_into().expect("row count exceeds the u32 row universe")
+}
+
+/// An attribute index or discretized code as `u16`.
+///
+/// # Panics
+/// If `n` exceeds `u16::MAX` — impossible for values derived from a
+/// loaded schema, whose attribute/code universe is `u16`.
+#[inline]
+#[track_caller]
+pub fn code_u16(n: usize) -> u16 {
+    // fume-lint: allow(F001) -- the audited truncation point F004 funnels into: schema attribute/code universes are bounded to u16 at construction
+    n.try_into().expect("index exceeds the u16 attribute/code universe")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(row_u32(0), 0);
+        assert_eq!(row_u32(u32::MAX as usize), u32::MAX);
+        assert_eq!(code_u16(65_535), u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 row universe")]
+    fn oversized_row_count_aborts() {
+        row_u32(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 attribute/code universe")]
+    fn oversized_code_aborts() {
+        code_u16(u16::MAX as usize + 1);
+    }
+}

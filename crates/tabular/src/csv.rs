@@ -154,6 +154,7 @@ pub fn to_csv(data: &Dataset, opts: &CsvOptions) -> String {
     for row in 0..data.num_rows() {
         let mut fields: Vec<String> = (0..data.num_attributes())
             .map(|a| {
+                // fume-lint: allow(F001) -- index provenance: `a` iterates 0..num_attributes() of the same schema, so the lookup cannot miss
                 let attr = schema.attributes().get(a).expect("attr in range");
                 quote_field(attr.value_label(data.code(row, a)).unwrap_or("?"), sep)
             })

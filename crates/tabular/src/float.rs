@@ -1,0 +1,67 @@
+//! Approved float comparison helpers (lint rule **F005**).
+//!
+//! Exact `==`/`!=` on floats is almost always a latent bug around
+//! accumulated error; where FUME genuinely needs equality semantics
+//! (counts that happen to live in `f64`, bit-stable regression checks)
+//! it should say so explicitly through these helpers instead of an
+//! anonymous comparison.
+
+/// Default tolerance for [`approx_eq`]: generous enough for sums of
+/// millions of per-row contributions, tight enough to distinguish any
+/// two distinct rates over realistic test-set sizes.
+pub const EPSILON: f64 = 1e-9;
+
+/// Whether `a` and `b` agree within `eps` (absolute difference).
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Whether `a` and `b` agree within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, EPSILON)
+}
+
+/// Whether `x` is zero within [`EPSILON`] — the idiomatic guard before
+/// dividing by a count or rate that may be exactly zero.
+#[inline]
+pub fn is_zero(x: f64) -> bool {
+    x.abs() <= EPSILON
+}
+
+/// Exact bitwise equality, spelled out. For the rare site that *means*
+/// bit-identical (e.g. pooled-vs-clone ρ regression checks), this keeps
+/// the intent greppable and F005-clean.
+#[inline]
+pub fn bit_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(!approx_eq(0.1, 0.2));
+        assert!(approx_eq_eps(1.0, 1.05, 0.1));
+    }
+
+    #[test]
+    fn is_zero_accepts_signed_zero_and_tiny_error() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(is_zero(1e-12));
+        assert!(!is_zero(1e-3));
+    }
+
+    #[test]
+    fn bit_eq_is_exact() {
+        assert!(bit_eq(0.5, 0.5));
+        assert!(!bit_eq(0.0, -0.0), "signed zeros differ bitwise");
+        let nan = f64::NAN;
+        assert!(bit_eq(nan, nan), "same NaN payload compares equal");
+    }
+}

@@ -225,6 +225,7 @@ fn calibrate_intercept(logits: &[f64], target: f64) -> f64 {
 /// Generates `n` rows from `spec` with deterministic randomness from `seed`.
 /// Returns the coded dataset plus the matching [`GroupSpec`].
 pub fn generate(spec: &GeneratorSpec, n: usize, seed: u64) -> Result<(Dataset, GroupSpec)> {
+    // fume-lint: allow(F003) -- seed provenance: the caller passes an explicit seed, so sampling is reproducible per (spec, n, seed)
     let mut rng = StdRng::seed_from_u64(seed);
     let p = spec.attributes.len();
     let group = GroupSpec::new(spec.sensitive_attr, spec.privileged_code);

@@ -13,7 +13,10 @@
 //! * [summary statistics](stats) matching the paper's Table 2;
 //! * a [CSV reader/writer](csv);
 //! * a bias-controllable [synthetic data generator](generator) and
-//!   [stand-ins](datasets) for the paper's five evaluation datasets.
+//!   [stand-ins](datasets) for the paper's five evaluation datasets;
+//! * the sanctioned modules `fume-lint`'s determinism rules funnel into:
+//!   scoped [workers], audited narrowing [cast]s, seeded [rng] streams,
+//!   and epsilon [float] comparison.
 //!
 //! ```
 //! use fume_tabular::datasets::german_credit;
@@ -27,18 +30,21 @@
 
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod classifier;
 pub mod csv;
 pub mod dataset;
 pub mod datasets;
 pub mod discretize;
 pub mod error;
+pub mod float;
 pub mod generator;
 pub mod intersect;
 pub mod rng;
 pub mod schema;
 pub mod split;
 pub mod stats;
+pub mod workers;
 
 pub use classifier::Classifier;
 pub use dataset::{Dataset, GroupSpec};

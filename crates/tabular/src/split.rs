@@ -22,6 +22,7 @@ pub fn train_test_split(
         return Err(TabularError::EmptyDataset);
     }
     let mut ids = data.all_row_ids();
+    // fume-lint: allow(F003) -- seed provenance: the caller passes an explicit seed, so the shuffle is reproducible per invocation
     let mut rng = StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     let mut n_test = ((n as f64) * test_fraction).round() as usize;
@@ -48,6 +49,7 @@ pub fn stratified_split(
     if data.is_empty() {
         return Err(TabularError::EmptyDataset);
     }
+    // fume-lint: allow(F003) -- seed provenance: the caller passes an explicit seed, so the stratified shuffle is reproducible per invocation
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train_ids = Vec::new();
     let mut test_ids = Vec::new();

@@ -1,0 +1,179 @@
+//! The workspace's sanctioned scoped-worker module.
+//!
+//! All thread creation in FUME library code funnels through these
+//! helpers (lint rule **F006** bans `std::thread::{spawn, scope}`
+//! anywhere else). Centralising the fan-out shape buys three guarantees:
+//!
+//! * **Structured concurrency** — only scoped threads, so no detached
+//!   worker outlives the data it borrows;
+//! * **Determinism** — results are written into pre-allocated,
+//!   order-preserving slots; the output never depends on which worker
+//!   finishes first;
+//! * **Panic containment** — a worker panic propagates out of the scope
+//!   on join rather than poisoning shared state silently.
+//!
+//! The helpers chunk work contiguously (`ceil(len / jobs)` per worker):
+//! with deterministic per-item seeds that also keeps any given item on a
+//! stable worker for a fixed `(len, jobs)`.
+
+/// The machine's available parallelism, with a serial fallback when the
+/// runtime cannot tell (the query itself is not a determinism hazard —
+/// callers must only use it to *size* worker pools, never to seed work).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Clamps a requested job count to the actual work items, defaulting to
+/// [`available_parallelism`] when unset.
+pub fn resolve_jobs(n_jobs: Option<usize>, work_items: usize) -> usize {
+    n_jobs.unwrap_or_else(available_parallelism).clamp(1, work_items.max(1))
+}
+
+/// Maps `f` over `items` using at most `jobs` scoped threads, preserving
+/// input order. `jobs <= 1` (or a single item) runs inline with no
+/// thread machinery at all.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    collect_slots(out)
+}
+
+/// Maps `f` over `items` mutably using at most `jobs` scoped threads,
+/// preserving input order.
+pub fn parallel_map_mut<T: Send, R: Send>(
+    items: &mut [T],
+    jobs: usize,
+    f: impl Fn(&mut T) -> R + Sync,
+) -> Vec<R> {
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    collect_slots(out)
+}
+
+/// Zips `items` with owned `args` and maps `f` over the pairs mutably
+/// using at most `jobs` scoped threads, preserving order. Used by
+/// journal rollback, where each tree consumes its own undo log by value.
+pub fn parallel_zip_map<T: Send, A: Send, R: Send>(
+    items: &mut [T],
+    args: Vec<A>,
+    jobs: usize,
+    f: impl Fn(&mut T, A) -> R + Sync,
+) -> Vec<R> {
+    debug_assert_eq!(items.len(), args.len());
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter_mut().zip(args).map(|(t, a)| f(t, a)).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    let mut args: Vec<Option<A>> = args.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((slot_chunk, item_chunk), arg_chunk) in
+            out.chunks_mut(chunk).zip(items.chunks_mut(chunk)).zip(args.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for ((slot, item), arg) in
+                    slot_chunk.iter_mut().zip(item_chunk).zip(arg_chunk)
+                {
+                    if let Some(arg) = arg.take() {
+                        *slot = Some(f(item, arg));
+                    }
+                }
+            });
+        }
+    });
+    collect_slots(out)
+}
+
+/// Unwraps the slot vector every helper fills. Chunking covers every
+/// index exactly once, so an empty slot is unreachable; the expect is
+/// the single audited join point for the whole worker module.
+fn collect_slots<R>(out: Vec<Option<R>>) -> Vec<R> {
+    out.into_iter()
+        // fume-lint: allow(F001) -- slot-partition invariant: zip over chunks_mut covers every index exactly once, and a worker panic propagates from the scope before this line runs
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |&x| x * 2);
+        let parallel = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[10], 20);
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_in_place() {
+        let mut items: Vec<usize> = (0..50).collect();
+        let out = parallel_map_mut(&mut items, 3, |x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(items[0], 1);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn parallel_zip_map_consumes_args_in_order() {
+        let mut items: Vec<u32> = vec![0; 20];
+        let args: Vec<u32> = (0..20).collect();
+        let out = parallel_zip_map(&mut items, args, 4, |slot, a| {
+            *slot = a * 10;
+            *slot
+        });
+        assert_eq!(out, (0..20).map(|a| a * 10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn degenerate_jobs_run_inline() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 0, |&x| x), vec![1, 2, 3]);
+        assert_eq!(parallel_map(&[42], 8, |&x| x), vec![42]);
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn resolve_jobs_clamps() {
+        assert_eq!(resolve_jobs(Some(8), 3), 3);
+        assert_eq!(resolve_jobs(Some(0), 3), 1);
+        assert_eq!(resolve_jobs(Some(2), 100), 2);
+        assert!(resolve_jobs(None, 100) >= 1);
+    }
+}

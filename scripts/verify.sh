@@ -14,6 +14,15 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> fume-lint: custom static analysis (docs/static-analysis.md)"
+cargo test -q --offline -p fume-lint
+lint_report="target/fume-lint-report.json"
+if ! cargo run --release --offline -q -p fume-lint -- --workspace --deny-all --json "$lint_report"; then
+    echo "fume-lint found unsuppressed diagnostics (report: $lint_report)" >&2
+    exit 1
+fi
+echo "    lint clean; JSON report at $lint_report"
+
 echo "==> bench smoke: unlearn-eval engine must not regress below clone-per-eval"
 cargo bench -q --offline -p fume-bench --bench unlearn_eval -- --smoke
 speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' BENCH_unlearn_eval.json)
