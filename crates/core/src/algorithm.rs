@@ -1,14 +1,20 @@
 //! FUME's Algorithm 1: top-k training-data subsets attributable to a
 //! group-fairness violation.
 
+use std::path::{Path, PathBuf};
+
 use fume_obs::clock::{Duration, Stopwatch};
 
 use fume_fairness::{fairness_report, FairnessMetric};
 use fume_forest::{DareForest, DeleteReport};
-use fume_lattice::{search, EvaluatedSubset, LevelStats, Predicate};
+use fume_lattice::{
+    search, BatchEvaluator, EvaluatedSubset, LevelStats, Predicate, SearchDriver, SearchOutcome,
+    SearchParams,
+};
 use fume_tabular::{Dataset, GroupSpec};
 
 use crate::attribution::AttributionEstimator;
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::FumeConfig;
 use crate::removal::DareRemoval;
 
@@ -21,10 +27,13 @@ pub enum FumeError {
         /// Which metric was checked.
         metric: FairnessMetric,
     },
-    /// Invalid search parameters.
+    /// Invalid search parameters, or a non-finite attribution from the
+    /// evaluator.
     Lattice(fume_lattice::LatticeError),
     /// The training or test set is empty.
     EmptyData,
+    /// Saving or loading a run checkpoint failed.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for FumeError {
@@ -33,8 +42,9 @@ impl std::fmt::Display for FumeError {
             Self::NoViolation { metric } => {
                 write!(f, "the model does not violate {} on the test data", metric.name())
             }
-            Self::Lattice(e) => write!(f, "invalid search parameters: {e}"),
+            Self::Lattice(e) => write!(f, "lattice search failed: {e}"),
             Self::EmptyData => write!(f, "training and test data must be non-empty"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -44,6 +54,12 @@ impl std::error::Error for FumeError {}
 impl From<fume_lattice::LatticeError> for FumeError {
     fn from(e: fume_lattice::LatticeError) -> Self {
         Self::Lattice(e)
+    }
+}
+
+impl From<CheckpointError> for FumeError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
     }
 }
 
@@ -159,12 +175,26 @@ impl FumeReport {
 #[derive(Debug, Clone)]
 pub struct Fume {
     config: FumeConfig,
+    resume: bool,
 }
 
 impl Fume {
     /// Builds a FUME instance.
     pub fn new(config: FumeConfig) -> Self {
-        Self { config }
+        Self { config, resume: false }
+    }
+
+    /// Resumes a checkpointed run from `dir`: the configuration is
+    /// restored from the checkpoint, and the next [`explain`](Self::explain)
+    /// continues from the last completed lattice level (reloading the
+    /// persisted forest instead of retraining). The caller supplies the
+    /// same train/test/group inputs as the original run — a fingerprint
+    /// check rejects anything else.
+    pub fn resume(dir: impl Into<PathBuf>) -> Result<Self, FumeError> {
+        let dir = dir.into();
+        let ckpt = checkpoint::load_state(&dir)?;
+        let config = ckpt.config.with_checkpoint_dir(dir);
+        Ok(Self { config, resume: true })
     }
 
     /// The configuration.
@@ -173,7 +203,8 @@ impl Fume {
     }
 
     /// Trains a DaRE forest on `train` and explains its violation on
-    /// `test`.
+    /// `test`. When resuming a checkpointed run, the persisted forest is
+    /// reloaded instead (training time reported as zero).
     pub fn explain(
         &self,
         train: &Dataset,
@@ -182,6 +213,17 @@ impl Fume {
     ) -> Result<FumeReport, FumeError> {
         if train.is_empty() || test.is_empty() {
             return Err(FumeError::EmptyData);
+        }
+        if self.resume {
+            if let Some(dir) = &self.config.checkpoint_dir {
+                match checkpoint::load_forest(dir) {
+                    Ok(forest) => return self.explain_model(&forest, train, test, group),
+                    // No forest persisted yet (crash before the first
+                    // checkpoint): fall through and train fresh.
+                    Err(CheckpointError::NothingToResume(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
         let t0 = Stopwatch::start();
         let training_time;
@@ -198,6 +240,11 @@ impl Fume {
 
     /// Explains an already-trained forest's violation on `test`. The
     /// forest must have been trained on exactly the rows of `train`.
+    ///
+    /// With a `checkpoint_dir` configured, the forest is first persisted
+    /// there and *normalized* through a save/load round-trip (see
+    /// [`checkpoint::normalize_forest`]), so an interrupted run resumed
+    /// from the persisted copy reproduces this run byte-identically.
     pub fn explain_model(
         &self,
         forest: &DareForest,
@@ -205,7 +252,19 @@ impl Fume {
         test: &Dataset,
         group: GroupSpec,
     ) -> Result<FumeReport, FumeError> {
-        self.explain_with(DareRemoval::new(forest, train), forest, train, test, group)
+        match &self.config.checkpoint_dir {
+            Some(dir) => {
+                let normalized = checkpoint::normalize_forest(dir, forest)?;
+                self.explain_with(
+                    DareRemoval::new(&normalized, train),
+                    &normalized,
+                    train,
+                    test,
+                    group,
+                )
+            }
+            None => self.explain_with(DareRemoval::new(forest, train), forest, train, test, group),
+        }
     }
 
     /// Explains *any* deployed classifier's violation, given a
@@ -260,7 +319,12 @@ impl Fume {
         let t0 = Stopwatch::start();
         let outcome = {
             let _span = fume_obs::span!("fume.phase.search");
-            search(train, &params, &estimator)
+            match &self.config.checkpoint_dir {
+                Some(dir) => {
+                    self.search_checkpointed(dir, train, &params, &estimator, test, group)?
+                }
+                None => search(train, &params, &estimator)?,
+            }
         };
         let search_time = t0.elapsed();
         let unlearn_time = estimator.eval_time();
@@ -293,6 +357,55 @@ impl Fume {
             training_time: Duration::ZERO,
             unlearn_time,
         })
+    }
+
+    /// The checkpointed variant of the search loop: the [`SearchState`]
+    /// (fume_lattice::SearchState) is saved (atomically) at every level
+    /// boundary, and — when this instance was built by
+    /// [`Fume::resume`] — reloaded, validated against the live
+    /// configuration and data fingerprint, and continued. The search is
+    /// deterministic per level (the scratch pool restores the deployed
+    /// forest exactly after every unlearn-eval), so re-running the level
+    /// a crash interrupted yields the same ρ values the uninterrupted
+    /// run would have computed.
+    fn search_checkpointed<E: BatchEvaluator>(
+        &self,
+        dir: &Path,
+        train: &Dataset,
+        params: &SearchParams,
+        evaluator: &E,
+        test: &Dataset,
+        group: GroupSpec,
+    ) -> Result<SearchOutcome, FumeError> {
+        let fp = checkpoint::fingerprint(train, test, group);
+        let mut driver = if self.resume {
+            match checkpoint::load_state(dir) {
+                Ok(ckpt) => {
+                    checkpoint::validate(&ckpt, &self.config, fp)?;
+                    if fume_forest::deepcheck::enabled() {
+                        checkpoint::deepcheck_state(&ckpt.state)?;
+                    }
+                    fume_obs::counter!("fume.checkpoint.resumes", 1);
+                    SearchDriver::with_state(train, params, ckpt.state)
+                }
+                // Crash before the first state write: start over.
+                Err(CheckpointError::NothingToResume(_)) => SearchDriver::new(train, params),
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            SearchDriver::new(train, params)
+        };
+        // Persist the starting boundary up front, so even a crash inside
+        // the first level resumes without refitting the forest.
+        checkpoint::save_state(dir, &self.config, fp, driver.state())?;
+        while driver.step(evaluator)? {
+            checkpoint::save_state(dir, &self.config, fp, driver.state())?;
+            fume_obs::fault::fault_point("post-level");
+        }
+        // The terminal state (done = true) is persisted too: resuming a
+        // finished run replays its report with zero new evaluations.
+        checkpoint::save_state(dir, &self.config, fp, driver.state())?;
+        Ok(driver.into_outcome())
     }
 
     /// Verifies a reported subset by *actually* removing it and retraining

@@ -100,6 +100,14 @@ impl FumeBuilder {
         self
     }
 
+    /// Directory to checkpoint the run into (persisted forest + search
+    /// state at every lattice-level boundary). A crashed run restarts
+    /// from the last completed level via [`Fume::resume`].
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// The accumulated [`FumeConfig`], for callers that want the raw
     /// configuration rather than a [`Fume`] instance.
     pub fn into_config(self) -> FumeConfig {
@@ -142,6 +150,7 @@ mod tests {
             .toggles(toggles)
             .exclude_attrs(vec![2, 4])
             .n_jobs(2)
+            .checkpoint_dir("/tmp/fume-ckpt")
             .into_config();
         assert_eq!(cfg.metric, FairnessMetric::PredictiveParity);
         assert!((cfg.support.min - 0.01).abs() < 1e-12);
@@ -151,6 +160,10 @@ mod tests {
         assert!(cfg.toggles.prune_redundant);
         assert_eq!(cfg.exclude_attrs, vec![2, 4]);
         assert_eq!(cfg.n_jobs, Some(2));
+        assert_eq!(
+            cfg.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/fume-ckpt"))
+        );
     }
 
     #[test]

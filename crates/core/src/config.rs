@@ -1,5 +1,7 @@
 //! FUME configuration.
 
+use std::path::PathBuf;
+
 use fume_fairness::FairnessMetric;
 use fume_forest::DareConfig;
 use fume_lattice::{LatticeError, LiteralGen, RuleToggles, SearchParams, SupportRange};
@@ -27,6 +29,11 @@ pub struct FumeConfig {
     /// Worker threads for parallel subset evaluation
     /// (`None` = all available cores).
     pub n_jobs: Option<usize>,
+    /// Directory to checkpoint the run into (forest + search state at
+    /// every lattice-level boundary), enabling [`Fume::resume`]
+    /// (crate::Fume::resume) after a crash. `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for FumeConfig {
@@ -43,6 +50,7 @@ impl Default for FumeConfig {
             exclude_attrs: Vec::new(),
             literal_gen: LiteralGen::EqOnly,
             n_jobs: None,
+            checkpoint_dir: None,
         }
     }
 }
@@ -93,6 +101,12 @@ impl FumeConfig {
         if gen == LiteralGen::WithRanges {
             self.toggles.prune_redundant = true;
         }
+        self
+    }
+
+    /// Builder-style setter for the checkpoint directory.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 

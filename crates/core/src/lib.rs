@@ -22,6 +22,7 @@ pub mod algorithm;
 pub mod attribution;
 pub mod baseline;
 pub mod builder;
+pub mod checkpoint;
 pub mod config;
 pub mod instance_attribution;
 pub mod path_mining;
@@ -31,6 +32,7 @@ pub mod slice_finder;
 
 pub use algorithm::{apply_removal, ExplainedSubset, Fume, FumeError, FumeReport};
 pub use attribution::{parity_reduction, phi, AttributionEstimator};
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use baseline::{drop_unpriv_unfavor, BaselineResult};
 pub use builder::FumeBuilder;
 pub use config::FumeConfig;

@@ -69,7 +69,9 @@ pub fn find_slices<C: Classifier + ?Sized>(
         let rest_error = (total_errors - slice_errors) / (n - rows.len() as f64);
         slice_error - rest_error
     };
-    let outcome: SearchOutcome = search(eval_data, params, &evaluator);
+    let outcome: SearchOutcome =
+        // fume-lint: allow(F001) -- the error-gap evaluator divides by counts guarded above to be non-zero, so its scores are always finite
+        search(eval_data, params, &evaluator).expect("slice evaluator is finite");
 
     outcome
         .top_k(k)
@@ -108,7 +110,8 @@ pub fn slice_search_evaluations(
     let evaluator = |_p: &Predicate, _rows: &[u32]| 1.0;
     let items_counter = |items: &[EvalItem<'_>]| items.len();
     let _ = items_counter; // documentation aid
-    search(eval_data, params, &evaluator).evaluations
+    // fume-lint: allow(F001) -- the constant evaluator is trivially finite
+    search(eval_data, params, &evaluator).expect("constant evaluator is finite").evaluations
 }
 
 #[cfg(test)]

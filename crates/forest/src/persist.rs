@@ -376,12 +376,41 @@ pub fn from_bytes(mut data: &[u8]) -> Result<DareForest, PersistError> {
         .ok_or(PersistError::Corrupt("tree count disagrees with config"))
 }
 
+/// Encodes a [`DareConfig`] into `out` using this format's field layout.
+/// Exposed so sibling formats (e.g. `fume-core`'s search checkpoints)
+/// embed configs byte-compatibly instead of inventing a second encoding.
+pub fn encode_config_into(out: &mut Vec<u8>, cfg: &DareConfig) {
+    encode_config(out, cfg);
+}
+
+/// Decodes a [`DareConfig`] previously written by [`encode_config_into`],
+/// advancing `buf` past it.
+pub fn decode_config_from(buf: &mut &[u8]) -> Result<DareConfig, PersistError> {
+    decode_config(buf)
+}
+
 /// Saves a forest to a file.
 pub fn save(forest: &DareForest, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let _span = fume_obs::span!("forest.persist.save", trees = forest.trees().len());
     let bytes = to_bytes(forest);
     fume_obs::gauge!("forest.persist.bytes", bytes.len() as f64);
     std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Saves a forest atomically: the bytes land in a `.tmp` sibling first
+/// and are renamed over `path`, so a crash mid-write can never leave a
+/// truncated file where a loadable forest used to be.
+pub fn save_atomic(forest: &DareForest, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let _span = fume_obs::span!("forest.persist.save", trees = forest.trees().len());
+    let bytes = to_bytes(forest);
+    fume_obs::gauge!("forest.persist.bytes", bytes.len() as f64);
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -497,5 +526,41 @@ mod tests {
         save(&f, &path).unwrap();
         let g = load(&path).unwrap();
         assert_eq!(f.predict_proba(&data), g.predict_proba(&data));
+    }
+
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_tmp() {
+        let (f, data) = forest();
+        let dir = std::env::temp_dir().join("fume_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dare");
+        // Seed the path with garbage: the rename must replace it whole.
+        std::fs::write(&path, b"stale junk").unwrap();
+        save_atomic(&f, &path).unwrap();
+        let g = load(&path).unwrap();
+        assert_eq!(f.predict_proba(&data), g.predict_proba(&data));
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "tmp file must not linger");
+    }
+
+    #[test]
+    fn config_codec_hooks_roundtrip() {
+        let cfg = DareConfig {
+            n_trees: 3,
+            max_depth: 5,
+            random_depth: 1,
+            n_thresholds: 7,
+            max_features: crate::config::MaxFeatures::Count(4),
+            min_samples_split: 9,
+            min_samples_leaf: 3,
+            seed: 0xDEAD_BEEF,
+            n_jobs: Some(2),
+        };
+        let mut bytes = Vec::new();
+        encode_config_into(&mut bytes, &cfg);
+        let mut cursor = bytes.as_slice();
+        assert_eq!(decode_config_from(&mut cursor).unwrap(), cfg);
+        assert!(cursor.is_empty(), "decode must consume exactly the config");
     }
 }

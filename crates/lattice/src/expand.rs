@@ -218,6 +218,58 @@ pub fn expand_level_with(
     Expansion { children, possible, pruned_rule1, pruned_redundant }
 }
 
+/// Expands a frontier consisting of a *single* level-`l` node by
+/// conjoining it with every fresh level-1 literal. The apriori join of
+/// [`expand_level_with`] needs two parents sharing an `l−1`-literal
+/// prefix, so a lone survivor has no join partner — yet its sub-lattice
+/// is not exhausted: `T ∧ (X = v)` is a legitimate level-`l+1` subset
+/// for any literal not already in `T`.
+///
+/// Children carry the node's own `ρ` as their `parent_floor`, matching
+/// the `(Some, None)` evaluated/unevaluated parent case of the pairwise
+/// join (the fresh literal's ρ at this point is unknown).
+pub fn expand_singleton_with(
+    data: &Dataset,
+    node: &LatticeNode,
+    exclude_attrs: &[u16],
+    gen: LiteralGen,
+    check_satisfiability: bool,
+    prune_redundant: bool,
+) -> Expansion {
+    let mut children = Vec::new();
+    let mut possible = 0;
+    let mut pruned_rule1 = 0;
+    let mut pruned_redundant = 0;
+    for fresh in level1_nodes_with(data, exclude_attrs, gen) {
+        let lit = fresh.predicate.literals()[0];
+        if node.predicate.literals().contains(&lit) {
+            continue; // already part of the conjunction: no new candidate
+        }
+        possible += 1;
+        let mut lits = node.predicate.literals().to_vec();
+        lits.push(lit);
+        let child = Predicate::new(lits);
+        if check_satisfiability && !child.is_satisfiable(data.schema()) {
+            pruned_rule1 += 1;
+            continue;
+        }
+        let rows = intersect_sorted(&node.rows, &fresh.rows);
+        if prune_redundant
+            && (rows.len() == node.rows.len() || rows.len() == fresh.rows.len())
+        {
+            pruned_redundant += 1;
+            continue;
+        }
+        children.push(LatticeNode {
+            predicate: child,
+            rows,
+            rho: None,
+            parent_floor: node.rho.unwrap_or(f64::NEG_INFINITY),
+        });
+    }
+    Expansion { children, possible, pruned_rule1, pruned_redundant }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +403,61 @@ mod tests {
         ]);
         assert!(with.children.iter().all(|c| c.predicate != subsumed));
         assert!(without.children.iter().any(|c| c.predicate == subsumed));
+    }
+
+    #[test]
+    fn singleton_expansion_conjoins_fresh_literals() {
+        let d = data(); // "a" categorical(2), "b" ordinal(3)
+        let nodes = level1_nodes(&d, &[]);
+        // Take `a = x` (rows 0, 1) as the lone survivor, with a known ρ.
+        let mut node = nodes[0].clone();
+        node.rho = Some(0.7);
+        let exp = expand_singleton_with(&d, &node, &[], LiteralGen::EqOnly, true, false);
+        // Candidates: the 4 other literals (a = y, b = p/q/r); a = y is
+        // contradictory with a = x under Rule 1.
+        assert_eq!(exp.possible, 4);
+        assert_eq!(exp.pruned_rule1, 1);
+        assert_eq!(exp.children.len(), 3);
+        for c in &exp.children {
+            assert_eq!(c.predicate.len(), 2);
+            assert_eq!(c.rows, c.predicate.select(&d));
+            // The lone parent's ρ becomes the child's Rule-4 floor.
+            assert!((c.parent_floor - 0.7).abs() < 1e-12);
+        }
+        // An unevaluated (oversized) lone parent leaves the floor open.
+        let mut oversized = nodes[0].clone();
+        oversized.rho = None;
+        let exp = expand_singleton_with(&d, &oversized, &[], LiteralGen::EqOnly, true, false);
+        assert!(exp.children.iter().all(|c| c.parent_floor == f64::NEG_INFINITY));
+        // Exclusions hold: excluding attr 1 leaves only the contradictory
+        // same-attribute candidate.
+        let exp = expand_singleton_with(&d, &node, &[1], LiteralGen::EqOnly, true, false);
+        assert!(exp.children.is_empty());
+        assert_eq!(exp.pruned_rule1, 1);
+    }
+
+    #[test]
+    fn singleton_expansion_prunes_redundant_children() {
+        let d = data();
+        // `b <= 1` (rows 0, 1, 3) joined with `b <= 0`-style range
+        // literals produces subsumed conjunctions; redundancy pruning
+        // must drop children selecting exactly a parent's rows.
+        let frontier = level1_nodes_with(&d, &[], LiteralGen::WithRanges);
+        let node = frontier
+            .iter()
+            .find(|n| {
+                let l = n.predicate.literals()[0];
+                l.attr == 1 && l.op == Op::Le && l.value == 1
+            })
+            .unwrap()
+            .clone();
+        let with = expand_singleton_with(&d, &node, &[], LiteralGen::WithRanges, true, true);
+        let without = expand_singleton_with(&d, &node, &[], LiteralGen::WithRanges, true, false);
+        assert!(with.pruned_redundant > 0);
+        assert_eq!(
+            with.children.len() + with.pruned_redundant,
+            without.children.len()
+        );
     }
 
     #[test]

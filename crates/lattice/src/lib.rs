@@ -27,13 +27,19 @@
 //!
 //! let (data, _) = planted_toy().generate_scaled(0.1, 1).unwrap();
 //! let params = SearchParams::new(SupportRange::new(0.05, 0.5).unwrap(), 2).unwrap();
-//! // Toy attribution: reward small subsets.
+//! // Toy attribution: reward small subsets. `search` errs only if the
+//! // evaluator produces a non-finite ρ.
 //! let outcome = search(&data, &params, &|_: &Predicate, rows: &[u32]| {
 //!     1.0 - rows.len() as f64 / data.num_rows() as f64
-//! });
+//! })
+//! .unwrap();
 //! assert!(!outcome.top_k(5).is_empty());
 //! assert!(outcome.levels.iter().all(|l| l.explored <= l.possible));
 //! ```
+//!
+//! For checkpointable, step-at-a-time searches, [`SearchDriver`] exposes
+//! the same loop one level per call with its [`SearchState`] inspectable
+//! (and reinjectable) at every level boundary.
 
 #![warn(missing_docs)]
 
@@ -44,9 +50,13 @@ pub mod predicate;
 pub mod search;
 
 pub use expand::{
-    expand_level, expand_level_with, level1_nodes, level1_nodes_with, LatticeNode, LiteralGen,
+    expand_level, expand_level_with, expand_singleton_with, level1_nodes, level1_nodes_with,
+    LatticeNode, LiteralGen,
 };
 pub use literal::{Literal, Op};
 pub use params::{LatticeError, RuleToggles, SearchParams, SupportRange};
 pub use predicate::{intersect_sorted, Predicate};
-pub use search::{search, BatchEvaluator, EvalItem, EvaluatedSubset, LevelStats, SearchOutcome};
+pub use search::{
+    search, BatchEvaluator, EvalItem, EvaluatedSubset, LevelStats, SearchDriver, SearchOutcome,
+    SearchState,
+};

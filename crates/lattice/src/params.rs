@@ -15,6 +15,17 @@ pub enum LatticeError {
     },
     /// `max_literals` must be at least 1.
     ZeroMaxLiterals,
+    /// A [`BatchEvaluator`](crate::search::BatchEvaluator) returned a
+    /// NaN or infinite attribution. Non-finite ρ silently corrupts the
+    /// search — Rule 5's `ρ ≤ 0` is false for NaN, a NaN `parent_floor`
+    /// defeats every Rule-4 comparison, and `total_cmp` ranks NaN above
+    /// every real subset — so the evaluator boundary rejects it outright.
+    NonFiniteAttribution {
+        /// The offending subset's predicate, rendered against the schema.
+        predicate: String,
+        /// The offending value (`NaN`, `inf`, `-inf`).
+        value: String,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -24,6 +35,10 @@ impl fmt::Display for LatticeError {
                 write!(f, "invalid support range [{min}, {max}]: need 0 <= min < max <= 1")
             }
             Self::ZeroMaxLiterals => write!(f, "max_literals must be at least 1"),
+            Self::NonFiniteAttribution { predicate, value } => write!(
+                f,
+                "evaluator returned non-finite attribution {value} for subset `{predicate}`"
+            ),
         }
     }
 }
@@ -65,9 +80,14 @@ impl SupportRange {
         Self { min: 0.30, max: 1.0 }
     }
 
-    /// Whether `support` lies inside `[min, max]`.
+    /// Whether `support` lies inside `[min, max]`, tolerating
+    /// [`float::EPSILON`](fume_tabular::float::EPSILON) of accumulated
+    /// error at either bound — the same gate Rule 2 applies during the
+    /// search, so `contains` and the search never disagree about a
+    /// boundary value.
     pub fn contains(&self, support: f64) -> bool {
-        support >= self.min && support <= self.max
+        !fume_tabular::float::approx_lt(support, self.min)
+            && !fume_tabular::float::approx_gt(support, self.max)
     }
 }
 
@@ -159,6 +179,19 @@ mod tests {
         assert!(r.contains(0.15));
         assert!(!r.contains(0.0499));
         assert!(!r.contains(0.1501));
+    }
+
+    #[test]
+    fn contains_tolerates_error_at_the_bounds() {
+        // A τ_min that arrived through arithmetic overshoots its decimal
+        // value (0.1 + 0.2 > 0.3); a support of exactly 0.3 still counts.
+        let r = SupportRange::new(0.1 + 0.2, 0.9).unwrap();
+        assert!(r.contains(0.3));
+        // Sub-epsilon overshoot at τ_max is likewise absorbed.
+        let r = SupportRange::new(0.05, 0.25 - 1e-12).unwrap();
+        assert!(r.contains(0.25));
+        // Genuine violations are still out of range.
+        assert!(!r.contains(0.26));
     }
 
     #[test]

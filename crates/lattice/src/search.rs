@@ -4,11 +4,20 @@
 //! hands each level's in-range nodes to a [`BatchEvaluator`] (FUME's core
 //! plugs in machine unlearning; tests plug in toy closures) and applies
 //! the pruning rules of §4 between levels.
+//!
+//! Two entry points:
+//!
+//! - [`search`] runs the whole thing and returns a [`SearchOutcome`];
+//! - [`SearchDriver`] advances one level per [`step`](SearchDriver::step)
+//!   and exposes its [`SearchState`] between steps — the resumable core
+//!   `fume-core` checkpoints at every level boundary.
 
-use fume_tabular::Dataset;
+use fume_tabular::{float, Dataset};
 
-use crate::expand::{expand_level_with, level1_nodes_with, LatticeNode};
-use crate::params::SearchParams;
+use crate::expand::{
+    expand_level_with, expand_singleton_with, level1_nodes_with, LatticeNode,
+};
+use crate::params::{LatticeError, SearchParams};
 use crate::predicate::Predicate;
 
 /// One subset to evaluate: its predicate and selected training rows.
@@ -22,7 +31,8 @@ pub struct EvalItem<'a> {
 
 /// Computes parity reductions `ρ` for a batch of subsets. Implementations
 /// may evaluate the batch in parallel; results must be index-aligned with
-/// the input.
+/// the input and finite — a NaN/infinite ρ aborts the search with
+/// [`LatticeError::NonFiniteAttribution`].
 pub trait BatchEvaluator {
     /// Returns `ρ` for each item (positive = removing the subset reduces
     /// the fairness violation).
@@ -71,6 +81,11 @@ pub struct LevelStats {
     pub pruned_support_low: usize,
     /// Nodes above `τ_max`: expanded but not evaluated/reported (Rule 2).
     pub oversized: usize,
+    /// Evaluated nodes never expanded because the interpretability cap
+    /// `η` was reached (Rule 3). Only non-zero at the final level, and
+    /// disjoint from `oversized` — Rule-2 pass-through nodes stay in
+    /// Rule 2's bucket.
+    pub pruned_rule3: usize,
     /// Nodes whose attribution was estimated.
     pub explored: usize,
     /// Evaluated nodes not expanded because a parent had higher `ρ`
@@ -120,55 +135,160 @@ impl SearchOutcome {
     }
 }
 
-/// Runs the level-wise search over `data`'s training rows.
+/// The complete state of a search at a level boundary.
 ///
-/// This is the search skeleton of the paper's Algorithm 1: generate level
-/// 1, then per level — Rule 2 support filtering, attribution estimation
-/// for in-range nodes, Rules 4/5 expansion gating — until the
-/// interpretability cap `η` (Rule 3), an empty frontier, or too few nodes
-/// left to merge.
-pub fn search<E: BatchEvaluator>(
-    data: &Dataset,
-    params: &SearchParams,
-    evaluator: &E,
-) -> SearchOutcome {
-    let _span = fume_obs::span!(
-        "lattice.search",
-        eta = params.max_literals,
-        rows = data.num_rows()
-    );
-    let n = data.num_rows();
-    let mut evaluated = Vec::new();
-    let mut levels = Vec::new();
-    let mut evaluations = 0usize;
+/// After level `l` is absorbed the state holds everything needed to
+/// continue with level `l + 1`: the next frontier (predicates, row
+/// selections, Rule-4 parent floors), every evaluated subset so far,
+/// per-level statistics, and the expansion counters feeding the next
+/// level's [`LevelStats`]. `fume-core` serializes this into its
+/// checkpoint sidecar; [`SearchDriver::with_state`] reinjects it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchState {
+    /// 1-based level the current `frontier` belongs to (the next level
+    /// to process).
+    pub next_level: usize,
+    /// Nodes awaiting Rule-2 gating and evaluation at `next_level`.
+    pub frontier: Vec<LatticeNode>,
+    /// Merge pairs considered while generating `frontier`.
+    pub possible: usize,
+    /// Rule-1 prunes incurred while generating `frontier`.
+    pub pruned_rule1: usize,
+    /// Redundancy prunes incurred while generating `frontier`.
+    pub pruned_redundant: usize,
+    /// Every subset evaluated so far.
+    pub evaluated: Vec<EvaluatedSubset>,
+    /// Statistics of completed levels.
+    pub levels: Vec<LevelStats>,
+    /// Evaluator calls so far.
+    pub evaluations: usize,
+    /// Whether the search has terminated.
+    pub done: bool,
+}
 
-    let mut frontier =
-        level1_nodes_with(data, &params.exclude_attrs, params.literal_gen);
-    let mut possible = frontier.len();
-    let mut pruned_rule1 = 0usize;
-    let mut pruned_redundant = 0usize;
+impl SearchState {
+    /// The state before any level has run: level 1's frontier generated,
+    /// nothing evaluated.
+    pub fn initial(data: &Dataset, params: &SearchParams) -> Self {
+        let frontier =
+            level1_nodes_with(data, &params.exclude_attrs, params.literal_gen);
+        Self {
+            next_level: 1,
+            possible: frontier.len(),
+            frontier,
+            pruned_rule1: 0,
+            pruned_redundant: 0,
+            evaluated: Vec::new(),
+            levels: Vec::new(),
+            evaluations: 0,
+            done: false,
+        }
+    }
+}
 
-    for level in 1..=params.max_literals {
+/// Step-at-a-time driver for the level-wise search.
+///
+/// [`search`] is a thin loop over this; callers that need to act at
+/// level boundaries (checkpointing, progress reporting, budget caps)
+/// drive it manually:
+///
+/// ```
+/// use fume_lattice::{Predicate, SearchDriver, SearchParams, SupportRange};
+/// use fume_tabular::datasets::planted_toy;
+///
+/// let (data, _) = planted_toy().generate_scaled(0.1, 1).unwrap();
+/// let params = SearchParams::new(SupportRange::new(0.05, 0.5).unwrap(), 2).unwrap();
+/// let eval = |_: &Predicate, rows: &[u32]| 1.0 / (1.0 + rows.len() as f64);
+/// let mut driver = SearchDriver::new(&data, &params);
+/// while driver.step(&eval).unwrap() {
+///     // a level boundary: driver.state() is snapshot-able here
+///     assert!(!driver.state().done);
+/// }
+/// let outcome = driver.into_outcome();
+/// assert!(!outcome.top_k(3).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SearchDriver<'a> {
+    data: &'a Dataset,
+    params: &'a SearchParams,
+    state: SearchState,
+}
+
+impl<'a> SearchDriver<'a> {
+    /// Starts a fresh search over `data`.
+    pub fn new(data: &'a Dataset, params: &'a SearchParams) -> Self {
+        Self { data, params, state: SearchState::initial(data, params) }
+    }
+
+    /// Continues a search from a previously captured [`SearchState`]
+    /// (e.g. one decoded from a checkpoint). The caller must supply the
+    /// same `data` and `params` the state was captured under.
+    pub fn with_state(
+        data: &'a Dataset,
+        params: &'a SearchParams,
+        state: SearchState,
+    ) -> Self {
+        Self { data, params, state }
+    }
+
+    /// The current level-boundary state.
+    pub fn state(&self) -> &SearchState {
+        &self.state
+    }
+
+    /// Whether the search has terminated.
+    pub fn is_done(&self) -> bool {
+        self.state.done
+    }
+
+    /// Consumes the driver, yielding the accumulated outcome.
+    pub fn into_outcome(self) -> SearchOutcome {
+        SearchOutcome {
+            evaluated: self.state.evaluated,
+            levels: self.state.levels,
+            evaluations: self.state.evaluations,
+        }
+    }
+
+    /// Processes one level: Rule-2 support gating, batch attribution
+    /// estimation, Rules 4/5 expansion gating, and the merge to the next
+    /// level. Returns `Ok(true)` while more levels remain.
+    pub fn step<E: BatchEvaluator>(
+        &mut self,
+        evaluator: &E,
+    ) -> Result<bool, LatticeError> {
+        if self.state.done {
+            return Ok(false);
+        }
+        let params = self.params;
+        let n = self.data.num_rows();
+        let st = &mut self.state;
+        let level = st.next_level;
         let _level_span = fume_obs::span!("lattice.level", level = level);
+
         let mut stats = LevelStats {
             level,
-            possible,
-            pruned_rule1,
-            pruned_redundant,
+            possible: st.possible,
+            pruned_rule1: st.pruned_rule1,
+            pruned_redundant: st.pruned_redundant,
             ..LevelStats::default()
         };
+        let frontier = std::mem::take(&mut st.frontier);
         stats.generated = frontier.len();
 
-        // --- Rule 2: support filtering ---
+        // --- Rule 2: support filtering. Tolerant at the τ bounds: a
+        //     support landing within float::EPSILON of τ_min/τ_max counts
+        //     as *at* the bound, so boundary values don't flake with the
+        //     rounding of `rows / n` or of the configured τ itself. ---
         let mut in_range: Vec<LatticeNode> = Vec::new();
-        let mut expandable: Vec<LatticeNode> = Vec::new();
+        let mut oversized: Vec<LatticeNode> = Vec::new();
         for node in frontier {
             let support = node.support(n);
-            if support < params.support.min {
+            if float::approx_lt(support, params.support.min) {
                 stats.pruned_support_low += 1;
-            } else if support > params.support.max {
+            } else if float::approx_gt(support, params.support.max) {
                 stats.oversized += 1;
-                expandable.push(node); // expanded, never evaluated/reported
+                oversized.push(node); // expanded, never evaluated/reported
             } else {
                 in_range.push(node);
             }
@@ -186,14 +306,28 @@ pub fn search<E: BatchEvaluator>(
             evaluator.evaluate(&items)
         };
         assert_eq!(rhos.len(), items.len(), "evaluator must align with its input");
+        fume_obs::fault::fault_point("post-eval");
+
+        // --- evaluator boundary: reject non-finite ρ before it can
+        //     poison Rule 4/5 comparisons or the top-k ordering ---
+        for (item, rho) in items.iter().zip(&rhos) {
+            if !rho.is_finite() {
+                return Err(LatticeError::NonFiniteAttribution {
+                    predicate: item.predicate.render(self.data.schema()),
+                    value: rho.to_string(),
+                });
+            }
+        }
+        drop(items);
         stats.explored = in_range.len();
-        evaluations += in_range.len();
+        st.evaluations += in_range.len();
 
         // --- Rules 4 & 5: expansion gating (evaluated nodes are always
         //     reported; the rules only decide who gets children) ---
+        let mut survivors: Vec<LatticeNode> = Vec::new();
         for (mut node, rho) in in_range.into_iter().zip(rhos) {
             node.rho = Some(rho);
-            evaluated.push(EvaluatedSubset {
+            st.evaluated.push(EvaluatedSubset {
                 predicate: node.predicate.clone(),
                 rows: node.rows.clone(),
                 support: node.support(n),
@@ -208,7 +342,15 @@ pub fn search<E: BatchEvaluator>(
                 stats.pruned_rule4 += 1;
                 continue;
             }
-            expandable.push(node);
+            survivors.push(node);
+        }
+
+        // Rule 3 is the interpretability cap η: evaluated nodes that
+        // survived rules 4/5 but are never expanded because the level
+        // limit was reached. Oversized nodes are *not* re-counted here —
+        // Rule 2 already claimed them.
+        if level == params.max_literals {
+            stats.pruned_rule3 = survivors.len();
         }
 
         // Counters are emitted unconditionally (zero deltas included) so a
@@ -220,44 +362,80 @@ pub fn search<E: BatchEvaluator>(
             "lattice.pruned.rule2",
             stats.pruned_support_low + stats.oversized
         );
-        // Rule 3 is the interpretability cap η: nodes that survived rules
-        // 4/5 but are never expanded because the level limit was reached.
-        fume_obs::counter!(
-            "lattice.pruned.rule3",
-            if level == params.max_literals { expandable.len() } else { 0 }
-        );
+        fume_obs::counter!("lattice.pruned.rule3", stats.pruned_rule3);
         fume_obs::counter!("lattice.pruned.rule4", stats.pruned_rule4);
         fume_obs::counter!("lattice.pruned.rule5", stats.pruned_rule5);
         fume_obs::counter!("lattice.pruned.redundant", stats.pruned_redundant);
-        levels.push(stats);
+        st.levels.push(stats);
 
-        if level == params.max_literals || expandable.len() < 2 {
-            break;
+        if level == params.max_literals {
+            st.done = true;
+            return Ok(false);
         }
 
-        // --- merge to the next level (Rule 1 inside) ---
-        let expansion = expand_level_with(
-            data,
-            &expandable,
-            params.toggles.rule1_satisfiability,
-            params.toggles.prune_redundant,
-        );
-        possible = expansion.possible;
-        pruned_rule1 = expansion.pruned_rule1;
-        pruned_redundant = expansion.pruned_redundant;
-        frontier = expansion.children;
-        if frontier.is_empty() {
-            break;
+        // --- merge to the next level (Rule 1 inside). A lone survivor
+        //     still expands: it has no apriori join partner, but
+        //     conjoining fresh level-1 literals grows its sub-lattice. ---
+        let mut expandable = survivors;
+        expandable.extend(oversized);
+        let expansion = match expandable.len() {
+            0 => {
+                st.done = true;
+                return Ok(false);
+            }
+            1 => expand_singleton_with(
+                self.data,
+                &expandable[0],
+                &params.exclude_attrs,
+                params.literal_gen,
+                params.toggles.rule1_satisfiability,
+                params.toggles.prune_redundant,
+            ),
+            _ => expand_level_with(
+                self.data,
+                &expandable,
+                params.toggles.rule1_satisfiability,
+                params.toggles.prune_redundant,
+            ),
+        };
+        st.possible = expansion.possible;
+        st.pruned_rule1 = expansion.pruned_rule1;
+        st.pruned_redundant = expansion.pruned_redundant;
+        st.frontier = expansion.children;
+        st.next_level = level + 1;
+        if st.frontier.is_empty() {
+            st.done = true;
         }
+        Ok(!st.done)
     }
+}
 
-    SearchOutcome { evaluated, levels, evaluations }
+/// Runs the level-wise search over `data`'s training rows.
+///
+/// This is the search skeleton of the paper's Algorithm 1: generate level
+/// 1, then per level — Rule 2 support filtering, attribution estimation
+/// for in-range nodes, Rules 4/5 expansion gating — until the
+/// interpretability cap `η` (Rule 3) or an empty frontier ends the run.
+/// Fails only if the evaluator emits a non-finite attribution.
+pub fn search<E: BatchEvaluator>(
+    data: &Dataset,
+    params: &SearchParams,
+    evaluator: &E,
+) -> Result<SearchOutcome, LatticeError> {
+    let _span = fume_obs::span!(
+        "lattice.search",
+        eta = params.max_literals,
+        rows = data.num_rows()
+    );
+    let mut driver = SearchDriver::new(data, params);
+    while driver.step(evaluator)? {}
+    Ok(driver.into_outcome())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::literal::Literal;
+    use crate::literal::{Literal, Op};
     use crate::params::{RuleToggles, SupportRange};
     use fume_tabular::{Attribute, Schema};
     use std::sync::Arc;
@@ -309,7 +487,7 @@ mod tests {
     #[test]
     fn level1_only_when_eta_is_one() {
         let d = data();
-        let out = search(&d, &params(0.0, 1.0, 1), &toy_eval);
+        let out = search(&d, &params(0.0, 1.0, 1), &toy_eval).unwrap();
         assert_eq!(out.levels.len(), 1);
         assert!(out.evaluated.iter().all(|s| s.level == 1));
         // 3 binary attrs → 6 level-1 nodes, all in [0,1] support.
@@ -320,7 +498,7 @@ mod tests {
     #[test]
     fn top_k_ranks_by_rho() {
         let d = data();
-        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval);
+        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval).unwrap();
         let top = out.top_k(3);
         assert!(!top.is_empty());
         // Best is the level-1 node `a = 1` with ρ = 1.0.
@@ -333,7 +511,7 @@ mod tests {
     #[test]
     fn rule5_blocks_expansion_of_nonattributable_nodes() {
         let d = data();
-        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval);
+        let out = search(&d, &params(0.0, 1.0, 2), &toy_eval).unwrap();
         // Level-1: the three `x = 0` nodes score −1 → pruned by rule 5.
         assert_eq!(out.levels[0].pruned_rule5, 3);
         // Level-2 children exist and descend only from rewarding literals.
@@ -353,14 +531,14 @@ mod tests {
         let d = data();
         // Every level-2 node scores below both parents: with η=3 no
         // level-3 node may exist when rule 4 is on.
-        let out = search(&d, &params(0.0, 1.0, 3), &toy_eval);
+        let out = search(&d, &params(0.0, 1.0, 3), &toy_eval).unwrap();
         assert!(out.evaluated.iter().all(|s| s.level <= 2));
         assert_eq!(out.levels[1].pruned_rule4, 3);
 
         // With rule 4 off, level 3 is reached.
         let mut p = params(0.0, 1.0, 3);
         p.toggles = RuleToggles { rule4_parent_dominance: false, ..RuleToggles::default() };
-        let out = search(&d, &p, &toy_eval);
+        let out = search(&d, &p, &toy_eval).unwrap();
         assert!(out.evaluated.iter().any(|s| s.level == 3));
     }
 
@@ -369,7 +547,7 @@ mod tests {
         let d = data();
         // Level-1 nodes all have support 0.5 (> max 0.3): oversized,
         // expanded but unevaluated. Level-2 nodes have support 0.25.
-        let out = search(&d, &params(0.1, 0.3, 2), &toy_eval);
+        let out = search(&d, &params(0.1, 0.3, 2), &toy_eval).unwrap();
         assert_eq!(out.levels[0].explored, 0);
         assert_eq!(out.levels[0].oversized, 6);
         assert!(out.levels[1].explored > 0);
@@ -380,7 +558,7 @@ mod tests {
     fn below_min_support_kills_subtree() {
         let d = data();
         // min 0.6: every level-1 node (support .5) is dropped; search ends.
-        let out = search(&d, &params(0.6, 1.0, 3), &toy_eval);
+        let out = search(&d, &params(0.6, 1.0, 3), &toy_eval).unwrap();
         assert!(out.evaluated.is_empty());
         assert_eq!(out.levels[0].pruned_support_low, 6);
         assert_eq!(out.levels.len(), 1);
@@ -391,7 +569,7 @@ mod tests {
         let d = data();
         let mut p = params(0.0, 1.0, 2);
         p.exclude_attrs = vec![0];
-        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0);
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
         assert!(out
             .evaluated
             .iter()
@@ -401,7 +579,7 @@ mod tests {
     #[test]
     fn evaluations_counter_matches_explored_sum() {
         let d = data();
-        let out = search(&d, &params(0.0, 1.0, 3), &|_: &Predicate, _: &[u32]| 1.0);
+        let out = search(&d, &params(0.0, 1.0, 3), &|_: &Predicate, _: &[u32]| 1.0).unwrap();
         let explored: usize = out.levels.iter().map(|l| l.explored).sum();
         assert_eq!(out.evaluations, explored);
     }
@@ -409,7 +587,6 @@ mod tests {
     #[test]
     fn search_with_range_literals_evaluates_interval_subsets() {
         use crate::expand::LiteralGen;
-        use crate::literal::Op;
         use fume_tabular::AttrKind;
         // Dataset with an ordinal attribute of 4 bins.
         let schema = Arc::new(
@@ -434,7 +611,7 @@ mod tests {
         let mut p = params(0.0, 1.0, 2);
         p.literal_gen = LiteralGen::WithRanges;
         p.toggles.prune_redundant = true;
-        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0);
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
         let has_range = out.evaluated.iter().any(|s| {
             s.predicate
                 .literals()
@@ -460,5 +637,216 @@ mod tests {
         let s = LevelStats { possible: 200, explored: 50, ..Default::default() };
         assert!((s.pruned_percent() - 75.0).abs() < 1e-12);
         assert_eq!(LevelStats::default().pruned_percent(), 0.0);
+    }
+
+    /// ρ rewards exactly one level-1 literal (`a = 1`) and one deeper
+    /// conjunction on top of it — the shape the old `expandable.len() < 2`
+    /// termination could never find.
+    fn lone_survivor_eval(pred: &Predicate, _rows: &[u32]) -> f64 {
+        let has = |a: u16, v: u16| {
+            pred.literals()
+                .iter()
+                .any(|l| l.attr == a && l.value == v && l.op == Op::Eq)
+        };
+        match (has(0, 1), has(1, 1)) {
+            (true, true) => 0.8,
+            (true, false) if pred.len() == 1 => 0.5,
+            _ => -1.0,
+        }
+    }
+
+    #[test]
+    fn lone_surviving_node_is_still_expanded() {
+        let d = data();
+        // Level 1: only `a = 1` survives Rule 5 (ρ 0.5, everything else
+        // −1). The search must not stop there — conjoining fresh level-1
+        // literals finds the deeper, stronger `a = 1 ∧ b = 1` (ρ 0.8).
+        let out = search(&d, &params(0.0, 1.0, 2), &lone_survivor_eval).unwrap();
+        assert_eq!(out.levels.len(), 2, "the singleton frontier must expand");
+        let deeper = Predicate::new(vec![Literal::eq(0, 1), Literal::eq(1, 1)]);
+        assert!(
+            out.evaluated.iter().any(|s| s.predicate == deeper),
+            "deeper predicate not evaluated: {:?}",
+            out.evaluated.iter().map(|s| &s.predicate).collect::<Vec<_>>()
+        );
+        let top = out.top_k(1);
+        assert_eq!(top[0].predicate, deeper);
+        assert!((top[0].rho - 0.8).abs() < 1e-12);
+        // Level-2 accounting of the singleton expansion: the 6 level-1
+        // literals minus `a = 1` itself are candidates; `a = 0` is
+        // contradictory under Rule 1.
+        assert_eq!(out.levels[1].possible, 5);
+        assert_eq!(out.levels[1].pruned_rule1, 1);
+        assert_eq!(out.levels[1].generated, 4);
+    }
+
+    #[test]
+    fn lone_oversized_node_is_still_expanded() {
+        let d = data();
+        // τ_max 0.3 with exclusions leaving one attribute: the two `a = *`
+        // nodes have support 0.5 → both oversized... use exclusions to
+        // shrink the frontier to a single oversized node instead.
+        let mut p = params(0.35, 0.6, 2);
+        p.exclude_attrs = vec![1, 2];
+        // Frontier: `a = 0`, `a = 1`, both support 0.5 → in range, both
+        // rewarded → not a singleton. Force one out via the evaluator.
+        let eval = |pred: &Predicate, _rows: &[u32]| {
+            if pred.literals().iter().any(|l| l.attr == 0 && l.value == 1 && l.op == Op::Eq) {
+                1.0
+            } else {
+                -1.0
+            }
+        };
+        let out = search(&d, &p, &eval).unwrap();
+        // `a = 1` is the lone survivor; its children conjoin b/c literals
+        // but those attrs are excluded → expansion yields nothing and the
+        // search ends cleanly after level 1.
+        assert_eq!(out.levels.len(), 1);
+
+        // Without exclusions the lone survivor grows children.
+        let p = params(0.0, 1.0, 2);
+        let out = search(&d, &p, &eval).unwrap();
+        assert!(out.evaluated.iter().any(|s| s.level == 2));
+    }
+
+    #[test]
+    fn non_finite_rho_is_rejected_with_a_clear_error() {
+        let d = data();
+        let nan_for_b1 = |pred: &Predicate, _rows: &[u32]| {
+            if pred.literals().iter().any(|l| l.attr == 1 && l.value == 1) {
+                f64::NAN
+            } else {
+                1.0
+            }
+        };
+        let err = search(&d, &params(0.0, 1.0, 2), &nan_for_b1).unwrap_err();
+        match &err {
+            LatticeError::NonFiniteAttribution { predicate, value } => {
+                assert!(predicate.contains("b = 1"), "{predicate}");
+                assert_eq!(value, "NaN");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(err.to_string().contains("non-finite"));
+
+        // Infinities are equally rejected.
+        let inf = |_: &Predicate, _: &[u32]| f64::INFINITY;
+        assert!(matches!(
+            search(&d, &params(0.0, 1.0, 1), &inf),
+            Err(LatticeError::NonFiniteAttribution { .. })
+        ));
+    }
+
+    #[test]
+    fn rule3_counts_only_evaluated_survivors_not_oversized() {
+        // Skewed marginals so the final level holds both in-range and
+        // oversized nodes: attr a is 48/16, attrs b/c are 32/32.
+        let schema = Arc::new(
+            Schema::with_default_label(vec![
+                Attribute::categorical("a", vec!["0".into(), "1".into()]),
+                Attribute::categorical("b", vec!["0".into(), "1".into()]),
+                Attribute::categorical("c", vec!["0".into(), "1".into()]),
+            ])
+            .unwrap(),
+        );
+        let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut labels = Vec::new();
+        for i in 0..64usize {
+            cols[0].push(u16::from(i % 4 == 0));
+            cols[1].push(((i / 2) % 2) as u16);
+            cols[2].push(((i / 4) % 2) as u16);
+            labels.push(i % 3 == 0);
+        }
+        let d = Dataset::new(schema, cols, labels).unwrap();
+
+        // Range [0.2, 0.3]: level 1 has `a = 1` (0.25) in range; `a = 0`
+        // (0.75), b/c (0.5 each) oversized. All five expand to level 2,
+        // where supports straddle the range again.
+        let out = search(&d, &params(0.2, 0.3, 2), &|_: &Predicate, _: &[u32]| 1.0).unwrap();
+        let last = out.levels[1];
+        assert!(last.oversized > 0, "need oversized nodes at the final level");
+        assert!(last.explored > 0, "need evaluated nodes at the final level");
+        // Every evaluated node survives (ρ = 1): Rule 3 claims exactly
+        // those, while the oversized stay in Rule 2's bucket.
+        assert_eq!(last.pruned_rule3, last.explored);
+        assert!(
+            last.pruned_rule3 + last.oversized <= last.generated,
+            "buckets must not double-count: {last:?}"
+        );
+        // Non-final levels never charge Rule 3.
+        assert_eq!(out.levels[0].pruned_rule3, 0);
+        // And the Table-9 headline number follows from explored alone.
+        let expect = 100.0 * (1.0 - last.explored as f64 / last.possible as f64);
+        assert!((last.pruned_percent() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_boundaries_are_epsilon_tolerant() {
+        let d = data(); // level-1 supports 0.5, level-2 supports 0.25
+        // τ_min arrived through arithmetic: 0.1 + 0.2 overshoots 0.3, yet
+        // a support of exactly 0.3 must not be pruned low. Build a 60-row
+        // set where one literal selects 18 rows (support 18/60 = 0.3).
+        let schema = Arc::new(
+            Schema::with_default_label(vec![Attribute::categorical(
+                "g",
+                vec!["0".into(), "1".into()],
+            )])
+            .unwrap(),
+        );
+        let col: Vec<u16> = (0..60).map(|i| u16::from(i < 18)).collect();
+        let labels = (0..60).map(|i| i % 2 == 0).collect();
+        let d60 = Dataset::new(schema, vec![col], labels).unwrap();
+        let p = SearchParams::new(SupportRange::new(0.1 + 0.2, 0.9).unwrap(), 1).unwrap();
+        let out = search(&d60, &p, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
+        assert_eq!(
+            out.levels[0].pruned_support_low, 0,
+            "support exactly at τ_min must stay in range: {:?}",
+            out.levels[0]
+        );
+        assert_eq!(out.levels[0].explored, 2); // 0.3 and 0.7 both within [0.3, 0.9]
+
+        // τ_max a hair below the support: within epsilon counts as at the
+        // bound, not above it.
+        let p = SearchParams::new(SupportRange::new(0.0, 0.5 - 1e-12).unwrap(), 1).unwrap();
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
+        assert_eq!(out.levels[0].oversized, 0, "{:?}", out.levels[0]);
+        assert_eq!(out.levels[0].explored, 6);
+
+        // Genuinely out-of-range supports are still gated.
+        let p = SearchParams::new(SupportRange::new(0.0, 0.49).unwrap(), 1).unwrap();
+        let out = search(&d, &p, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
+        assert_eq!(out.levels[0].oversized, 6);
+    }
+
+    #[test]
+    fn driver_steps_match_whole_search_and_resume_midway() {
+        let d = data();
+        let p = params(0.0, 1.0, 3);
+        let eval = |_: &Predicate, rows: &[u32]| 1.0 / (1.0 + rows.len() as f64);
+        let whole = search(&d, &p, &eval).unwrap();
+
+        // Stepping manually yields the identical outcome.
+        let mut driver = SearchDriver::new(&d, &p);
+        let mut boundaries = 0;
+        while driver.step(&eval).unwrap() {
+            boundaries += 1;
+        }
+        assert!(boundaries > 0);
+        assert_eq!(driver.into_outcome(), whole);
+
+        // Snapshot after the first level, continue from the clone: the
+        // rest of the search is byte-identical.
+        let mut driver = SearchDriver::new(&d, &p);
+        assert!(driver.step(&eval).unwrap());
+        let snapshot = driver.state().clone();
+        let mut resumed = SearchDriver::with_state(&d, &p, snapshot);
+        while resumed.step(&eval).unwrap() {}
+        assert_eq!(resumed.into_outcome(), whole);
+
+        // A finished state refuses further work.
+        let mut driver = SearchDriver::new(&d, &p);
+        while driver.step(&eval).unwrap() {}
+        assert!(driver.is_done());
+        assert!(!driver.step(&eval).unwrap());
     }
 }

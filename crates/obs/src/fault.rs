@@ -1,0 +1,147 @@
+//! Fault injection for crash-resumability tests (mirrors `FUME_DEEPCHECK`).
+//!
+//! Code that wants to be killable at a well-defined point calls
+//! [`fault_point("site-name")`](fault_point). In release builds the call
+//! compiles to nothing. In debug/test builds it panics when the named
+//! site is *armed* and its hit counter reaches the armed occurrence:
+//!
+//! - from the environment: `FUME_FAULT=<site>` (first hit) or
+//!   `FUME_FAULT=<site>:<nth>` (the nth hit, 1-based);
+//! - programmatically: [`arm`]/[`disarm`], for tests that trap the panic
+//!   with `catch_unwind` and then resume in-process.
+//!
+//! A site fires **exactly once** — only when its hit count equals the
+//! armed occurrence. Re-running the same code after catching the panic
+//! walks the counter *past* the occurrence, so an in-process resume does
+//! not trip over the same fault again.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+struct FaultState {
+    /// Armed site and 1-based occurrence at which to fire.
+    armed: Option<(String, u64)>,
+    /// Hits per site since the last [`arm`].
+    hits: HashMap<String, u64>,
+}
+
+fn state() -> &'static Mutex<FaultState> {
+    static STATE: OnceLock<Mutex<FaultState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(FaultState { armed: armed_from_env(), hits: HashMap::new() })
+    })
+}
+
+fn armed_from_env() -> Option<(String, u64)> {
+    parse_spec(&std::env::var("FUME_FAULT").ok()?)
+}
+
+/// Parses a `<site>[:<nth>]` spec. Malformed occurrence counts fall back
+/// to 1 rather than erroring: fault injection is a test facility and must
+/// never take down a production run over a typo.
+fn parse_spec(spec: &str) -> Option<(String, u64)> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return None;
+    }
+    match spec.split_once(':') {
+        Some((site, nth)) => {
+            let nth = nth.trim().parse::<u64>().ok().filter(|&n| n > 0).unwrap_or(1);
+            Some((site.trim().to_string(), nth))
+        }
+        None => Some((spec.to_string(), 1)),
+    }
+}
+
+/// Arms `site` to panic at its `nth` (1-based) hit, resetting all hit
+/// counters. Overrides any `FUME_FAULT` environment arming.
+pub fn arm(site: &str, nth: u64) {
+    let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+    st.armed = Some((site.to_string(), nth.max(1)));
+    st.hits.clear();
+}
+
+/// Disarms fault injection and resets all hit counters.
+pub fn disarm() {
+    let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+    st.armed = None;
+    st.hits.clear();
+}
+
+/// A named crash site. No-op in release builds; in debug builds, panics
+/// iff this site is armed and this is exactly its armed occurrence.
+#[inline]
+pub fn fault_point(site: &str) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let fire = {
+        let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+        let hit = {
+            let h = st.hits.entry(site.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        matches!(&st.armed, Some((armed, nth)) if armed == site && hit == *nth)
+    }; // guard dropped before panicking — a caught fault must not poison the state lock
+    if fire {
+        // fume-lint: allow(F001) -- the whole point of a fault site is to panic on demand in debug/test builds
+        panic!("FUME_FAULT: injected fault at site `{site}`");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex as StdMutex;
+
+    /// Fault state is process-global; serialize the tests that mutate it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn fires_exactly_at_the_armed_occurrence() {
+        let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm("unit-site", 2);
+        fault_point("unit-site"); // hit 1: no fire
+        let err = catch_unwind(AssertUnwindSafe(|| fault_point("unit-site")));
+        assert!(err.is_err(), "hit 2 must fire");
+        // Past the occurrence: an in-process resume never re-fires.
+        fault_point("unit-site");
+        fault_point("unit-site");
+        disarm();
+    }
+
+    #[test]
+    fn other_sites_and_disarmed_points_pass_through() {
+        let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm("unit-a", 1);
+        fault_point("unit-b"); // different site: silent
+        disarm();
+        fault_point("unit-a"); // disarmed: silent
+    }
+
+    #[test]
+    fn rearming_resets_hit_counters() {
+        let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm("unit-reset", 2);
+        fault_point("unit-reset"); // hit 1
+        arm("unit-reset", 2); // counters cleared
+        fault_point("unit-reset"); // hit 1 again: no fire
+        let err = catch_unwind(AssertUnwindSafe(|| fault_point("unit-reset")));
+        assert!(err.is_err());
+        disarm();
+    }
+
+    #[test]
+    fn env_spec_parsing() {
+        // Exercise the parser, not the env cache (which is process-wide).
+        assert_eq!(parse_spec("post-eval"), Some(("post-eval".into(), 1)));
+        assert_eq!(parse_spec("post-eval:3"), Some(("post-eval".into(), 3)));
+        assert_eq!(parse_spec(" post-level : 2 "), Some(("post-level".into(), 2)));
+        assert_eq!(parse_spec("site:bogus"), Some(("site".into(), 1)));
+        assert_eq!(parse_spec("site:0"), Some(("site".into(), 1)));
+        assert_eq!(parse_spec(""), None);
+        assert_eq!(parse_spec("   "), None);
+    }
+}

@@ -20,6 +20,7 @@
 //! full vocabulary is catalogued in `docs/observability.md`.
 
 pub mod clock;
+pub mod fault;
 pub mod json;
 mod recorder;
 mod span;

@@ -38,6 +38,21 @@ pub fn bit_eq(a: f64, b: f64) -> bool {
     a.to_bits() == b.to_bits()
 }
 
+/// Whether `a` is *definitively* less than `b`: strictly below even after
+/// granting an [`EPSILON`] of accumulated error. The tolerant counterpart
+/// of `a < b` for threshold gates — values within `EPSILON` of the bound
+/// count as *at* the bound, not below it.
+#[inline]
+pub fn approx_lt(a: f64, b: f64) -> bool {
+    a < b - EPSILON
+}
+
+/// Whether `a` is *definitively* greater than `b` (see [`approx_lt`]).
+#[inline]
+pub fn approx_gt(a: f64, b: f64) -> bool {
+    a > b + EPSILON
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +70,22 @@ mod tests {
         assert!(is_zero(-0.0));
         assert!(is_zero(1e-12));
         assert!(!is_zero(1e-3));
+    }
+
+    #[test]
+    fn approx_ordering_tolerates_boundary_error() {
+        // 0.1 + 0.2 overshoots 0.3 by ~5.6e-17; an exact `<` would call
+        // 0.3 "below" that bound, the tolerant comparison does not.
+        let bound = 0.1_f64 + 0.2;
+        assert!(0.3 < bound, "premise: exact comparison flakes");
+        assert!(!approx_lt(0.3, bound));
+        assert!(!approx_gt(bound, 0.3));
+        // Genuine gaps still order.
+        assert!(approx_lt(0.29, 0.3));
+        assert!(approx_gt(0.31, 0.3));
+        // Exactly-at-the-bound is neither above nor below.
+        assert!(!approx_lt(0.5, 0.5));
+        assert!(!approx_gt(0.5, 0.5));
     }
 
     #[test]

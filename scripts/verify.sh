@@ -36,6 +36,55 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
 fi
 echo "    pooled path ${speedup}x over clone-per-eval"
 
+echo "==> checkpoint/fault tests under FUME_DEEPCHECK=1 (runtime audits on)"
+FUME_DEEPCHECK=1 cargo test -q --offline --test checkpoint_resume
+FUME_DEEPCHECK=1 cargo test -q --offline -p fume-core checkpoint
+FUME_DEEPCHECK=1 cargo test -q --offline -p fume-obs fault
+
+echo "==> fault-injection smoke: run -> inject -> resume -> diff reports"
+# Faults only exist in debug builds; build the debug CLI explicitly.
+cargo build --offline -q --bin fume-cli
+smoke_dir="target/fault-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+awk 'BEGIN {
+    print "age,job,sex,approved";
+    for (i = 0; i < 400; i++) {
+        sex = (i % 2 == 0) ? "m" : "f";
+        job = (int(i / 2) % 2 == 0) ? "clerk" : "manual";
+        age = (int(i / 4) % 2 == 0) ? "young" : "old";
+        ok = (sex == "m") ? (i % 3 != 0) : (i % 3 == 0);
+        print age "," job "," sex "," ok;
+    }
+}' > "$smoke_dir/loans.csv"
+cli="target/debug/fume-cli"
+common="--data $smoke_dir/loans.csv --label approved --positive 1 \
+        --sensitive sex --privileged m --trees 10 --depth 5 --seed 3 \
+        --support 0.05:0.4 --max-literals 2"
+$cli explain $common --checkpoint-dir "$smoke_dir/ckpt_base" \
+    > "$smoke_dir/report_base.txt" 2>/dev/null
+grep '^|' "$smoke_dir/report_base.txt" > "$smoke_dir/base_topk.txt"
+[ -s "$smoke_dir/base_topk.txt" ] || { echo "baseline found no subsets" >&2; exit 1; }
+# Site 1 kills the first eval batch, site 2 the first level boundary,
+# site 3 the third atomic write (forest + initial state precede it).
+for site in post-eval post-level mid-checkpoint-write:3; do
+    dir="$smoke_dir/ckpt_$(echo "$site" | tr ':' '_')"
+    if FUME_FAULT="$site" $cli explain $common --checkpoint-dir "$dir" \
+        >/dev/null 2>&1; then
+        echo "fault site $site did not kill the run" >&2
+        exit 1
+    fi
+    $cli explain $common --checkpoint-dir "$dir" --resume \
+        > "$smoke_dir/report_resume.txt" 2>/dev/null
+    grep '^|' "$smoke_dir/report_resume.txt" > "$smoke_dir/resume_topk.txt"
+    if ! diff -q "$smoke_dir/base_topk.txt" "$smoke_dir/resume_topk.txt" >/dev/null; then
+        echo "resumed top-k report differs from uninterrupted run (site $site)" >&2
+        diff "$smoke_dir/base_topk.txt" "$smoke_dir/resume_topk.txt" >&2 || true
+        exit 1
+    fi
+    echo "    $site: killed, resumed, reports identical"
+done
+
 echo "==> verify: no crates-io dependencies"
 if cargo tree --offline --workspace --edges normal,build,dev | grep -v '^\s*$' \
     | grep -vE '\(\*\)$' | grep -E 'v[0-9]' | grep -vE 'fume(-[a-z]+)? v'; then

@@ -38,6 +38,8 @@ struct Args {
     bins: usize,
     ranges: bool,
     trace: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> ! {
@@ -54,7 +56,9 @@ fn usage() -> ! {
                   --test-fraction F     held-out fraction (default 0.3)\n\
                   --bins B              numeric discretization bins (default 5)\n\
                   --ranges              generate <=/>= literals on binned columns\n\
-                  --trace FILE          write a JSONL span/counter trace (or set FUME_TRACE)"
+                  --trace FILE          write a JSONL span/counter trace (or set FUME_TRACE)\n\
+                  --checkpoint-dir DIR  checkpoint the explain run (forest + search state)\n\
+                  --resume              continue a crashed run from --checkpoint-dir"
     );
     exit(2)
 }
@@ -88,6 +92,8 @@ fn parse_args() -> Args {
         bins: 5,
         ranges: false,
         trace: std::env::var("FUME_TRACE").ok().filter(|s| !s.is_empty()),
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -131,12 +137,20 @@ fn parse_args() -> Args {
             "--bins" => args.bins = value().parse().unwrap_or_else(|_| usage()),
             "--ranges" => args.ranges = true,
             "--trace" => args.trace = Some(value()),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value()),
+            "--resume" => args.resume = true,
             "--help" | "-h" => usage(),
             other => fail(format!("unknown flag `{other}`")),
         }
     }
     if args.data.is_empty() || args.sensitive.is_empty() || args.privileged.is_empty() {
         usage();
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        fail("--resume requires --checkpoint-dir");
+    }
+    if args.checkpoint_dir.is_some() && args.command != "explain" {
+        fail("--checkpoint-dir only applies to the explain command");
     }
     args
 }
@@ -172,7 +186,7 @@ fn load(args: &Args) -> (Dataset, Dataset, GroupSpec) {
 }
 
 fn config(args: &Args) -> FumeConfig {
-    Fume::builder()
+    let mut builder = Fume::builder()
         .metric(args.metric)
         .support(args.support)
         .max_literals(args.max_literals)
@@ -187,8 +201,11 @@ fn config(args: &Args) -> FumeConfig {
                 .with_trees(args.trees)
                 .with_max_depth(args.depth)
                 .with_seed(args.seed),
-        )
-        .into_config()
+        );
+    if let Some(dir) = &args.checkpoint_dir {
+        builder = builder.checkpoint_dir(dir);
+    }
+    builder.into_config()
 }
 
 fn main() {
@@ -209,7 +226,13 @@ fn main() {
 
     match args.command.as_str() {
         "explain" => {
-            let fume = Fume::new(cfg);
+            let fume = if args.resume {
+                // fail() exits; the unwrap_or_else is the CLI's error style
+                let dir = args.checkpoint_dir.as_deref().unwrap_or_else(|| usage());
+                Fume::resume(dir).unwrap_or_else(|e| fail(e))
+            } else {
+                Fume::new(cfg)
+            };
             match fume.explain(&train, &test, group) {
                 Ok(report) => {
                     println!(

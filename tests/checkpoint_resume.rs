@@ -1,0 +1,225 @@
+//! Crash-resumability: for every `FUME_FAULT` site, a seeded explain run
+//! is killed mid-flight, resumed from its checkpoint, and must reproduce
+//! the uninterrupted run's report byte-identically. Corrupt and
+//! mismatched checkpoints must fail cleanly, never panic.
+//!
+//! Fault injection only exists in debug builds (`fume_obs::fault` is a
+//! no-op under release), which is the default `cargo test` profile.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use fume::core::checkpoint;
+use fume::core::{CheckpointError, Fume, FumeConfig, FumeError, FumeReport};
+use fume::forest::DareConfig;
+use fume::lattice::SupportRange;
+use fume::obs::fault;
+use fume::tabular::datasets::german_credit;
+use fume::tabular::split::train_test_split;
+use fume::tabular::{Dataset, GroupSpec};
+
+/// Fault state is process-global; every test that arms a site (or runs a
+/// checkpointed search that passes fault points) serializes on this.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 11;
+
+fn setup() -> (Dataset, Dataset, GroupSpec) {
+    let (data, group) = german_credit().generate_scaled(0.2, SEED).unwrap();
+    let (train, test) = train_test_split(&data, 0.3, SEED).unwrap();
+    (train, test, group)
+}
+
+fn config(dir: &Path) -> FumeConfig {
+    FumeConfig::default()
+        .with_forest(DareConfig::small(SEED))
+        .with_support(SupportRange::new(0.02, 0.30).unwrap())
+        .with_max_literals(3)
+        .with_checkpoint_dir(dir)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fume_ckpt_resume").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(dir: &Path, train: &Dataset, test: &Dataset, group: GroupSpec) -> FumeReport {
+    Fume::new(config(dir)).explain(train, test, group).unwrap()
+}
+
+/// The two runs must agree bit-for-bit on everything the run computes;
+/// wall-clock times are the only fields allowed to differ.
+fn assert_reports_identical(a: &FumeReport, b: &FumeReport) {
+    assert_eq!(a.top_k, b.top_k, "top-k reports differ");
+    assert_eq!(a.evaluated, b.evaluated, "evaluated subsets differ");
+    assert_eq!(a.levels, b.levels, "level stats differ");
+    assert_eq!(a.unlearning_operations, b.unlearning_operations);
+    assert_eq!(a.original_bias.to_bits(), b.original_bias.to_bits());
+    assert_eq!(a.original_fairness.to_bits(), b.original_fairness.to_bits());
+    assert_eq!(a.original_accuracy.to_bits(), b.original_accuracy.to_bits());
+    assert_eq!(a.metric, b.metric);
+}
+
+#[test]
+fn uninterrupted_checkpointed_run_matches_plain_run_ranking() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+    let dir = fresh_dir("plain_vs_ckpt");
+    let ckpt_report = run(&dir, &train, &test, group);
+    // The checkpointed run normalizes the forest (save/load round-trip),
+    // which preserves its predictions exactly but may shift search-time
+    // unlearning RNG draws versus the never-persisted forest. Deployed
+    // behavior must match a plain run bit-for-bit; search-side counts
+    // only need to be a working run (see docs/checkpointing.md).
+    let mut plain_cfg = config(&dir);
+    plain_cfg.checkpoint_dir = None;
+    let plain = Fume::new(plain_cfg).explain(&train, &test, group).unwrap();
+    assert_eq!(ckpt_report.original_bias.to_bits(), plain.original_bias.to_bits());
+    assert_eq!(ckpt_report.original_accuracy.to_bits(), plain.original_accuracy.to_bits());
+    assert_eq!(ckpt_report.metric, plain.metric);
+    // Level-1 candidate generation depends only on the data, not on any
+    // RNG draw: both runs must consider the identical literal space.
+    assert_eq!(ckpt_report.levels[0].possible, plain.levels[0].possible);
+    assert_eq!(ckpt_report.levels[0].pruned_rule1, plain.levels[0].pruned_rule1);
+    assert!(!ckpt_report.top_k.is_empty());
+    assert!(!plain.top_k.is_empty());
+}
+
+/// For each fault site: the run dies at the site, `Fume::resume`
+/// continues from the sidecar, and the final report is byte-identical to
+/// an uninterrupted checkpointed run's.
+#[test]
+fn killed_runs_resume_to_byte_identical_reports() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+
+    let baseline_dir = fresh_dir("baseline");
+    let baseline = run(&baseline_dir, &train, &test, group);
+    assert!(!baseline.top_k.is_empty(), "fixture must find subsets");
+    assert!(baseline.levels.len() >= 2, "fixture must search multiple levels");
+
+    // (site, occurrence): kill the first post-eval batch, the first
+    // completed level, and the third atomic write (write 1 persists the
+    // forest, write 2 the initial boundary; dying on write 3 — the
+    // level-1 boundary — exercises "previous checkpoint stays loadable").
+    for (site, nth) in [("post-eval", 1), ("post-level", 1), ("mid-checkpoint-write", 3)] {
+        let dir = fresh_dir(&format!("kill_{site}_{nth}"));
+        fault::arm(site, nth);
+        let died = catch_unwind(AssertUnwindSafe(|| run(&dir, &train, &test, group)));
+        fault::disarm();
+        assert!(died.is_err(), "site {site}:{nth} must kill the run");
+
+        // The checkpoint left behind is loadable (atomic writes).
+        let ckpt = checkpoint::load_state(&dir)
+            .unwrap_or_else(|e| panic!("site {site}:{nth}: checkpoint unreadable: {e}"));
+        assert!(!ckpt.state.done, "site {site}:{nth}: state must be mid-run");
+
+        let resumed = Fume::resume(&dir)
+            .unwrap_or_else(|e| panic!("site {site}:{nth}: resume failed: {e}"))
+            .explain(&train, &test, group)
+            .unwrap_or_else(|e| panic!("site {site}:{nth}: resumed run failed: {e}"));
+        assert_reports_identical(&baseline, &resumed);
+        // Resumption reloads the persisted forest; no retraining happened.
+        assert_eq!(resumed.training_time.as_nanos(), 0, "site {site}:{nth}");
+    }
+}
+
+/// Resuming an already-finished run replays its report from the terminal
+/// checkpoint without a single new unlearning evaluation.
+#[test]
+fn resuming_a_finished_run_replays_the_report() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+    let dir = fresh_dir("finished");
+    let baseline = run(&dir, &train, &test, group);
+    let ckpt = checkpoint::load_state(&dir).unwrap();
+    assert!(ckpt.state.done, "terminal state must be persisted");
+    let replay = Fume::resume(&dir).unwrap().explain(&train, &test, group).unwrap();
+    assert_reports_identical(&baseline, &replay);
+}
+
+#[test]
+fn corrupt_or_truncated_checkpoints_fail_cleanly() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+    let dir = fresh_dir("corrupt");
+    run(&dir, &train, &test, group);
+    let path = dir.join("search.ckpt");
+    let good = std::fs::read(&path).unwrap();
+
+    // Garbage bytes: clean error from Fume::resume, never a panic.
+    std::fs::write(&path, b"this is not a checkpoint").unwrap();
+    match Fume::resume(&dir) {
+        Err(FumeError::Checkpoint(CheckpointError::BadMagic)) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+
+    // Truncation mid-state: still a clean error.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    match Fume::resume(&dir) {
+        Err(FumeError::Checkpoint(CheckpointError::Corrupt(_))) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Missing entirely: NothingToResume.
+    std::fs::remove_file(&path).unwrap();
+    match Fume::resume(&dir) {
+        Err(FumeError::Checkpoint(CheckpointError::NothingToResume(_))) => {}
+        other => panic!("expected NothingToResume, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_rejects_different_data_or_config() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+    let dir = fresh_dir("mismatch");
+    run(&dir, &train, &test, group);
+
+    // Different data (another seed) under the same checkpoint: rejected.
+    let (data2, group2) = german_credit().generate_scaled(0.2, SEED + 1).unwrap();
+    let (train2, test2) = train_test_split(&data2, 0.3, SEED).unwrap();
+    match Fume::resume(&dir).unwrap().explain(&train2, &test2, group2) {
+        Err(FumeError::Checkpoint(CheckpointError::Mismatch(_))) => {}
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+
+    // A fresh (non-resume) run with a different config over the same dir
+    // simply overwrites the checkpoint — it must not be poisoned by it.
+    let other_cfg = config(&dir).with_top_k(3);
+    let report = Fume::new(other_cfg).explain(&train, &test, group).unwrap();
+    assert!(report.top_k.len() <= 3);
+}
+
+/// A fault during the checkpoint write itself must leave the *previous*
+/// checkpoint loadable — the atomicity guarantee, checked directly.
+#[test]
+fn fault_during_checkpoint_write_preserves_previous_checkpoint() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let (train, test, group) = setup();
+    let dir = fresh_dir("atomic");
+
+    // Write 4 is the level-2 boundary: when it dies, the level-1
+    // boundary state (write 3) must still be the loadable checkpoint.
+    fault::arm("mid-checkpoint-write", 4);
+    let died = catch_unwind(AssertUnwindSafe(|| run(&dir, &train, &test, group)));
+    fault::disarm();
+    assert!(died.is_err());
+
+    // Whatever state was last *renamed in* is intact and decodable, and
+    // the interrupted write's temp file never shadows it.
+    let ckpt = checkpoint::load_state(&dir).unwrap();
+    assert!(!ckpt.state.done);
+    let resumed = Fume::resume(&dir).unwrap().explain(&train, &test, group).unwrap();
+    let baseline_dir = fresh_dir("atomic_baseline");
+    let baseline = run(&baseline_dir, &train, &test, group);
+    assert_reports_identical(&baseline, &resumed);
+}

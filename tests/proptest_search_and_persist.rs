@@ -32,7 +32,7 @@ fn search_without_attribution_rules_is_complete_at_level2() {
             rule5_positive_only: false,
             ..RuleToggles::default()
         };
-        let outcome = search(&data, &params, &|_: &Predicate, _: &[u32]| 1.0);
+        let outcome = search(&data, &params, &|_: &Predicate, _: &[u32]| 1.0).unwrap();
         let evaluated: HashSet<&Predicate> =
             outcome.evaluated.iter().map(|s| &s.predicate).collect();
         let p = data.num_attributes() as u16;
