@@ -1,0 +1,98 @@
+//! Throughput of the offline trace toolchain: how fast does
+//! `fume_obs::trace::parse_trace` chew through a realistic JSONL trace?
+//! Emits `BENCH_trace.json` with the measured MB/s so `scripts/verify.sh`
+//! can archive parse throughput alongside the engine benchmarks.
+//!
+//! ```text
+//! cargo bench --bench trace_parse            # ~64k-event trace
+//! cargo bench --bench trace_parse -- --smoke # ~8k-event CI run
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fume_obs::trace::{aggregate, parse_trace};
+
+/// Builds a synthetic but structurally realistic trace: a header, then
+/// well-nested two-deep span pairs interleaved with counters, gauges and
+/// histogram samples — the event mix a real explain run produces.
+fn synthetic_trace(events: usize) -> String {
+    let mut out = String::with_capacity(events * 96);
+    out.push_str(
+        "{\"type\":\"header\",\"schema\":2,\"meta\":{\"bench\":\"trace_parse\",\"seed\":\"7\"}}\n",
+    );
+    let mut t = 1_000u64;
+    let mut i = 0usize;
+    while i + 6 <= events {
+        let inner = 40_000 + (i as u64 % 17) * 1_000;
+        out.push_str(&format!(
+            "{{\"type\":\"span_start\",\"name\":\"lattice.evaluate\",\"t_ns\":{t},\"thread\":0,\"fields\":{{\"level\":{}}}}}\n",
+            i % 5
+        ));
+        t += 500;
+        out.push_str(&format!(
+            "{{\"type\":\"span_start\",\"name\":\"forest.delete\",\"t_ns\":{t},\"thread\":0,\"fields\":{{}}}}\n"
+        ));
+        t += inner;
+        out.push_str(&format!(
+            "{{\"type\":\"span_end\",\"name\":\"forest.delete\",\"t_ns\":{t},\"thread\":0,\"total_ns\":{inner},\"self_ns\":{inner}}}\n"
+        ));
+        t += 200;
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":\"fume.unlearn_evals\",\"delta\":1,\"t_ns\":{t}}}\n"
+        ));
+        out.push_str(&format!(
+            "{{\"type\":\"hist\",\"name\":\"ckpt.state_bytes\",\"value\":{},\"t_ns\":{t}}}\n",
+            10_000 + i * 3
+        ));
+        t += 300;
+        out.push_str(&format!(
+            "{{\"type\":\"span_end\",\"name\":\"lattice.evaluate\",\"t_ns\":{t},\"thread\":0,\"total_ns\":{},\"self_ns\":1000}}\n",
+            inner + 1_000
+        ));
+        t += 100;
+        i += 6;
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (mode, events, rounds) = if smoke { ("smoke", 8_400, 5) } else { ("full", 64_002, 5) };
+    let text = synthetic_trace(events);
+    let bytes = text.len();
+
+    // Parse throughput: best-of-N wall-clock over the whole document.
+    let mut best_parse = f64::INFINITY;
+    let mut parsed_events = 0usize;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let trace = parse_trace(black_box(&text)).expect("synthetic trace parses");
+        best_parse = best_parse.min(t0.elapsed().as_secs_f64());
+        parsed_events = trace.events.len();
+    }
+    let parse_mbps = bytes as f64 / 1e6 / best_parse;
+
+    // Aggregation on top of the parsed form (the `summary` hot path).
+    let trace = parse_trace(&text).expect("parses");
+    let mut best_agg = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(aggregate(black_box(&trace)));
+        best_agg = best_agg.min(t0.elapsed().as_secs_f64());
+    }
+    let agg_mevps = parsed_events as f64 / 1e6 / best_agg;
+
+    println!("trace_parse ({mode} · {parsed_events} events · {:.2} MB)", bytes as f64 / 1e6);
+    println!("  parse      {:>9.3}ms   {parse_mbps:>8.1} MB/s", best_parse * 1e3);
+    println!("  aggregate  {:>9.3}ms   {agg_mevps:>8.2} Mevents/s", best_agg * 1e3);
+
+    let json = format!(
+        "{{\"bench\":\"trace_parse\",\"mode\":\"{mode}\",\"events\":{parsed_events},\
+         \"bytes\":{bytes},\"parse_secs\":{best_parse:.6},\"parse_mb_per_sec\":{parse_mbps:.2},\
+         \"aggregate_secs\":{best_agg:.6},\"aggregate_mevents_per_sec\":{agg_mevps:.3}}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, json).expect("write BENCH_trace.json");
+    eprintln!("wrote BENCH_trace.json");
+}

@@ -75,6 +75,15 @@ fn run_path<R: RemovalMethod>(mut removal: R, s: &Setup) -> (Vec<f64>, f64) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // `FUME_TRACE=<path>`: record the whole head-to-head as a JSONL trace,
+    // so `fume-trace diff` can gate two runs against each other.
+    let trace_path = std::env::var("FUME_TRACE").ok().filter(|p| !p.is_empty());
+    if trace_path.is_some() {
+        let rec = fume_obs::install();
+        rec.reset();
+        rec.set_meta("bench", "unlearn_eval");
+        rec.set_meta("mode", if smoke { "smoke" } else { "full" });
+    }
     let s = setup(smoke);
     let evals = s.subsets.len();
 
@@ -118,4 +127,13 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_unlearn_eval.json");
     std::fs::write(out, json).expect("write BENCH_unlearn_eval.json");
     eprintln!("wrote BENCH_unlearn_eval.json");
+
+    if let (Some(path), Some(rec)) = (trace_path, fume_obs::global()) {
+        // Like the BENCH json: `cargo bench` runs with the package as CWD,
+        // so anchor relative paths at the workspace root.
+        let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let dest = root.join(&path);
+        std::fs::write(&dest, rec.events_to_jsonl()).expect("write FUME_TRACE file");
+        eprintln!("wrote trace to {path}");
+    }
 }

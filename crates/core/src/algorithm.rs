@@ -378,6 +378,13 @@ impl Fume {
         group: GroupSpec,
     ) -> Result<SearchOutcome, FumeError> {
         let fp = checkpoint::fingerprint(train, test, group);
+        // Same span the non-checkpointed `lattice::search` wrapper emits,
+        // so traces look identical whichever path a run takes.
+        let _span = fume_obs::span!(
+            "lattice.search",
+            eta = params.max_literals,
+            rows = train.num_rows()
+        );
         let mut driver = if self.resume {
             match checkpoint::load_state(dir) {
                 Ok(ckpt) => {
@@ -385,7 +392,7 @@ impl Fume {
                     if fume_forest::deepcheck::enabled() {
                         checkpoint::deepcheck_state(&ckpt.state)?;
                     }
-                    fume_obs::counter!("fume.checkpoint.resumes", 1);
+                    fume_obs::counter!("ckpt.resumes", 1);
                     SearchDriver::with_state(train, params, ckpt.state)
                 }
                 // Crash before the first state write: start over.

@@ -126,11 +126,15 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
         let deduped = items.len() - unique.len();
         if deduped > 0 {
             fume_obs::counter!("fume.unlearn_evals.deduped", deduped);
+            fume_obs::progress::tick_deduped(deduped as u64);
         }
 
         let jobs = self.n_jobs.min(unique.len());
-        let rho_unique: Vec<f64> =
-            workers::parallel_map(&unique, jobs, |rows| self.rho(rows));
+        let rho_unique: Vec<f64> = workers::parallel_map(&unique, jobs, |rows| {
+            let rho = self.rho(rows);
+            fume_obs::progress::tick_eval(1);
+            rho
+        });
         let out = slot_of.into_iter().map(|i| rho_unique[i]).collect();
         self.eval_nanos
             .fetch_add(t0.elapsed_nanos(), Ordering::Relaxed);

@@ -661,13 +661,15 @@ pub fn save_state(
     state: &SearchState,
 ) -> Result<(), CheckpointError> {
     let _span = fume_obs::span!(
-        "fume.checkpoint.save",
+        "ckpt.save",
         level = state.next_level,
         done = state.done
     );
     std::fs::create_dir_all(dir)?;
     let bytes = encode(config, fp, state);
-    fume_obs::counter!("fume.checkpoint.bytes", bytes.len());
+    fume_obs::counter!("ckpt.bytes_written", bytes.len());
+    fume_obs::counter!("ckpt.levels_saved", 1);
+    fume_obs::histogram!("ckpt.state_bytes", bytes.len());
     write_atomic(&state_path(dir), &bytes)
 }
 
@@ -675,7 +677,7 @@ pub fn save_state(
 /// [`CheckpointError::NothingToResume`]; anything unreadable is a clean
 /// error, never a panic.
 pub fn load_state(dir: &Path) -> Result<Checkpoint, CheckpointError> {
-    let _span = fume_obs::span!("fume.checkpoint.load");
+    let _span = fume_obs::span!("ckpt.load");
     let path = state_path(dir);
     let data = match std::fs::read(&path) {
         Ok(d) => d,
@@ -720,7 +722,7 @@ pub fn validate(
 pub fn normalize_forest(dir: &Path, forest: &DareForest) -> Result<DareForest, CheckpointError> {
     std::fs::create_dir_all(dir)?;
     let bytes = persist::to_bytes(forest);
-    fume_obs::counter!("fume.checkpoint.bytes", bytes.len());
+    fume_obs::counter!("ckpt.bytes_written", bytes.len());
     write_atomic(&forest_path(dir), &bytes)?;
     Ok(persist::from_bytes(&bytes)?)
 }

@@ -299,6 +299,11 @@ impl<'a> SearchDriver<'a> {
             .iter()
             .map(|nd| EvalItem { predicate: &nd.predicate, rows: &nd.rows })
             .collect();
+        fume_obs::progress::level_started(
+            level as u64,
+            stats.generated as u64,
+            items.len() as u64,
+        );
         let rhos = if items.is_empty() {
             Vec::new()
         } else {

@@ -37,8 +37,10 @@ pub enum TokKind {
 pub struct Tok {
     /// Lexeme class.
     pub kind: TokKind,
-    /// The raw text of the token (for `Str`, the opening quote only —
-    /// rules never need string contents, and skipping them is the point).
+    /// The raw text of the token. For `Str`, the literal's *contents*
+    /// (delimiters stripped, escapes left raw) — string interiors are
+    /// still never re-tokenised, but name-convention rules (F008) need
+    /// to read them.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -114,12 +116,12 @@ pub fn lex(source: &str) -> Lexed {
             b'/' if c.peek(1) == Some(b'/') => line_comment(&mut c, &mut out),
             b'/' if c.peek(1) == Some(b'*') => block_comment(&mut c),
             b'"' => {
-                string_literal(&mut c);
-                out.tokens.push(Tok { kind: TokKind::Str, text: "\"".into(), line, col });
+                let text = string_literal(&mut c);
+                out.tokens.push(Tok { kind: TokKind::Str, text, line, col });
             }
             b'r' | b'b' if starts_raw_or_byte_string(&c) => {
-                raw_or_byte_string(&mut c);
-                out.tokens.push(Tok { kind: TokKind::Str, text: "\"".into(), line, col });
+                let text = raw_or_byte_string(&mut c);
+                out.tokens.push(Tok { kind: TokKind::Str, text, line, col });
             }
             b'\'' => char_or_lifetime(&mut c, &mut out, line, col),
             b if is_ident_start(b) => {
@@ -227,20 +229,26 @@ fn block_comment(c: &mut Cursor) {
     }
 }
 
-fn string_literal(c: &mut Cursor) {
+fn string_literal(c: &mut Cursor) -> String {
+    let mut text = String::new();
     c.bump(); // opening quote
     while let Some(b) = c.bump() {
         match b {
             b'"' => break,
             b'\\' => {
-                c.bump();
+                text.push('\\');
+                if let Some(e) = c.bump() {
+                    text.push(e as char);
+                }
             }
-            _ => {}
+            _ => text.push(b as char),
         }
     }
+    text
 }
 
-fn raw_or_byte_string(c: &mut Cursor) {
+fn raw_or_byte_string(c: &mut Cursor) -> String {
+    let mut text = String::new();
     if c.peek(0) == Some(b'b') {
         c.bump();
     }
@@ -258,14 +266,17 @@ fn raw_or_byte_string(c: &mut Cursor) {
         // b"…" obeys escape rules like a normal string.
         while let Some(b) = c.bump() {
             match b {
-                b'"' => return,
+                b'"' => return text,
                 b'\\' => {
-                    c.bump();
+                    text.push('\\');
+                    if let Some(e) = c.bump() {
+                        text.push(e as char);
+                    }
                 }
-                _ => {}
+                _ => text.push(b as char),
             }
         }
-        return;
+        return text;
     }
     // Raw string: ends at `"` followed by `fence` hashes; no escapes.
     'scan: while let Some(b) = c.bump() {
@@ -278,9 +289,11 @@ fn raw_or_byte_string(c: &mut Cursor) {
             for _ in 0..fence {
                 c.bump();
             }
-            return;
+            return text;
         }
+        text.push(b as char);
     }
+    text
 }
 
 /// `'a'` is a char literal; `'a` (not followed by a closing quote) is a
@@ -471,6 +484,17 @@ mod tests {
         let ids = idents(src);
         assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
         assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn string_contents_are_captured_without_retokenising() {
+        let toks = lex(r##"counter!("ckpt.save", 1); let r = r#"raw.name"#; b"byte\n""##).tokens;
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["ckpt.save", "raw.name", "byte\\n"]);
     }
 
     #[test]

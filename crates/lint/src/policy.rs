@@ -30,6 +30,9 @@ pub struct FilePolicy {
     pub threads: bool,
     /// F007 `#[must_use]` on journal/builder/guard types.
     pub must_use: bool,
+    /// F008 dotted string-literal names at `counter!`/`gauge!`/
+    /// `histogram!` call sites.
+    pub obs_names: bool,
 }
 
 impl FilePolicy {
@@ -46,6 +49,7 @@ impl FilePolicy {
             float_eq: true,
             threads: true,
             must_use: true,
+            obs_names: true,
         }
     }
 }
@@ -95,6 +99,10 @@ pub fn policy_for(path: &str) -> FilePolicy {
         float_eq: !harness && p != "crates/tabular/src/float.rs",
         threads: p != "crates/tabular/src/workers.rs",
         must_use: true,
+        // The naming convention binds every call site, harnesses
+        // included — a trace with an off-convention name is wrong no
+        // matter who recorded it.
+        obs_names: true,
     }
 }
 

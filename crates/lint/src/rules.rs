@@ -33,6 +33,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("F005", "exact float equality (==/!= with a float operand); use fume_tabular::float epsilon helpers"),
     ("F006", "thread creation outside the sanctioned scoped worker module (fume_tabular::workers)"),
     ("F007", "journal/builder/guard type without #[must_use] (dropping one silently forfeits work)"),
+    ("F008", "counter!/gauge!/histogram! name is not a dotted `layer.operation` string literal"),
 ];
 
 const NARROW_INT: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
@@ -99,6 +100,7 @@ pub fn check(lexed: &Lexed, policy: &FilePolicy) -> Vec<RawDiag> {
             check_float_eq(toks, i, policy, &mut out);
             check_threads(toks, i, policy, &mut out);
             check_must_use(toks, i, policy, &pending_attrs, &mut out);
+            check_obs_names(toks, i, policy, &mut out);
         }
 
         // Attribute scope: attrs attach to the next item. Visibility
@@ -337,6 +339,71 @@ fn check_must_use(
     }
 }
 
+/// F008: `counter!(…)`, `gauge!(…)` and `histogram!(…)` must name their
+/// metric with a string literal of dotted lowercase segments
+/// (`layer.operation[.detail]`) — anything else (a variable, a computed
+/// name, CamelCase, a segmentless word) makes traces ungreppable and the
+/// vocabulary table in `docs/observability.md` unenforceable.
+fn check_obs_names(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.obs_names {
+        return;
+    }
+    let t = &toks[i];
+    if t.kind != TokKind::Ident
+        || !matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+    {
+        return;
+    }
+    // The macro-call shape `name!(`; `macro_rules! counter {` has `{`
+    // after the bang and is not matched.
+    if !(toks.get(i + 1).map(|n| punct(n, "!")).unwrap_or(false)
+        && toks.get(i + 2).map(|n| punct(n, "(")).unwrap_or(false))
+    {
+        return;
+    }
+    let Some(arg) = toks.get(i + 3) else { return };
+    if arg.kind != TokKind::Str {
+        out.push(RawDiag {
+            rule: "F008",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{}!` name must be a string literal, not an expression — the vocabulary must be greppable",
+                t.text
+            ),
+        });
+        return;
+    }
+    if !valid_obs_name(&arg.text) {
+        out.push(RawDiag {
+            rule: "F008",
+            line: arg.line,
+            col: arg.col,
+            message: format!(
+                "`\"{}\"` does not follow the `layer.operation` convention (two or more dotted segments of `[a-z0-9_]`)",
+                arg.text
+            ),
+        });
+    }
+}
+
+/// Two or more `.`-separated segments, each nonempty and drawn from
+/// `[a-z0-9_]`.
+fn valid_obs_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +481,19 @@ mod tests {
         assert!(rules_hit("#[must_use]\npub struct UndoJournal { x: u32 }").is_empty());
         assert!(rules_hit("#[must_use = \"reason\"]\n#[derive(Debug)]\npub struct FumeBuilder {}").is_empty());
         assert!(rules_hit("pub struct Journal {}").is_empty(), "bare suffix name is not flagged");
+    }
+
+    #[test]
+    fn obs_macro_names_are_f008() {
+        assert!(rules_hit("fn f() { fume_obs::counter!(\"ckpt.bytes_written\", 1); }").is_empty());
+        assert!(rules_hit("fn f() { gauge!(\"forest.persist.bytes\", 1.0); }").is_empty());
+        assert_eq!(rules_hit("fn f() { counter!(NAME, 1); }"), vec!["F008"], "non-literal name");
+        assert_eq!(rules_hit("fn f() { gauge!(\"BadCase.Name\", 1.0); }"), vec!["F008"]);
+        assert_eq!(rules_hit("fn f() { histogram!(\"nosegments\", 1); }"), vec!["F008"]);
+        assert_eq!(rules_hit("fn f() { counter!(\"trailing.\", 1); }"), vec!["F008"]);
+        // Not macro calls: a variable named counter, a macro definition.
+        assert!(rules_hit("fn f() { let counter = 1; if counter != (2) {} }").is_empty());
+        assert!(rules_hit("macro_rules! counter { ($n:expr) => {}; }").is_empty());
     }
 
     #[test]

@@ -77,6 +77,15 @@ fn f007_unannotated_handle_flagged_once() {
 }
 
 #[test]
+fn f008_off_convention_obs_names_flagged_at_exact_lines() {
+    assert_eq!(
+        hits("f008_bad.rs"),
+        vec![("F008", 4), ("F008", 8), ("F008", 12)],
+        "non-literal, CamelCase, and segmentless names flagged; conventional ones pass"
+    );
+}
+
+#[test]
 fn f000_reasonless_suppression_flagged_and_ineffective() {
     assert_eq!(
         hits("f000_bad.rs"),

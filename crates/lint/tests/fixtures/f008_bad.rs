@@ -1,0 +1,19 @@
+//! F008 fixture: obs-macro names must be dotted string literals.
+
+pub fn non_literal_name(n: u64) {
+    fume_obs::counter!(DYNAMIC_NAME, n);
+}
+
+pub fn camel_case_name(v: f64) {
+    fume_obs::gauge!("BadCase.Name", v);
+}
+
+pub fn segmentless_name(v: u64) {
+    fume_obs::histogram!("nosegments", v);
+}
+
+pub fn conventional_names_pass(n: u64) {
+    fume_obs::counter!("ckpt.bytes_written", n);
+    fume_obs::gauge!("forest.persist.bytes", n as f64);
+    fume_obs::histogram!("ckpt.state_bytes", n);
+}

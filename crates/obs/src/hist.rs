@@ -1,0 +1,293 @@
+//! Log-bucketed histograms: constant-size, dependency-free duration and
+//! value distributions.
+//!
+//! Buckets are *log-linear* (the coarse HdrHistogram layout): values
+//! below [`SUB_BUCKETS`] get exact unit buckets, and every power-of-two
+//! octave above that is split into [`SUB_BUCKETS`] linear sub-buckets.
+//! With 16 sub-buckets per octave the worst-case relative error of a
+//! reconstructed value is `1/16` ≈ 6.25% — tight enough for latency
+//! percentiles, small enough (≤ ~1 KB of counts per name) to keep one
+//! histogram per span name in the [`crate::Recorder`] aggregates.
+//!
+//! The exact minimum, maximum, count and sum are tracked alongside the
+//! buckets, so `min()`/`max()`/`mean()` are exact; only the interior
+//! quantiles are bucket-resolution.
+
+/// Linear sub-buckets per power-of-two octave. Must be a power of two.
+pub const SUB_BUCKETS: u64 = 16;
+
+/// log2(SUB_BUCKETS), used to locate the octave of a value.
+const SUB_SHIFT: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count: unit buckets for `0..SUB_BUCKETS`, then
+/// `SUB_BUCKETS` per octave for octaves `SUB_SHIFT..64`.
+const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_SHIFT as usize + 1);
+
+/// Maps a value to its bucket index.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    // v ≥ SUB_BUCKETS ⇒ exp ≥ SUB_SHIFT.
+    let exp = 63 - v.leading_zeros();
+    let sub = (v >> (exp - SUB_SHIFT)) - SUB_BUCKETS;
+    let octave = (exp - SUB_SHIFT) as u64;
+    ((octave + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// The lowest value mapping to bucket `b` (inverse of [`bucket_of`]).
+fn bucket_low(b: usize) -> u64 {
+    let b = b as u64;
+    if b < SUB_BUCKETS {
+        return b;
+    }
+    let octave = b / SUB_BUCKETS - 1;
+    let sub = b % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << octave
+}
+
+/// The highest value mapping to bucket `b`.
+fn bucket_high(b: usize) -> u64 {
+    if (b + 1) as u64 == NUM_BUCKETS as u64 {
+        return u64::MAX;
+    }
+    bucket_low(b + 1).saturating_sub(1)
+}
+
+/// A fixed-size log-linear histogram of `u64` samples (span durations in
+/// nanoseconds, or any ad-hoc value recorded via [`crate::histogram!`]).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0u64; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) at bucket resolution: the
+    /// midpoint of the bucket containing the sample of rank
+    /// `ceil(q · count)`, clamped to the exact observed `[min, max]`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 0 means the first.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_low(b) + (bucket_high(b) - bucket_low(b)) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, high, count)` ranges, low to high.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_low(b), bucket_high(b), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_inverse() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 7] {
+                values.push((1u64 << exp).saturating_add(off));
+            }
+        }
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of must be monotone at {v}");
+            assert!(bucket_low(b) <= v, "low({b}) = {} > {v}", bucket_low(b));
+            assert!(v <= bucket_high(b), "high({b}) = {} < {v}", bucket_high(b));
+            prev = b;
+        }
+        // Unit buckets are exact.
+        for v in 0..SUB_BUCKETS {
+            let b = bucket_of(v);
+            assert_eq!(bucket_low(b), v);
+            assert_eq!(bucket_high(b), v);
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        // A deterministic multiplicative walk over five decades.
+        let mut v = 17u64;
+        let mut samples = Vec::new();
+        for _ in 0..4000 {
+            h.record(v);
+            samples.push(v);
+            v = v.wrapping_mul(48271) % 100_000_000 + 1;
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1] as f64;
+            let est = h.quantile(q) as f64;
+            let rel = (est - exact).abs() / exact.max(1.0);
+            assert!(
+                rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                "q={q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.min(), *samples.first().unwrap());
+        assert_eq!(h.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0);
+        h.record(42);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42, "a single sample is every quantile");
+        }
+        assert_eq!(h.mean(), 42);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i + 3;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert!(h.quantile(1.0) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 5, 1000, 123_456_789] {
+            h.record(v);
+        }
+        let total: u64 = h.nonzero_buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 5);
+        for (lo, hi, _) in h.nonzero_buckets() {
+            assert!(lo <= hi);
+        }
+    }
+}

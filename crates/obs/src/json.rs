@@ -1,6 +1,13 @@
-//! A hand-rolled JSON writer: just enough to emit the trace event
-//! stream as JSONL without pulling in serde. Only what the recorder
-//! needs — object/array framing, string escaping, and numbers.
+//! A hand-rolled JSON writer and parser: just enough to emit and read
+//! back the trace event stream as JSONL without pulling in serde.
+//!
+//! Writer and parser are RFC 8259-compliant on the subset they cover:
+//! the writer escapes `"`, `\` and every control character below
+//! U+0020 (short forms `\b \t \n \f \r` where they exist, `\uXXXX`
+//! otherwise) and leaves all other characters as raw UTF-8; the parser
+//! additionally accepts `\/` and `\uXXXX` escapes including UTF-16
+//! surrogate pairs. Numbers are read as `f64`, which round-trips every
+//! integer the recorder emits below 2^53.
 
 /// Appends `s` to `out` as a JSON string literal, escaping per RFC 8259.
 pub fn write_str(out: &mut String, s: &str) {
@@ -9,9 +16,11 @@ pub fn write_str(out: &mut String, s: &str) {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
             '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{c}' => out.push_str("\\f"),
+            '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
@@ -42,6 +51,331 @@ pub fn write_key(out: &mut String, first: &mut bool, key: &str) {
     out.push(':');
 }
 
+/// Maximum nesting depth the parser accepts — trace events are ≤ 3
+/// levels deep, so this only guards against stack exhaustion on
+/// hostile input.
+const MAX_DEPTH: u32 = 64;
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // fume-lint: allow(F005) -- integerness test: fract()==0.0 is the exact predicate wanted, not an epsilon comparison
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: &'static str,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value; trailing whitespace is allowed,
+/// trailing content is an error.
+pub fn parse(s: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing content after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { msg, at: self.i }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8], v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, ParseError> {
+        self.i += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            let val = self.value(depth + 1)?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, ParseError> {
+        self.i += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v << 4 | u16::from(d);
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if !self.b[self.i..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000
+                                    + (u32::from(hi - 0xD800) << 10)
+                                    + u32::from(lo - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar. The input is a &str, so the
+                    // byte stream is valid UTF-8 by construction.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1;
+                    }
+                    match std::str::from_utf8(&self.b[start..self.i]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // int part
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        // fraction
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("invalid number"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        // exponent
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("invalid number"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +385,20 @@ mod tests {
         let mut s = String::new();
         write_str(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn short_escapes_for_backspace_and_formfeed() {
+        let mut s = String::new();
+        write_str(&mut s, "\u{8}\u{c}\t");
+        assert_eq!(s, r#""\b\f\t""#);
+    }
+
+    #[test]
+    fn non_ascii_passes_through_raw() {
+        let mut s = String::new();
+        write_str(&mut s, "µs → 🦀");
+        assert_eq!(s, "\"µs → 🦀\"");
     }
 
     #[test]
@@ -74,5 +422,84 @@ mod tests {
         s.push('2');
         s.push('}');
         assert_eq!(s, r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null"), Ok(Json::Null));
+        assert_eq!(parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(parse("false"), Ok(Json::Bool(false)));
+        assert_eq!(parse("0"), Ok(Json::Num(0.0)));
+        assert_eq!(parse("-12.5e2"), Ok(Json::Num(-1250.0)));
+        assert_eq!(parse(r#""hi""#), Ok(Json::Str("hi".into())));
+    }
+
+    #[test]
+    fn parse_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let Some(Json::Arr(items)) = v.get("a") else { panic!("a missing") };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("b"), Some(&Json::Null));
+        assert_eq!(parse("[]"), Ok(Json::Arr(vec![])));
+        assert_eq!(parse("{}"), Ok(Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn parse_escapes_and_surrogates() {
+        let v = parse(r#""\"\\\/\b\f\n\r\tA""#).unwrap();
+        assert_eq!(v, Json::Str("\"\\/\u{8}\u{c}\n\r\tA".into()));
+        // 🦀 is U+1F980 = surrogate pair D83E DD80.
+        assert_eq!(parse(r#""🦀""#), Ok(Json::Str("🦀".into())));
+        assert!(parse(r#""\ud83e""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\udd80""#).is_err(), "unpaired low surrogate");
+        assert!(parse(r#""\ud83ex""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "", "tru", "01", "1.", ".5", "1e", "+1", "nul", "\"abc", "{\"a\":}", "{\"a\" 1}",
+            "[1,]", "{,}", "1 2", "\"a\u{1}b\"", "{\"a\":1}x",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn as_u64_is_exact() {
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), None, "beyond 2^53");
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn writer_parser_round_trip() {
+        let cases = [
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "ctrl \u{0}\u{1}\u{1f} tab\t nl\n cr\r bs\u{8} ff\u{c}",
+            "non-ascii µ→🦀 ütf",
+            "",
+        ];
+        for case in cases {
+            let mut out = String::new();
+            write_str(&mut out, case);
+            assert_eq!(
+                parse(&out),
+                Ok(Json::Str(case.into())),
+                "round-trip failed for {case:?}"
+            );
+        }
     }
 }

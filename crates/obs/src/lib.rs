@@ -1,12 +1,15 @@
 //! `fume-obs`: dependency-free observability for the FUME stack.
 //!
-//! Three primitives, all routed through one process-wide [`Recorder`]:
+//! Four primitives, all routed through one process-wide [`Recorder`]:
 //!
 //! - **Spans** — RAII wall-time timers with nesting-aware self-time,
 //!   opened with [`span!`]: `let _g = span!("lattice.level", level = 2);`
 //! - **Counters** — named monotonic totals: `counter!("forest.nodes_retrained", n);`
 //! - **Gauges** — last-value-wins instantaneous readings:
 //!   `gauge!("forest.num_instances", n as f64);`
+//! - **Histograms** — log-bucketed value distributions:
+//!   `histogram!("ckpt.state_bytes", n);` — span durations are
+//!   histogrammed automatically per span name.
 //!
 //! Until [`install`] is called, every instrumentation site costs one
 //! relaxed atomic load and nothing else — no clock reads, no
@@ -21,14 +24,20 @@
 
 pub mod clock;
 pub mod fault;
+pub mod hist;
 pub mod json;
+pub mod progress;
 mod recorder;
 mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
-pub use recorder::{Event, Recorder, SpanStats};
+pub use hist::Histogram;
+pub use recorder::{
+    render_profile, Event, ProgressSnapshot, Recorder, SpanStats, TRACE_SCHEMA_VERSION,
+};
 pub use span::SpanGuard;
 
 /// A structured field value attached to a span.
@@ -130,6 +139,15 @@ pub fn set_gauge(name: &'static str, value: f64) {
     }
 }
 
+/// Records one sample into a named histogram on the installed recorder
+/// (no-op when none).
+#[inline]
+pub fn record_hist(name: &'static str, value: u64) {
+    if let Some(rec) = global() {
+        rec.record_hist(name, value);
+    }
+}
+
 /// Opens a timing span for the enclosing scope. Bind the result:
 ///
 /// ```
@@ -178,6 +196,19 @@ macro_rules! gauge {
     };
 }
 
+/// Records one sample into a named log-bucketed histogram:
+/// `histogram!("ckpt.state_bytes", bytes)`. The distribution shows up
+/// in the profile table and as `hist` events in the trace.
+/// One atomic load when no recorder is installed.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::record_hist($name, $value as u64);
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +236,7 @@ mod tests {
         let _g = span!("x.y");
         counter!("x.c", 1u64);
         gauge!("x.g", 2.0);
+        histogram!("x.h", 3u64);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Live search progress: lock-free tick counters fed by the lattice
+//! driver and the unlearn-eval engine, periodically snapshotted into
+//! `progress` trace events and an optional observer callback (the CLI's
+//! rewriting stderr status line).
+//!
+//! The hot path — [`tick_eval`] from inside the parallel eval closure —
+//! is a handful of relaxed atomic ops plus one CAS-guarded time check;
+//! it emits at most one snapshot per [`EMIT_EVERY_MS`]. Everything here
+//! is inert (one relaxed load) until [`enable`] is called.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::clock::Stopwatch;
+use crate::ProgressSnapshot;
+
+/// Minimum milliseconds between periodic snapshots.
+const EMIT_EVERY_MS: u64 = 100;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static LEVEL: AtomicU64 = AtomicU64::new(0);
+static FRONTIER: AtomicU64 = AtomicU64::new(0);
+static PLANNED: AtomicU64 = AtomicU64::new(0);
+static DONE_LEVEL: AtomicU64 = AtomicU64::new(0);
+static DONE_TOTAL: AtomicU64 = AtomicU64::new(0);
+static DEDUPED: AtomicU64 = AtomicU64::new(0);
+/// Epoch milliseconds of the last emitted snapshot (CAS-guarded).
+static LAST_EMIT_MS: AtomicU64 = AtomicU64::new(0);
+/// Epoch milliseconds when the current level started, for the rate.
+static LEVEL_START_MS: AtomicU64 = AtomicU64::new(0);
+
+static EPOCH: OnceLock<Stopwatch> = OnceLock::new();
+type Observer = Box<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+static OBSERVER: OnceLock<Observer> = OnceLock::new();
+
+fn now_ms() -> u64 {
+    let sw = EPOCH.get_or_init(Stopwatch::start);
+    sw.elapsed_nanos().checked_div(1_000_000).unwrap_or(0)
+}
+
+/// Turns progress tracking on (it stays on for the process lifetime,
+/// like [`crate::install`]). Call [`set_observer`] first if live
+/// output is wanted in addition to trace events.
+pub fn enable() {
+    let _ = now_ms(); // pin the epoch before the first tick
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether progress tracking is on — the single relaxed load every
+/// inactive tick site pays.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Registers the process-wide observer called with each emitted
+/// snapshot (first call wins) and enables tracking.
+pub fn set_observer(obs: impl Fn(&ProgressSnapshot) + Send + Sync + 'static) {
+    let _ = OBSERVER.set(Box::new(obs));
+    enable();
+}
+
+fn snapshot() -> ProgressSnapshot {
+    let done = DONE_LEVEL.load(Ordering::Relaxed);
+    let planned = PLANNED.load(Ordering::Relaxed);
+    let elapsed_ms = now_ms().saturating_sub(LEVEL_START_MS.load(Ordering::Relaxed));
+    let rate = if elapsed_ms > 0 {
+        done as f64 / (elapsed_ms as f64 / 1e3)
+    } else {
+        0.0
+    };
+    let remaining = planned.saturating_sub(done);
+    let eta_s = if rate > 0.0 { remaining as f64 / rate } else { 0.0 };
+    ProgressSnapshot {
+        level: LEVEL.load(Ordering::Relaxed),
+        frontier: FRONTIER.load(Ordering::Relaxed),
+        planned,
+        done,
+        done_total: DONE_TOTAL.load(Ordering::Relaxed),
+        deduped: DEDUPED.load(Ordering::Relaxed),
+        rate,
+        eta_s,
+    }
+}
+
+fn emit() {
+    let snap = snapshot();
+    if let Some(rec) = crate::global() {
+        rec.record_progress(snap);
+    }
+    if let Some(obs) = OBSERVER.get() {
+        obs(&snap);
+    }
+}
+
+/// Announces a new lattice level: `frontier` candidate patterns, of
+/// which `planned` passed support gating and will be unlearn-evaluated.
+/// Always emits a snapshot (level boundaries are the anchor points of
+/// the trace's throughput series).
+pub fn level_started(level: u64, frontier: u64, planned: u64) {
+    if !active() {
+        return;
+    }
+    LEVEL.store(level, Ordering::Relaxed);
+    FRONTIER.store(frontier, Ordering::Relaxed);
+    PLANNED.store(planned, Ordering::Relaxed);
+    DONE_LEVEL.store(0, Ordering::Relaxed);
+    LEVEL_START_MS.store(now_ms(), Ordering::Relaxed);
+    LAST_EMIT_MS.store(now_ms(), Ordering::Relaxed);
+    emit();
+}
+
+/// Records `n` completed unlearn-evals; emits a snapshot at most once
+/// per [`EMIT_EVERY_MS`], and always when the level's plan completes.
+pub fn tick_eval(n: u64) {
+    if !active() {
+        return;
+    }
+    let done = DONE_LEVEL.fetch_add(n, Ordering::Relaxed) + n;
+    DONE_TOTAL.fetch_add(n, Ordering::Relaxed);
+    let now = now_ms();
+    let last = LAST_EMIT_MS.load(Ordering::Relaxed);
+    let level_complete = done >= PLANNED.load(Ordering::Relaxed);
+    if !level_complete && now.saturating_sub(last) < EMIT_EVERY_MS {
+        return;
+    }
+    // One thread wins the right to emit this interval; losers skip.
+    if LAST_EMIT_MS
+        .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        emit();
+    }
+}
+
+/// Records `n` evals satisfied from the dedup cache (they count toward
+/// the level's plan without costing forest work).
+pub fn tick_deduped(n: u64) {
+    if !active() {
+        return;
+    }
+    DEDUPED.fetch_add(n, Ordering::Relaxed);
+    tick_eval(n);
+}
+
+/// Resets the run-scoped counters (tests and back-to-back experiments).
+/// The observer and active flag are process-wide and stay.
+pub fn reset() {
+    for a in [&LEVEL, &FRONTIER, &PLANNED, &DONE_LEVEL, &DONE_TOTAL, &DEDUPED] {
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Renders the one-line status text the CLI prints on stderr:
+/// `level 2 · frontier 40 · evals 10/33 (55 total, 4 deduped) · 125/s · eta 0.2s`.
+pub fn status_line(snap: &ProgressSnapshot) -> String {
+    format!(
+        "level {} · frontier {} · evals {}/{} ({} total, {} deduped) · {:.0}/s · eta {:.1}s",
+        snap.level,
+        snap.frontier,
+        snap.done,
+        snap.planned,
+        snap.done_total,
+        snap.deduped,
+        snap.rate,
+        snap.eta_s
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Progress state is process-wide; tests serialize on this lock.
+    static PROGRESS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inactive_ticks_are_inert() {
+        let _g = PROGRESS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Not enabled yet (or state reset): ticking must not move counters.
+        if !active() {
+            tick_eval(5);
+            assert_eq!(DONE_TOTAL.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn level_lifecycle_produces_sane_snapshots() {
+        let _g = PROGRESS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        reset();
+        level_started(2, 40, 33);
+        tick_eval(10);
+        tick_deduped(4);
+        let snap = snapshot();
+        assert_eq!(snap.level, 2);
+        assert_eq!(snap.frontier, 40);
+        assert_eq!(snap.planned, 33);
+        assert_eq!(snap.done, 14);
+        assert_eq!(snap.done_total, 14);
+        assert_eq!(snap.deduped, 4);
+        assert!(snap.rate >= 0.0 && snap.eta_s >= 0.0);
+        // Completing the plan forces an emit path without panicking.
+        tick_eval(19);
+        assert_eq!(snapshot().done, 33);
+        reset();
+    }
+
+    #[test]
+    fn status_line_is_compact() {
+        let s = status_line(&ProgressSnapshot {
+            level: 2,
+            frontier: 40,
+            planned: 33,
+            done: 10,
+            done_total: 55,
+            deduped: 4,
+            rate: 125.0,
+            eta_s: 0.184,
+        });
+        assert_eq!(
+            s,
+            "level 2 · frontier 40 · evals 10/33 (55 total, 4 deduped) · 125/s · eta 0.2s"
+        );
+    }
+}

@@ -1,16 +1,44 @@
-//! The [`Recorder`]: thread-safe aggregation of spans, counters and
-//! gauges, plus the bounded raw event stream behind JSONL export.
+//! The [`Recorder`]: thread-safe aggregation of spans, counters,
+//! gauges and histograms, plus the bounded raw event stream behind
+//! JSONL export.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::hist::Histogram;
 use crate::json::{write_f64, write_key, write_str};
 use crate::Value;
+
+/// Trace schema version written in the header event. Version 2 added
+/// the header itself plus `hist` and `progress` events.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Cap on buffered raw events; aggregates keep counting past it, and
 /// the overflow is reported via [`Recorder::dropped_events`].
 const MAX_EVENTS: usize = 1 << 20;
+
+/// A live-progress snapshot from the search/eval pipeline (see
+/// [`crate::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProgressSnapshot {
+    /// Current lattice level.
+    pub level: u64,
+    /// Patterns on the current level's frontier.
+    pub frontier: u64,
+    /// Unlearn-evals planned for this level.
+    pub planned: u64,
+    /// Unlearn-evals finished on this level (deduped hits included).
+    pub done: u64,
+    /// Unlearn-evals finished over the whole run.
+    pub done_total: u64,
+    /// Evals satisfied from the dedup cache over the whole run.
+    pub deduped: u64,
+    /// Recent evaluation rate, evals per second.
+    pub rate: f64,
+    /// Estimated seconds until the current level completes.
+    pub eta_s: f64,
+}
 
 /// One raw trace event, timestamped relative to the recorder's epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +85,22 @@ pub enum Event {
         /// Nanoseconds since the recorder was created.
         t_ns: u64,
     },
+    /// One sample recorded into a named value histogram.
+    Hist {
+        /// Dotted histogram name.
+        name: &'static str,
+        /// The sample.
+        value: u64,
+        /// Nanoseconds since the recorder was created.
+        t_ns: u64,
+    },
+    /// A live-progress snapshot.
+    Progress {
+        /// The snapshot.
+        snap: ProgressSnapshot,
+        /// Nanoseconds since the recorder was created.
+        t_ns: u64,
+    },
 }
 
 /// Aggregated statistics for one span name.
@@ -89,8 +133,11 @@ struct State {
     events: Vec<Event>,
     dropped: u64,
     spans: BTreeMap<&'static str, SpanStats>,
+    span_hists: BTreeMap<&'static str, Histogram>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    meta: BTreeMap<&'static str, String>,
 }
 
 /// Collects trace events and aggregates from every thread of a run.
@@ -139,48 +186,85 @@ impl Recorder {
     }
 
     /// Records a span opening.
+    ///
+    /// The timestamp is taken *under* the state lock so buffered events
+    /// are monotone in `t_ns` — an invariant `fume-trace check`
+    /// verifies offline.
     pub fn span_start(
         &self,
         name: &'static str,
         fields: Vec<(&'static str, Value)>,
         thread: u64,
     ) {
-        let t_ns = self.now_ns();
         let mut st = self.state();
+        let t_ns = self.now_ns();
         Self::push_event(&mut st, Event::SpanStart { name, fields, t_ns, thread });
     }
 
-    /// Records a span closing and folds it into the aggregates.
+    /// Records a span closing and folds it into the aggregates,
+    /// including the per-name duration histogram.
     pub fn span_end(&self, name: &'static str, thread: u64, total_ns: u64, self_ns: u64) {
-        let t_ns = self.now_ns();
         let mut st = self.state();
+        let t_ns = self.now_ns();
         let s = st.spans.entry(name).or_default();
         s.calls += 1;
         s.total_ns += total_ns;
         s.self_ns += self_ns;
         s.max_ns = s.max_ns.max(total_ns);
+        st.span_hists.entry(name).or_default().record(total_ns);
         Self::push_event(&mut st, Event::SpanEnd { name, t_ns, thread, total_ns, self_ns });
     }
 
     /// Adds `delta` to a monotonic counter.
     pub fn add_counter(&self, name: &'static str, delta: u64) {
-        let t_ns = self.now_ns();
         let mut st = self.state();
+        let t_ns = self.now_ns();
         *st.counters.entry(name).or_insert(0) += delta;
         Self::push_event(&mut st, Event::Counter { name, delta, t_ns });
     }
 
     /// Sets a gauge to an instantaneous value.
     pub fn set_gauge(&self, name: &'static str, value: f64) {
-        let t_ns = self.now_ns();
         let mut st = self.state();
+        let t_ns = self.now_ns();
         st.gauges.insert(name, value);
         Self::push_event(&mut st, Event::Gauge { name, value, t_ns });
+    }
+
+    /// Records one sample into a named value histogram.
+    pub fn record_hist(&self, name: &'static str, value: u64) {
+        let mut st = self.state();
+        let t_ns = self.now_ns();
+        st.hists.entry(name).or_default().record(value);
+        Self::push_event(&mut st, Event::Hist { name, value, t_ns });
+    }
+
+    /// Buffers a live-progress snapshot in the trace.
+    pub fn record_progress(&self, snap: ProgressSnapshot) {
+        let mut st = self.state();
+        let t_ns = self.now_ns();
+        Self::push_event(&mut st, Event::Progress { snap, t_ns });
+    }
+
+    /// Attaches a run-description key to the trace header (seed,
+    /// config hash, dataset fingerprint, …). Last write wins.
+    pub fn set_meta(&self, key: &'static str, value: impl Into<String>) {
+        self.state().meta.insert(key, value.into());
     }
 
     /// Aggregated stats for one span name, if it ever completed.
     pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
         self.state().spans.get(name).copied()
+    }
+
+    /// Duration histogram for one span name, if it ever completed.
+    pub fn span_hist(&self, name: &str) -> Option<Histogram> {
+        self.state().span_hists.get(name).cloned()
+    }
+
+    /// Value histogram recorded via [`crate::histogram!`], if any.
+    pub fn hist(&self, name: &str) -> Option<Histogram> {
+        self.state().hists.get(name).cloned()
     }
 
     /// Current value of a counter, if it was ever incremented.
@@ -193,6 +277,19 @@ impl Recorder {
         self.state().gauges.get(name).copied()
     }
 
+    /// Every instrumentation name seen so far, as `(name, kind)` pairs
+    /// with kind one of `span`/`counter`/`gauge`/`histogram`. The
+    /// doc-drift test diffs this against `docs/observability.md`.
+    pub fn inventory(&self) -> Vec<(&'static str, &'static str)> {
+        let st = self.state();
+        let mut out = Vec::new();
+        out.extend(st.spans.keys().map(|n| (*n, "span")));
+        out.extend(st.counters.keys().map(|n| (*n, "counter")));
+        out.extend(st.gauges.keys().map(|n| (*n, "gauge")));
+        out.extend(st.hists.keys().map(|n| (*n, "histogram")));
+        out
+    }
+
     /// Number of buffered raw events.
     pub fn event_count(&self) -> usize {
         self.state().events.len()
@@ -203,17 +300,31 @@ impl Recorder {
         self.state().dropped
     }
 
-    /// Clears events and aggregates; the epoch keeps running.
+    /// Clears events and aggregates; the epoch and meta keep running —
+    /// meta describes the process, not one segment.
     pub fn reset(&self) {
         let mut st = self.state();
-        *st = State::default();
+        let meta = std::mem::take(&mut st.meta);
+        *st = State { meta, ..State::default() };
     }
 
-    /// Serializes the buffered event stream as JSONL, one event per
-    /// line (see `docs/observability.md` for the schema).
+    /// Serializes the buffered event stream as JSONL: a self-describing
+    /// `header` line first, then one event per line (see
+    /// `docs/observability.md` for the schema).
     pub fn events_to_jsonl(&self) -> String {
         let st = self.state();
-        let mut out = String::with_capacity(st.events.len() * 96);
+        let mut out = String::with_capacity(st.events.len() * 96 + 128);
+        out.push_str(&format!("{{\"type\":\"header\",\"schema\":{TRACE_SCHEMA_VERSION}"));
+        if !st.meta.is_empty() {
+            out.push_str(",\"meta\":{");
+            let mut first = true;
+            for (k, v) in &st.meta {
+                write_key(&mut out, &mut first, k);
+                write_str(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
         for ev in &st.events {
             write_event(&mut out, ev);
             out.push('\n');
@@ -227,66 +338,117 @@ impl Recorder {
         out
     }
 
-    /// Renders the aggregate profile: spans sorted by total time, then
-    /// counters and gauges, as a fixed-width text table.
+    /// Renders the aggregate profile: spans sorted by total time with
+    /// latency percentiles, then counters, gauges and histograms, as a
+    /// fixed-width text table.
     pub fn profile_table(&self) -> String {
         let st = self.state();
-        let mut out = String::new();
-        let mut spans: Vec<(&str, SpanStats)> =
-            st.spans.iter().map(|(k, v)| (*k, *v)).collect();
-        spans.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
-        let name_w = spans
+        let spans: Vec<(String, SpanStats, Histogram)> = st
+            .spans
             .iter()
-            .map(|(n, _)| n.len())
-            .chain(st.counters.keys().map(|n| n.len()))
-            .chain(st.gauges.keys().map(|n| n.len()))
-            .max()
-            .unwrap_or(4)
-            .max(4);
-        if !spans.is_empty() {
-            out.push_str(&format!(
-                "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
-                "span", "calls", "total", "self", "mean", "max"
-            ));
-            for (name, s) in &spans {
-                out.push_str(&format!(
-                    "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
-                    name,
-                    s.calls,
-                    fmt_ns(s.total_ns),
-                    fmt_ns(s.self_ns),
-                    fmt_ns(s.total_ns.checked_div(s.calls).unwrap_or(0)),
-                    fmt_ns(s.max_ns),
-                ));
-            }
-        }
-        if !st.counters.is_empty() {
-            if !out.is_empty() {
-                out.push('\n');
-            }
-            out.push_str(&format!("{:name_w$}  {:>12}\n", "counter", "value"));
-            for (name, v) in &st.counters {
-                out.push_str(&format!("{:name_w$}  {:>12}\n", name, v));
-            }
-        }
-        if !st.gauges.is_empty() {
-            if !out.is_empty() {
-                out.push('\n');
-            }
-            out.push_str(&format!("{:name_w$}  {:>12}\n", "gauge", "value"));
-            for (name, v) in &st.gauges {
-                out.push_str(&format!("{:name_w$}  {:>12.4}\n", name, v));
-            }
-        }
-        if out.is_empty() {
-            out.push_str("(no events recorded)\n");
-        }
-        out
+            .map(|(k, v)| {
+                let h = st.span_hists.get(k).cloned().unwrap_or_default();
+                ((*k).to_owned(), *v, h)
+            })
+            .collect();
+        let counters: Vec<(String, u64)> =
+            st.counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect();
+        let gauges: Vec<(String, f64)> =
+            st.gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect();
+        let hists: Vec<(String, Histogram)> =
+            st.hists.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
+        render_profile(&spans, &counters, &gauges, &hists)
     }
 }
 
+/// Renders the profile table from aggregate data. Shared between the
+/// in-process [`Recorder::profile_table`] and `fume-trace summary`,
+/// which rebuilds the same aggregates from a trace file — byte-for-byte
+/// identical output is the contract between them.
+pub fn render_profile(
+    spans: &[(String, SpanStats, Histogram)],
+    counters: &[(String, u64)],
+    gauges: &[(String, f64)],
+    hists: &[(String, Histogram)],
+) -> String {
+    let mut out = String::new();
+    let mut spans: Vec<&(String, SpanStats, Histogram)> = spans.iter().collect();
+    spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(&b.0)));
+    let name_w = spans
+        .iter()
+        .map(|(n, _, _)| n.len())
+        .chain(counters.iter().map(|(n, _)| n.len()))
+        .chain(gauges.iter().map(|(n, _)| n.len()))
+        .chain(hists.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    if !spans.is_empty() {
+        out.push_str(&format!(
+            "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "span", "calls", "total", "self", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, s, h) in &spans {
+            out.push_str(&format!(
+                "{:name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                name,
+                s.calls,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.self_ns),
+                fmt_ns(s.total_ns.checked_div(s.calls).unwrap_or(0)),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.90)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(s.max_ns),
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("{:name_w$}  {:>12}\n", "counter", "value"));
+        for (name, v) in counters {
+            out.push_str(&format!("{:name_w$}  {:>12}\n", name, v));
+        }
+    }
+    if !gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("{:name_w$}  {:>12}\n", "gauge", "value"));
+        for (name, v) in gauges {
+            out.push_str(&format!("{:name_w$}  {:>12.4}\n", name, v));
+        }
+    }
+    if !hists.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in hists {
+            out.push_str(&format!(
+                "{:name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                name,
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no events recorded)\n");
+    }
+    out
+}
+
 /// Human-readable nanoseconds: `532ns`, `18.3µs`, `4.71ms`, `1.20s`.
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     let ns_f = ns as f64;
     if ns < 1_000 {
         format!("{ns}ns")
@@ -367,6 +529,38 @@ fn write_event(out: &mut String, ev: &Event) {
             write_key(out, &mut first, "t_ns");
             out.push_str(&t_ns.to_string());
         }
+        Event::Hist { name, value, t_ns } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"hist\"");
+            write_key(out, &mut first, "name");
+            write_str(out, name);
+            write_key(out, &mut first, "value");
+            out.push_str(&value.to_string());
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+        }
+        Event::Progress { snap, t_ns } => {
+            write_key(out, &mut first, "type");
+            out.push_str("\"progress\"");
+            write_key(out, &mut first, "t_ns");
+            out.push_str(&t_ns.to_string());
+            write_key(out, &mut first, "level");
+            out.push_str(&snap.level.to_string());
+            write_key(out, &mut first, "frontier");
+            out.push_str(&snap.frontier.to_string());
+            write_key(out, &mut first, "planned");
+            out.push_str(&snap.planned.to_string());
+            write_key(out, &mut first, "done");
+            out.push_str(&snap.done.to_string());
+            write_key(out, &mut first, "done_total");
+            out.push_str(&snap.done_total.to_string());
+            write_key(out, &mut first, "deduped");
+            out.push_str(&snap.deduped.to_string());
+            write_key(out, &mut first, "rate");
+            write_f64(out, snap.rate);
+            write_key(out, &mut first, "eta_s");
+            write_f64(out, snap.eta_s);
+        }
     }
     out.push('}');
 }
@@ -398,15 +592,80 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_everything() {
+    fn span_durations_fold_into_histograms() {
+        let r = Recorder::new();
+        for ns in [100u64, 200, 300, 400, 10_000] {
+            r.span_end("h.s", 0, ns, ns);
+        }
+        let h = r.span_hist("h.s").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 10_000);
+        assert!(h.quantile(0.5) <= 400);
+        assert!(r.span_hist("nope").is_none());
+    }
+
+    #[test]
+    fn value_histograms_aggregate_and_stream() {
+        let r = Recorder::new();
+        r.record_hist("v.h", 7);
+        r.record_hist("v.h", 9);
+        let h = r.hist("v.h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 16);
+        let out = r.events_to_jsonl();
+        assert!(
+            out.contains(r#""type":"hist","name":"v.h","value":7"#),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn timestamps_are_monotone_under_contention() {
+        let r = Recorder::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        r.add_counter("m.c", 1);
+                        r.span_end("m.s", t, i, i);
+                    }
+                });
+            }
+        });
+        let st = r.state();
+        let mut prev = 0u64;
+        for ev in &st.events {
+            let t = match ev {
+                Event::SpanStart { t_ns, .. }
+                | Event::SpanEnd { t_ns, .. }
+                | Event::Counter { t_ns, .. }
+                | Event::Gauge { t_ns, .. }
+                | Event::Hist { t_ns, .. }
+                | Event::Progress { t_ns, .. } => *t_ns,
+            };
+            assert!(t >= prev, "event stream must be monotone in t_ns");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything_but_meta() {
         let r = Recorder::new();
         r.add_counter("k", 1);
         r.span_end("s", 0, 10, 10);
+        r.record_hist("h", 1);
+        r.set_meta("seed", "7");
         assert!(r.event_count() > 0);
         r.reset();
         assert_eq!(r.event_count(), 0);
         assert!(r.counter_value("k").is_none());
         assert!(r.span_stats("s").is_none());
+        assert!(r.hist("h").is_none());
+        assert!(
+            r.events_to_jsonl().contains(r#""seed":"7""#),
+            "meta survives reset: it describes the process, not a segment"
+        );
     }
 
     #[test]
@@ -423,6 +682,9 @@ mod tests {
         assert!(t.contains("2.00s"), "{t}");
         assert!(t.contains("hits"), "{t}");
         assert!(t.contains("0.7000"), "{t}");
+        for col in ["p50", "p90", "p99"] {
+            assert!(t.contains(col), "missing {col} column:\n{t}");
+        }
     }
 
     #[test]
@@ -447,10 +709,47 @@ mod tests {
         r.set_gauge("g", f64::NAN);
         let out = r.events_to_jsonl();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains(r#""fields":{"level":2,"tag":"x\"y"}"#), "{}", lines[0]);
-        assert!(lines[1].contains(r#""total_ns":40"#), "{}", lines[1]);
-        assert!(lines[2].contains(r#""delta":5"#), "{}", lines[2]);
-        assert!(lines[3].contains(r#""value":null"#), "{}", lines[3]);
+        assert_eq!(lines.len(), 5, "header + 4 events: {out}");
+        assert!(
+            lines[0].contains(&format!(r#""type":"header","schema":{TRACE_SCHEMA_VERSION}"#)),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""fields":{"level":2,"tag":"x\"y"}"#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""total_ns":40"#), "{}", lines[2]);
+        assert!(lines[3].contains(r#""delta":5"#), "{}", lines[3]);
+        assert!(lines[4].contains(r#""value":null"#), "{}", lines[4]);
+    }
+
+    #[test]
+    fn header_carries_meta() {
+        let r = Recorder::new();
+        r.set_meta("seed", "42");
+        r.set_meta("dataset", "adult");
+        let out = r.events_to_jsonl();
+        let header = out.lines().next().unwrap();
+        assert!(
+            header.contains(r#""meta":{"dataset":"adult","seed":"42"}"#),
+            "{header}"
+        );
+    }
+
+    #[test]
+    fn progress_events_serialize() {
+        let r = Recorder::new();
+        r.record_progress(ProgressSnapshot {
+            level: 2,
+            frontier: 40,
+            planned: 33,
+            done: 10,
+            done_total: 55,
+            deduped: 4,
+            rate: 125.0,
+            eta_s: 0.184,
+        });
+        let out = r.events_to_jsonl();
+        assert!(out.contains(r#""type":"progress""#), "{out}");
+        assert!(out.contains(r#""level":2"#), "{out}");
+        assert!(out.contains(r#""eta_s":0.184"#), "{out}");
     }
 }

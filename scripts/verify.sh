@@ -23,8 +23,19 @@ if ! cargo run --release --offline -q -p fume-lint -- --workspace --deny-all --j
 fi
 echo "    lint clean; JSON report at $lint_report"
 
+echo "==> fume-trace: validate the e2e trace written by the test suite"
+ft="target/release/fume-trace"
+if [ ! -f target/trace_e2e.jsonl ]; then
+    echo "tests did not leave target/trace_e2e.jsonl behind" >&2
+    exit 1
+fi
+"$ft" check target/trace_e2e.jsonl
+"$ft" summary target/trace_e2e.jsonl > /dev/null
+"$ft" flame target/trace_e2e.jsonl > /dev/null
+
 echo "==> bench smoke: unlearn-eval engine must not regress below clone-per-eval"
-cargo bench -q --offline -p fume-bench --bench unlearn_eval -- --smoke
+FUME_TRACE=target/bench_base.jsonl \
+    cargo bench -q --offline -p fume-bench --bench unlearn_eval -- --smoke
 speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' BENCH_unlearn_eval.json)
 if [ -z "$speedup" ]; then
     echo "could not read speedup from BENCH_unlearn_eval.json" >&2
@@ -35,6 +46,25 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
     exit 1
 fi
 echo "    pooled path ${speedup}x over clone-per-eval"
+
+echo "==> fume-trace diff: smoke bench run-to-run perf gate"
+# A second identical run; the tolerance is generous (smoke runs are small
+# and noisy) — the gate exists to catch order-of-magnitude regressions
+# and disappearing instrumentation, not 5% jitter.
+FUME_TRACE=target/bench_repro.jsonl \
+    cargo bench -q --offline -p fume-bench --bench unlearn_eval -- --smoke > /dev/null
+"$ft" check target/bench_base.jsonl
+"$ft" check target/bench_repro.jsonl
+"$ft" diff target/bench_base.jsonl target/bench_repro.jsonl --tolerance 75%
+
+echo "==> bench smoke: trace parse throughput"
+cargo bench -q --offline -p fume-bench --bench trace_parse -- --smoke
+parse_mbps=$(sed -n 's/.*"parse_mb_per_sec":\([0-9.]*\).*/\1/p' BENCH_trace.json)
+if [ -z "$parse_mbps" ]; then
+    echo "could not read parse_mb_per_sec from BENCH_trace.json" >&2
+    exit 1
+fi
+echo "    trace parser at ${parse_mbps} MB/s (BENCH_trace.json)"
 
 echo "==> checkpoint/fault tests under FUME_DEEPCHECK=1 (runtime audits on)"
 FUME_DEEPCHECK=1 cargo test -q --offline --test checkpoint_resume

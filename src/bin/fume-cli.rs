@@ -38,6 +38,7 @@ struct Args {
     bins: usize,
     ranges: bool,
     trace: Option<String>,
+    progress: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
 }
@@ -57,6 +58,7 @@ fn usage() -> ! {
                   --bins B              numeric discretization bins (default 5)\n\
                   --ranges              generate <=/>= literals on binned columns\n\
                   --trace FILE          write a JSONL span/counter trace (or set FUME_TRACE)\n\
+                  --progress            live search status line on stderr (level, evals/s, ETA)\n\
                   --checkpoint-dir DIR  checkpoint the explain run (forest + search state)\n\
                   --resume              continue a crashed run from --checkpoint-dir"
     );
@@ -92,6 +94,7 @@ fn parse_args() -> Args {
         bins: 5,
         ranges: false,
         trace: std::env::var("FUME_TRACE").ok().filter(|s| !s.is_empty()),
+        progress: false,
         checkpoint_dir: None,
         resume: false,
     };
@@ -137,6 +140,7 @@ fn parse_args() -> Args {
             "--bins" => args.bins = value().parse().unwrap_or_else(|_| usage()),
             "--ranges" => args.ranges = true,
             "--trace" => args.trace = Some(value()),
+            "--progress" => args.progress = true,
             "--checkpoint-dir" => args.checkpoint_dir = Some(value()),
             "--resume" => args.resume = true,
             "--help" | "-h" => usage(),
@@ -208,10 +212,42 @@ fn config(args: &Args) -> FumeConfig {
     builder.into_config()
 }
 
+/// FNV-1a over a canonical rendering of the run-defining flags — the
+/// `config_hash` stamped into the trace header so `fume-trace diff`
+/// users can tell config drift from perf drift.
+fn config_hash(args: &Args) -> u64 {
+    let canonical = format!(
+        "{}|{:?}|{}:{}|{}|{}|{}|{}|{}|{}|{}",
+        args.command,
+        args.metric,
+        args.support.min,
+        args.support.max,
+        args.max_literals,
+        args.top_k,
+        args.trees,
+        args.depth,
+        args.seed,
+        args.bins,
+        args.ranges,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn main() {
     let args = parse_args();
     if args.trace.is_some() {
         fume::obs::install();
+    }
+    if args.progress {
+        fume::obs::progress::set_observer(|snap| {
+            // Rewrite one stderr status line in place.
+            eprint!("\r\x1b[K{}", fume::obs::progress::status_line(snap));
+        });
     }
     let (train, test, group) = load(&args);
     println!(
@@ -223,6 +259,16 @@ fn main() {
         args.privileged
     );
     let cfg = config(&args);
+    if args.trace.is_some() {
+        let rec = fume::obs::global().expect("recorder installed when tracing");
+        rec.set_meta("seed", args.seed.to_string());
+        rec.set_meta("config_hash", format!("{:016x}", config_hash(&args)));
+        rec.set_meta(
+            "dataset_fingerprint",
+            format!("{:016x}", fume::core::checkpoint::fingerprint(&train, &test, group)),
+        );
+        rec.set_meta("dataset", args.data.clone());
+    }
 
     match args.command.as_str() {
         "explain" => {
@@ -285,6 +331,10 @@ fn main() {
         _ => usage(),
     }
 
+    if args.progress {
+        // Terminate the rewriting status line.
+        eprintln!();
+    }
     if let Some(path) = &args.trace {
         let rec = fume::obs::global().expect("recorder installed when tracing");
         match std::fs::write(path, rec.events_to_jsonl()) {

@@ -1,0 +1,123 @@
+//! `fume-trace` — offline analytics over JSONL traces written by
+//! `fume-cli --trace` / `FUME_TRACE` (see `docs/observability.md`).
+//!
+//! ```text
+//! fume-trace summary run.jsonl          # rebuild the profile table
+//! fume-trace flame run.jsonl > out.folded   # folded stacks for flamegraph tools
+//! fume-trace check run.jsonl            # validate schema & ordering invariants
+//! fume-trace diff base.jsonl new.jsonl --tolerance 15%   # perf-regression gate
+//! ```
+//!
+//! Exit codes: 0 success, 1 findings (check problems / diff regressions),
+//! 2 usage or unreadable/unparseable input.
+
+use std::process::exit;
+
+use fume::obs::trace::{check, diff, flame, parse_trace, summary, Trace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fume-trace <command> [args]\n\
+         commands:\n\
+           summary FILE                 rebuild the profile table from a trace\n\
+           flame FILE                   emit folded stacks (flamegraph.pl format)\n\
+           check FILE                   validate schema/monotonicity/nesting\n\
+           diff BASE NEW [--tolerance P]  compare runs; exit 1 on regression\n\
+                                          (P like `15%` or `0.15`; default 15%)"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("fume-trace: {msg}");
+    exit(2)
+}
+
+fn load(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read `{path}`: {e}")));
+    parse_trace(&text).unwrap_or_else(|e| fail(format!("`{path}`: {e}")))
+}
+
+fn parse_tolerance(s: &str) -> f64 {
+    let (num, percent) = match s.strip_suffix('%') {
+        Some(n) => (n, true),
+        None => (s, false),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| fail(format!("invalid tolerance `{s}`")));
+    let v = if percent { v / 100.0 } else { v };
+    if !(0.0..=10.0).contains(&v) {
+        fail(format!("tolerance `{s}` out of range"));
+    }
+    v
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else { usage() };
+    match command.as_str() {
+        "summary" => {
+            let [path] = &argv[1..] else { usage() };
+            print!("{}", summary(&load(path)));
+        }
+        "flame" => {
+            let [path] = &argv[1..] else { usage() };
+            print!("{}", flame(&load(path)));
+        }
+        "check" => {
+            let [path] = &argv[1..] else { usage() };
+            let trace = load(path);
+            let problems = check(&trace);
+            if problems.is_empty() {
+                println!(
+                    "{path}: OK ({} events, {} segment{})",
+                    trace.events.len(),
+                    trace.segments(),
+                    if trace.segments() == 1 { "" } else { "s" }
+                );
+            } else {
+                for p in &problems {
+                    eprintln!("{path}: {p}");
+                }
+                eprintln!("{path}: {} problem(s)", problems.len());
+                exit(1);
+            }
+        }
+        "diff" => {
+            let mut tolerance = 0.15;
+            let mut files: Vec<&String> = Vec::new();
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--tolerance" {
+                    let Some(v) = it.next() else { usage() };
+                    tolerance = parse_tolerance(v);
+                } else {
+                    files.push(arg);
+                }
+            }
+            let [base, new] = files[..] else { usage() };
+            let regressions = diff(&load(base), &load(new), tolerance);
+            if regressions.is_empty() {
+                println!(
+                    "no regressions: `{new}` within {:.1}% of `{base}`",
+                    tolerance * 100.0
+                );
+            } else {
+                for r in &regressions {
+                    eprintln!("{r}");
+                }
+                eprintln!(
+                    "{} regression(s) beyond {:.1}% tolerance",
+                    regressions.len(),
+                    tolerance * 100.0
+                );
+                exit(1);
+            }
+        }
+        "--help" | "-h" => usage(),
+        other => fail(format!("unknown command `{other}`")),
+    }
+}

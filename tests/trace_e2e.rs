@@ -152,14 +152,21 @@ const PRUNE_COUNTERS: [&str; 5] = [
 fn explain_run_leaves_a_complete_trace() {
     let rec = fume::obs::install();
     rec.reset();
+    rec.set_meta("seed", "85");
+    fume::obs::progress::reset();
+    fume::obs::progress::enable();
 
+    let ckpt_dir = std::env::temp_dir().join(format!("fume-trace-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     let (data, group) = planted_toy().generate_full(85).unwrap();
     let (train, test) = train_test_split(&data, 0.3, 85).unwrap();
     let config = FumeConfig::default()
         .with_forest(DareConfig::small(85))
-        .with_support(SupportRange::new(0.02, 0.30).unwrap());
+        .with_support(SupportRange::new(0.02, 0.30).unwrap())
+        .with_checkpoint_dir(&ckpt_dir);
     let report = Fume::new(config).explain(&train, &test, group).unwrap();
     assert!(!report.top_k.is_empty());
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     let jsonl = rec.events_to_jsonl();
     let lines: Vec<&str> = jsonl.lines().collect();
@@ -170,6 +177,14 @@ fn explain_run_leaves_a_complete_trace() {
             "trace line is not a JSON object: {line}"
         );
     }
+
+    // --- schema v2 header: first line, versioned, carrying run metadata ---
+    assert!(
+        lines[0].contains("\"type\":\"header\"") && lines[0].contains("\"schema\":2"),
+        "trace must open with a v2 header line, got: {}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"seed\":\"85\""), "header must carry meta: {}", lines[0]);
 
     // --- spans: the whole pipeline, per phase ---
     let span_named = |name: &str| {
@@ -189,9 +204,22 @@ fn explain_run_leaves_a_complete_trace() {
         "lattice.evaluate",
         "forest.fit",
         "forest.delete",
+        "ckpt.save",
     ] {
         assert!(span_named(name), "trace is missing span `{name}`\n{jsonl}");
     }
+
+    // --- histogram and progress events stream alongside spans ---
+    assert!(
+        lines.iter().any(|l| {
+            l.contains("\"type\":\"hist\"") && l.contains("\"name\":\"ckpt.state_bytes\"")
+        }),
+        "trace is missing `ckpt.state_bytes` hist events"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"type\":\"progress\"")),
+        "trace is missing progress events"
+    );
 
     // Each lattice level searched must leave its own `lattice.level` span.
     let level_spans = lines
@@ -242,10 +270,38 @@ fn explain_run_leaves_a_complete_trace() {
     assert!(stats.calls as usize <= report.unlearning_operations);
     assert!(report.unlearn_time <= report.search_time + report.training_time);
 
-    // The profile table renders every layer for humans.
+    // The profile table renders every layer for humans, with latency
+    // percentile columns folded from per-span histograms.
     let table = rec.profile_table();
-    for needle in ["fume.explain", "lattice.search", "forest.delete", "lattice.pruned.rule4"] {
+    for needle in [
+        "fume.explain",
+        "lattice.search",
+        "forest.delete",
+        "lattice.pruned.rule4",
+        "p50",
+        "p90",
+        "p99",
+        "ckpt.state_bytes",
+    ] {
         assert!(table.contains(needle), "profile table missing `{needle}`:\n{table}");
     }
+
+    // --- the offline analyzer agrees with the in-process aggregates ---
+    let trace = fume::obs::trace::parse_trace(&jsonl).expect("trace parses");
+    let problems = fume::obs::trace::check(&trace);
+    assert!(problems.is_empty(), "trace fails validation: {problems:?}");
+    assert_eq!(
+        fume::obs::trace::summary(&trace),
+        table,
+        "fume-trace summary must rebuild the profile table byte-for-byte"
+    );
+
+    // Leave the trace on disk for scripts/verify.sh to re-validate through
+    // the `fume-trace` binary.
+    let out = std::path::Path::new("target").join("trace_e2e.jsonl");
+    if std::fs::create_dir_all("target").is_ok() {
+        let _ = std::fs::write(&out, &jsonl);
+    }
+    fume::obs::progress::reset();
     rec.reset();
 }

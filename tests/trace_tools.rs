@@ -1,0 +1,212 @@
+//! End-to-end tests of the `fume-trace` binary and the `fume-cli`
+//! `--progress` surface: real processes, real trace files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fume_trace_tools_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fume_trace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fume-trace"))
+}
+
+/// A minimal but valid schema-2 trace: header, then `n` well-nested spans
+/// of `total_ns` each plus a counter.
+fn synthetic_trace(n: usize, total_ns: u64, counter: u64) -> String {
+    let mut out = String::from("{\"type\":\"header\",\"schema\":2,\"meta\":{}}\n");
+    let mut t = 1_000u64;
+    for _ in 0..n {
+        out.push_str(&format!(
+            "{{\"type\":\"span_start\",\"name\":\"lattice.evaluate\",\"t_ns\":{t},\"thread\":0,\"fields\":{{}}}}\n"
+        ));
+        t += total_ns;
+        out.push_str(&format!(
+            "{{\"type\":\"span_end\",\"name\":\"lattice.evaluate\",\"t_ns\":{t},\"thread\":0,\"total_ns\":{total_ns},\"self_ns\":{total_ns}}}\n"
+        ));
+        t += 10;
+    }
+    out.push_str(&format!(
+        "{{\"type\":\"counter\",\"name\":\"fume.unlearn_evals\",\"delta\":{counter},\"t_ns\":{t}}}\n"
+    ));
+    out
+}
+
+#[test]
+fn diff_flags_a_synthetically_slowed_trace() {
+    let dir = tmp_dir();
+    let base = dir.join("base.jsonl");
+    let slow = dir.join("slow.jsonl");
+    // 10ms spans in the base, 2x slower in the "regressed" run.
+    std::fs::write(&base, synthetic_trace(4, 10_000_000, 8)).unwrap();
+    std::fs::write(&slow, synthetic_trace(4, 20_000_000, 8)).unwrap();
+
+    let out = fume_trace()
+        .args(["diff", base.to_str().unwrap(), slow.to_str().unwrap(), "--tolerance", "15%"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "2x slowdown must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("lattice.evaluate"), "{stderr}");
+    assert!(stderr.contains("regression"), "{stderr}");
+
+    // The same pair within a generous tolerance passes.
+    let out = fume_trace()
+        .args(["diff", base.to_str().unwrap(), slow.to_str().unwrap(), "--tolerance", "2.0"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Identical traces never regress.
+    let out = fume_trace()
+        .args(["diff", base.to_str().unwrap(), base.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn check_accepts_valid_and_rejects_corrupt_traces() {
+    let dir = tmp_dir();
+    let good = dir.join("good.jsonl");
+    std::fs::write(&good, synthetic_trace(2, 5_000, 1)).unwrap();
+    let out = fume_trace()
+        .args(["check", good.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // Timestamps running backwards must fail the gate with exit 1.
+    let bad = dir.join("bad.jsonl");
+    let mut text = synthetic_trace(2, 5_000, 1);
+    text.push_str("{\"type\":\"counter\",\"name\":\"x.y\",\"delta\":1,\"t_ns\":5}\n");
+    std::fs::write(&bad, text).unwrap();
+    let out = fume_trace()
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("backwards"));
+
+    // Unparseable input is a usage-class error: exit 2.
+    let garbage = dir.join("garbage.jsonl");
+    std::fs::write(&garbage, "not json at all\n").unwrap();
+    let out = fume_trace()
+        .args(["check", garbage.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn summary_and_flame_render_from_a_trace_file() {
+    let dir = tmp_dir();
+    let path = dir.join("run.jsonl");
+    std::fs::write(&path, synthetic_trace(3, 1_000_000, 5)).unwrap();
+
+    let out = fume_trace()
+        .args(["summary", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["lattice.evaluate", "p50", "p99", "fume.unlearn_evals"] {
+        assert!(stdout.contains(needle), "summary missing `{needle}`:\n{stdout}");
+    }
+
+    let out = fume_trace()
+        .args(["flame", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("thread0;lattice.evaluate"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = fume_trace().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = fume_trace().args(["unknown-cmd"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = fume_trace()
+        .args(["summary", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// `fume-cli --progress` paints a live status line on stderr and the trace
+/// header carries the run-identifying metadata.
+#[test]
+fn cli_progress_and_trace_header_metadata() {
+    let dir = tmp_dir();
+    let csv = dir.join("loans.csv");
+    let mut text = String::from("age,job,sex,approved\n");
+    for i in 0..1500usize {
+        let age = 20 + (i * 7) % 50;
+        let job = ["manual", "office", "none"][i % 3];
+        let sex = if i % 2 == 0 { "f" } else { "m" };
+        let approved = match (job, sex) {
+            ("manual", "f") => false,
+            ("manual", "m") => true,
+            _ => (i / 2) % 2 == 0,
+        };
+        text.push_str(&format!("{age},{job},{sex},{}\n", u8::from(approved)));
+    }
+    std::fs::write(&csv, text).unwrap();
+
+    let trace = dir.join("cli_run.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_fume-cli"))
+        .args([
+            "explain",
+            "--data",
+            csv.to_str().unwrap(),
+            "--label",
+            "approved",
+            "--positive",
+            "1",
+            "--sensitive",
+            "sex",
+            "--privileged",
+            "m",
+            "--trees",
+            "10",
+            "--support",
+            "0.05:0.4",
+            "--seed",
+            "3",
+            "--progress",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("level") && stderr.contains("evals"),
+        "no live status line on stderr:\n{stderr}"
+    );
+
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let first = jsonl.lines().next().unwrap();
+    assert!(first.contains("\"type\":\"header\""), "{first}");
+    assert!(first.contains("\"schema\":2"), "{first}");
+    for key in ["seed", "config_hash", "dataset_fingerprint", "dataset"] {
+        assert!(first.contains(&format!("\"{key}\":")), "header missing `{key}`: {first}");
+    }
+    assert!(jsonl.contains("\"type\":\"progress\""), "trace lacks progress events");
+
+    // And the trace passes its own gate.
+    let out = fume_trace()
+        .args(["check", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
