@@ -2,7 +2,7 @@
 //! scale (the cost the paper's Table 8 reports).
 
 use fume_bench::harness::Harness;
-use fume_core::{Fume, FumeConfig};
+use fume_core::{ExplainRequest, Fume, FumeConfig};
 use fume_forest::{DareConfig, DareForest};
 use fume_lattice::SupportRange;
 use fume_tabular::datasets::{german_credit, planted_toy};
@@ -22,7 +22,7 @@ fn main() {
         let forest = DareForest::fit(&train, cfg.forest.clone());
         let fume = Fume::new(cfg);
         g.bench_function("planted_toy_2k", || {
-            fume.explain_model(&forest, &train, &test, group)
+            fume.run(&ExplainRequest::new(&train, &test, group).with_model(&forest))
         });
     }
 
@@ -35,6 +35,6 @@ fn main() {
         );
         let forest = DareForest::fit(&train, cfg.forest.clone());
         let fume = Fume::new(cfg);
-        g.bench_function("german_1k", || fume.explain_model(&forest, &train, &test, group));
+        g.bench_function("german_1k", || fume.run(&ExplainRequest::new(&train, &test, group).with_model(&forest)));
     }
 }

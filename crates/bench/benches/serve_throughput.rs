@@ -1,0 +1,122 @@
+//! Request throughput of the persistent serve engine: cold requests
+//! (cross-request eval cache disabled, every ρ paid in full) against
+//! warm requests (cache primed, repeats answered without unlearning).
+//! Emits `BENCH_serve.json`; `scripts/verify.sh` runs the `--smoke`
+//! mode and fails if the warm path ever drops below the cold path.
+//!
+//! ```text
+//! cargo bench --bench serve_throughput            # Adult-scale run
+//! cargo bench --bench serve_throughput -- --smoke # small CI-gate run
+//! ```
+
+use std::time::Instant;
+
+use fume_core::FumeConfig;
+use fume_forest::DareConfig;
+use fume_lattice::SupportRange;
+use fume_serve::{Engine, EngineOptions, ExplainOverrides, JobReply};
+use fume_tabular::datasets::adult;
+use fume_tabular::split::train_test_split;
+
+struct Setup {
+    mode: &'static str,
+    config: FumeConfig,
+    train: fume_tabular::Dataset,
+    test: fume_tabular::Dataset,
+    group: fume_tabular::GroupSpec,
+    requests: usize,
+}
+
+fn setup(smoke: bool) -> Setup {
+    let (mode, scale, trees, depth, requests) =
+        if smoke { ("smoke", 0.05, 20, 8, 4) } else { ("full", 0.3, 40, 12, 10) };
+    let (data, group) = adult().generate_scaled(scale, 11).expect("generate");
+    let (train, test) = train_test_split(&data, 0.3, 11).expect("split");
+    let config = FumeConfig::default()
+        .with_forest(DareConfig::default().with_trees(trees).with_max_depth(depth).with_seed(11))
+        .with_support(SupportRange::new(0.05, 0.4).expect("support"))
+        .with_max_literals(2);
+    Setup { mode, config, train, test, group, requests }
+}
+
+fn engine(s: &Setup, cache_capacity: usize) -> Engine {
+    Engine::new(
+        s.config.clone(),
+        s.train.clone(),
+        s.test.clone(),
+        s.group,
+        EngineOptions { workers: 1, cache_capacity, ..EngineOptions::default() },
+    )
+    .expect("engine")
+}
+
+/// Serves `s.requests` identical explain requests sequentially and
+/// returns (canonical report JSON, wall-clock seconds). When `primed`,
+/// one untimed request runs first so every timed one finds a hot cache.
+fn run_requests(engine: &Engine, s: &Setup, primed: bool) -> (String, f64) {
+    engine.serve(|h| {
+        let explain = || match h.explain(ExplainOverrides::default()).expect("submit").wait() {
+            Ok(JobReply::Report(report)) => report.to_json(),
+            other => panic!("explain job failed: {other:?}"),
+        };
+        if primed {
+            explain();
+        }
+        let t0 = Instant::now();
+        let mut last = String::new();
+        for _ in 0..s.requests {
+            last = explain();
+        }
+        (last, t0.elapsed().as_secs_f64())
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = setup(smoke);
+
+    // Cold: the cache is disabled, so every request re-unlearns every
+    // candidate subset — the per-request cost a stateless CLI run pays.
+    let cold_engine = engine(&s, 0);
+    let (cold_report, cold_secs) = run_requests(&cold_engine, &s, false);
+
+    // Warm: the cache is on and primed; repeats never touch a forest.
+    let warm_engine = engine(&s, 1 << 16);
+    let (warm_report, warm_secs) = run_requests(&warm_engine, &s, true);
+
+    assert_eq!(cold_report, warm_report, "cache changed the canonical report");
+    let warm_stats = warm_engine.stats();
+    assert!(warm_stats.cache.hits > 0, "warm phase never hit the cache");
+
+    let cold_rps = s.requests as f64 / cold_secs;
+    let warm_rps = s.requests as f64 / warm_secs;
+    let speedup = warm_rps / cold_rps;
+
+    println!(
+        "serve_throughput ({} · {} rows · {} requests/phase)",
+        s.mode,
+        s.train.num_rows(),
+        s.requests
+    );
+    println!("  cold (no cache)  {cold_secs:>9.3}s   {cold_rps:>8.2} req/s");
+    println!("  warm (cached)    {warm_secs:>9.3}s   {warm_rps:>8.2} req/s");
+    println!("  speedup          {speedup:>9.2}x");
+
+    let json = format!(
+        "{{\"bench\":\"serve_throughput\",\"mode\":\"{}\",\"rows\":{},\
+         \"requests\":{},\"cold_secs\":{cold_secs:.6},\"warm_secs\":{warm_secs:.6},\
+         \"cold_rps\":{cold_rps:.3},\"warm_rps\":{warm_rps:.3},\
+         \"cache_hits\":{},\"cache_misses\":{},\
+         \"speedup\":{speedup:.3}}}\n",
+        s.mode,
+        s.train.num_rows(),
+        s.requests,
+        warm_stats.cache.hits,
+        warm_stats.cache.misses,
+    );
+    // `cargo bench` sets the executable's CWD to the package directory;
+    // anchor the output at the workspace root instead.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, json).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+}

@@ -53,9 +53,9 @@ fn setup(smoke: bool) -> Setup {
 /// Runs every subset through `removal` (delete → bias → restore), for
 /// `rounds` repetitions; returns the ρ-determining bias vector of the
 /// last round and the best round's wall-clock seconds.
-fn run_path<R: RemovalMethod>(mut removal: R, s: &Setup) -> (Vec<f64>, f64) {
+fn run_path<R: RemovalMethod>(removal: R, s: &Setup) -> (Vec<f64>, f64) {
     let metric = FairnessMetric::StatisticalParity;
-    removal.prepare(1);
+    removal.warm(1);
     let mut best = f64::INFINITY;
     let mut biases = Vec::new();
     for _ in 0..s.rounds {

@@ -2,7 +2,7 @@
 //! parity reduction of the top-5 per dataset × support range
 //! ({0–5 %, 5–15 %, ≥30 %}).
 
-use fume_core::Fume;
+use fume_core::{ExplainRequest, Fume};
 use fume_lattice::SupportRange;
 use fume_tabular::datasets::all_paper_datasets;
 
@@ -41,7 +41,7 @@ pub fn bars(scale: RunScale) -> Vec<Bar> {
                 .forest(p.forest_cfg.clone())
                 .build();
             let (avg, max, found) =
-                match fume.explain_model(&forest, &p.train, &p.test, p.group) {
+                match fume.run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest)) {
                     Ok(report) if !report.top_k.is_empty() => {
                         let rs: Vec<f64> =
                             report.top_k.iter().map(|s| s.parity_reduction).collect();
@@ -97,7 +97,7 @@ mod tests {
             .support(SupportRange::medium())
             .forest(p.forest_cfg.clone())
             .build();
-        let report = fume.explain(&p.train, &p.test, p.group).unwrap();
+        let report = fume.run(&ExplainRequest::new(&p.train, &p.test, p.group)).unwrap();
         assert!(!report.top_k.is_empty());
     }
 }

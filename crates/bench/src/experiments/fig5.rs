@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use fume_core::Fume;
+use fume_core::{ExplainRequest, Fume};
 use fume_tabular::datasets::{synthetic, SyntheticConfig};
 use fume_tabular::split::train_test_split;
 
@@ -35,7 +35,7 @@ fn measure(instances: usize, attributes: usize, values: usize, scale: RunScale) 
     let (train, test) = train_test_split(&data, 0.3, SEED).expect("non-empty");
     let fume = Fume::builder().forest(scale.forest(SEED)).build();
     let t0 = Instant::now();
-    let _ = fume.explain(&train, &test, group);
+    let _ = fume.run(&ExplainRequest::new(&train, &test, group));
     Sample { instances, attributes, values, seconds: t0.elapsed().as_secs_f64() }
 }
 

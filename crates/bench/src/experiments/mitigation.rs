@@ -6,7 +6,7 @@
 //! responsible cohort lets you fix the violation with a fraction of the
 //! intervention.
 
-use fume_core::{drop_unpriv_unfavor, Fume};
+use fume_core::{drop_unpriv_unfavor, ExplainRequest, Fume};
 use fume_fairness::{
     fit_group_thresholds, massage, predict_with_thresholds, FairnessMetric, GroupConfusion,
 };
@@ -49,7 +49,7 @@ pub fn outcomes(scale: RunScale) -> (f64, f64, Vec<Outcome>) {
 
     // --- FUME: remove the single most attributable subset ---
     let fume = Fume::builder().forest(p.forest_cfg.clone()).build();
-    if let Ok(report) = fume.explain_model(&forest, &p.train, &p.test, p.group) {
+    if let Ok(report) = fume.run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest)) {
         if let Some(top) = report.top_k.first() {
             let (cleaned, _) = fume_core::apply_removal(&forest, &p.train, &top.rows);
             out.push(Outcome {

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use fume_core::Fume;
+use fume_core::{ExplainRequest, Fume};
 use fume_tabular::datasets::all_paper_datasets;
 
 use crate::common::{Prepared, SEED};
@@ -31,7 +31,7 @@ pub fn rows(scale: RunScale) -> Vec<Row> {
             let p = Prepared::new(ds, scale, SEED);
             let fume = Fume::builder().forest(p.forest_cfg.clone()).build();
             let t0 = Instant::now();
-            let report = fume.explain(&p.train, &p.test, p.group);
+            let report = fume.run(&ExplainRequest::new(&p.train, &p.test, p.group));
             let seconds = t0.elapsed().as_secs_f64();
             Row {
                 dataset: p.name.clone(),
@@ -87,7 +87,7 @@ mod tests {
         let p = Prepared::new(&german_credit(), scale, SEED);
         let fume = Fume::builder().forest(p.forest_cfg.clone()).build();
         let t0 = Instant::now();
-        let _ = fume.explain(&p.train, &p.test, p.group);
+        let _ = fume.run(&ExplainRequest::new(&p.train, &p.test, p.group));
         assert!(t0.elapsed().as_secs_f64() > 0.0);
         assert_eq!(p.train.dimension(), p.train.num_rows() * 21);
     }

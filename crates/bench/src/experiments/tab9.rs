@@ -3,7 +3,7 @@
 //! the pruned percentage. Also runs the rule-4/5 ablation the design
 //! document calls out.
 
-use fume_core::Fume;
+use fume_core::{ExplainRequest, Fume};
 use fume_lattice::RuleToggles;
 use fume_tabular::datasets::german_credit;
 
@@ -47,7 +47,7 @@ pub fn run(scale: RunScale) -> String {
     let mut out = String::from("## Table 9: Effect of pruning on subset exploration (German, eta = 4)\n\n");
 
     let fume = Fume::new(base_cfg.clone());
-    match fume.explain_model(&forest, &p.train, &p.test, p.group) {
+    match fume.run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest)) {
         Ok(report) => {
             out.push_str(&level_table(&report));
             out.push_str(&format!(
@@ -65,7 +65,7 @@ pub fn run(scale: RunScale) -> String {
         rule5_positive_only: false,
         ..RuleToggles::default()
     };
-    match Fume::new(ablated).explain_model(&forest, &p.train, &p.test, p.group) {
+    match Fume::new(ablated).run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest)) {
         Ok(report) => {
             out.push_str(&level_table(&report));
             out.push_str(&format!(
@@ -96,7 +96,7 @@ mod tests {
             .forest(p.forest_cfg.clone())
             .into_config();
         let on = Fume::new(cfg.clone())
-            .explain_model(&forest, &p.train, &p.test, p.group)
+            .run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest))
             .unwrap();
         let mut ablated = cfg;
         ablated.toggles = RuleToggles {
@@ -105,7 +105,7 @@ mod tests {
             ..RuleToggles::default()
         };
         let off = Fume::new(ablated)
-            .explain_model(&forest, &p.train, &p.test, p.group)
+            .run(&ExplainRequest::new(&p.train, &p.test, p.group).with_model(&forest))
             .unwrap();
         assert!(
             on.unlearning_operations <= off.unlearning_operations,

@@ -2,7 +2,7 @@
 //! parity, 5–15 % support), with the DropUnprivUnfavor baseline line the
 //! paper reports alongside each table.
 
-use fume_core::{drop_unpriv_unfavor, Fume};
+use fume_core::{drop_unpriv_unfavor, ExplainRequest, Fume};
 use fume_fairness::FairnessMetric;
 use fume_lattice::SupportRange;
 use fume_tabular::datasets::{
@@ -61,7 +61,7 @@ pub fn run(table: TopKTable, scale: RunScale) -> String {
         .top_k(5)
         .forest(p.forest_cfg.clone())
         .build();
-    let report = match fume.explain(&p.train, &p.test, p.group) {
+    let report = match fume.run(&ExplainRequest::new(&p.train, &p.test, p.group)) {
         Ok(r) => r,
         Err(e) => return format!("## Table {}: {} — {e}\n", table.number(), p.name),
     };

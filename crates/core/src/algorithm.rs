@@ -13,13 +13,20 @@ use fume_lattice::{
 };
 use fume_tabular::{Dataset, GroupSpec};
 
-use crate::attribution::AttributionEstimator;
+use crate::attribution::{AttributionEstimator, EvalMemo};
 use crate::checkpoint::{self, CheckpointError};
 use crate::config::FumeConfig;
-use crate::removal::DareRemoval;
+use crate::removal::{DareCloneRemoval, DareRemoval, RetrainRemoval, SharedAdapter};
+use crate::request::{ExplainRequest, ModelSpec, RemovalSpec};
 
 /// Errors from a FUME run.
+///
+/// Marked `#[non_exhaustive]`: every layer above the core — the CLI,
+/// `fume-serve` responses, downstream callers — matches this one enum
+/// (checkpoint and lattice failures arrive pre-wrapped through the
+/// `From` impls below), and new failure modes must not break them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FumeError {
     /// The deployed model shows no violation of the configured metric on
     /// the test data — there is nothing to explain.
@@ -34,6 +41,11 @@ pub enum FumeError {
     EmptyData,
     /// Saving or loading a run checkpoint failed.
     Checkpoint(CheckpointError),
+    /// The [`ExplainRequest`] combines options that cannot be executed
+    /// (e.g. exact DaRE unlearning of an opaque classifier).
+    InvalidRequest(String),
+    /// Encoding or decoding a serialized [`FumeReport`] failed.
+    Codec(String),
 }
 
 impl std::fmt::Display for FumeError {
@@ -45,6 +57,8 @@ impl std::fmt::Display for FumeError {
             Self::Lattice(e) => write!(f, "lattice search failed: {e}"),
             Self::EmptyData => write!(f, "training and test data must be non-empty"),
             Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Self::InvalidRequest(why) => write!(f, "invalid explain request: {why}"),
+            Self::Codec(why) => write!(f, "report codec failure: {why}"),
         }
     }
 }
@@ -157,7 +171,7 @@ impl FumeReport {
 /// violation.
 ///
 /// ```
-/// use fume_core::{Fume, FumeConfig};
+/// use fume_core::{ExplainRequest, Fume, FumeConfig};
 /// use fume_forest::DareConfig;
 /// use fume_lattice::SupportRange;
 /// use fume_tabular::datasets::planted_toy;
@@ -168,7 +182,8 @@ impl FumeReport {
 /// let config = FumeConfig::default()
 ///     .with_forest(DareConfig::small(3))
 ///     .with_support(SupportRange::new(0.02, 0.25).unwrap());
-/// let report = Fume::new(config).explain(&train, &test, group).unwrap();
+/// let request = ExplainRequest::new(&train, &test, group);
+/// let report = Fume::new(config).run(&request).unwrap();
 /// assert!(!report.top_k.is_empty());
 /// assert!(report.top_k[0].parity_reduction > 0.0);
 /// ```
@@ -185,7 +200,7 @@ impl Fume {
     }
 
     /// Resumes a checkpointed run from `dir`: the configuration is
-    /// restored from the checkpoint, and the next [`explain`](Self::explain)
+    /// restored from the checkpoint, and the next [`run`](Self::run)
     /// continues from the last completed lattice level (reloading the
     /// persisted forest instead of retraining). The caller supplies the
     /// same train/test/group inputs as the original run — a fingerprint
@@ -202,49 +217,169 @@ impl Fume {
         &self.config
     }
 
+    /// Executes an [`ExplainRequest`] — the single code path every FUME
+    /// run (library, CLI, `fume-serve`) funnels through.
+    ///
+    /// What happens depends on the request:
+    /// * no model → a DaRE forest is trained from this configuration
+    ///   (or, when resuming a checkpointed run, reloaded from the
+    ///   checkpoint with training time reported as zero);
+    /// * with a `checkpoint_dir` configured, a forest-backed run first
+    ///   persists and *normalizes* the forest through a save/load
+    ///   round-trip (see [`checkpoint::normalize_forest`]), so an
+    ///   interrupted run resumed from the persisted copy reproduces this
+    ///   run byte-identically;
+    /// * the removal override selects how counterfactual models are
+    ///   obtained; [`RemovalSpec::Shared`] lends a caller-owned warm
+    ///   method and therefore requires a prebuilt model;
+    /// * an attached [`EvalMemo`] is consulted before every unlearn-eval.
+    ///
+    /// Incompatible combinations (e.g. exact DaRE unlearning of an
+    /// opaque classifier) fail with [`FumeError::InvalidRequest`].
+    pub fn run(&self, request: &ExplainRequest<'_>) -> Result<FumeReport, FumeError> {
+        if request.train.is_empty() || request.test.is_empty() {
+            return Err(FumeError::EmptyData);
+        }
+        match (&request.removal, &request.model) {
+            (RemovalSpec::Shared(shared), Some(model)) => self.run_inner(
+                SharedAdapter(*shared),
+                model.as_classifier(),
+                request.train,
+                request.test,
+                request.group,
+                request.memo,
+            ),
+            (RemovalSpec::Shared(_), None) => Err(FumeError::InvalidRequest(
+                "a shared removal method requires a prebuilt model in the request".into(),
+            )),
+            (RemovalSpec::Retrain, Some(ModelSpec::Classifier(model))) => self.run_inner(
+                RetrainRemoval::new(request.train, self.config.forest.clone()),
+                *model,
+                request.train,
+                request.test,
+                request.group,
+                request.memo,
+            ),
+            (RemovalSpec::Dare | RemovalSpec::DareClone, Some(ModelSpec::Classifier(_))) => {
+                Err(FumeError::InvalidRequest(
+                    "exact DaRE unlearning needs a DaRE forest model; supply \
+                     ModelSpec::Forest, or override the removal with Retrain/Shared"
+                        .into(),
+                ))
+            }
+            _ => self.run_forest(request),
+        }
+    }
+
+    /// The forest-backed half of [`run`](Self::run): resolves the
+    /// deployed DaRE forest (provided, resumed, or freshly trained),
+    /// applies checkpoint normalization, and builds the configured
+    /// removal method around it.
+    fn run_forest(&self, request: &ExplainRequest<'_>) -> Result<FumeReport, FumeError> {
+        let mut training_time = Duration::ZERO;
+        let trained: Option<DareForest> = match request.model {
+            Some(_) => None,
+            None => {
+                let mut resumed = None;
+                if self.resume {
+                    if let Some(dir) = &self.config.checkpoint_dir {
+                        match checkpoint::load_forest(dir) {
+                            Ok(forest) => resumed = Some(forest),
+                            // No forest persisted yet (crash before the
+                            // first checkpoint): train fresh below.
+                            Err(CheckpointError::NothingToResume(_)) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+                Some(match resumed {
+                    Some(forest) => forest,
+                    None => {
+                        let t0 = Stopwatch::start();
+                        let _span = fume_obs::span!(
+                            "fume.phase.train",
+                            rows = request.train.num_rows()
+                        );
+                        let forest =
+                            DareForest::fit(request.train, self.config.forest.clone());
+                        training_time = t0.elapsed();
+                        forest
+                    }
+                })
+            }
+        };
+        let forest: &DareForest = if let Some(forest) = &trained {
+            forest
+        } else if let Some(ModelSpec::Forest(forest)) = request.model {
+            forest
+        } else {
+            // `run` routed every classifier-model combination elsewhere.
+            return Err(FumeError::InvalidRequest(
+                "this model/removal combination needs a DaRE forest".into(),
+            ));
+        };
+        let normalized: Option<DareForest> = match &self.config.checkpoint_dir {
+            Some(dir) => Some(checkpoint::normalize_forest(dir, forest)?),
+            None => None,
+        };
+        let forest = normalized.as_ref().unwrap_or(forest);
+        let (train, test, group, memo) =
+            (request.train, request.test, request.group, request.memo);
+        let mut report = match request.removal {
+            RemovalSpec::Dare => self.run_inner(
+                DareRemoval::new(forest, train),
+                forest,
+                train,
+                test,
+                group,
+                memo,
+            )?,
+            RemovalSpec::DareClone => self.run_inner(
+                DareCloneRemoval::new(forest, train),
+                forest,
+                train,
+                test,
+                group,
+                memo,
+            )?,
+            RemovalSpec::Retrain => self.run_inner(
+                RetrainRemoval::new(train, self.config.forest.clone()),
+                forest,
+                train,
+                test,
+                group,
+                memo,
+            )?,
+            RemovalSpec::Shared(_) => {
+                // Handled (with and without a model) in `run`.
+                return Err(FumeError::InvalidRequest(
+                    "a shared removal method requires a prebuilt model in the request"
+                        .into(),
+                ));
+            }
+        };
+        report.training_time = training_time;
+        Ok(report)
+    }
+
     /// Trains a DaRE forest on `train` and explains its violation on
     /// `test`. When resuming a checkpointed run, the persisted forest is
     /// reloaded instead (training time reported as zero).
+    #[deprecated(note = "use `Fume::run` with an `ExplainRequest` (see docs/serving.md)")]
     pub fn explain(
         &self,
         train: &Dataset,
         test: &Dataset,
         group: GroupSpec,
     ) -> Result<FumeReport, FumeError> {
-        if train.is_empty() || test.is_empty() {
-            return Err(FumeError::EmptyData);
-        }
-        if self.resume {
-            if let Some(dir) = &self.config.checkpoint_dir {
-                match checkpoint::load_forest(dir) {
-                    Ok(forest) => return self.explain_model(&forest, train, test, group),
-                    // No forest persisted yet (crash before the first
-                    // checkpoint): fall through and train fresh.
-                    Err(CheckpointError::NothingToResume(_)) => {}
-                    Err(e) => return Err(e.into()),
-                }
-            }
-        }
-        let t0 = Stopwatch::start();
-        let training_time;
-        let forest = {
-            let _span = fume_obs::span!("fume.phase.train", rows = train.num_rows());
-            let forest = DareForest::fit(train, self.config.forest.clone());
-            training_time = t0.elapsed();
-            forest
-        };
-        let mut report = self.explain_model(&forest, train, test, group)?;
-        report.training_time = training_time;
-        Ok(report)
+        self.run(&ExplainRequest::new(train, test, group))
     }
 
     /// Explains an already-trained forest's violation on `test`. The
     /// forest must have been trained on exactly the rows of `train`.
-    ///
-    /// With a `checkpoint_dir` configured, the forest is first persisted
-    /// there and *normalized* through a save/load round-trip (see
-    /// [`checkpoint::normalize_forest`]), so an interrupted run resumed
-    /// from the persisted copy reproduces this run byte-identically.
+    #[deprecated(
+        note = "use `Fume::run` with `ExplainRequest::with_model` (see docs/serving.md)"
+    )]
     pub fn explain_model(
         &self,
         forest: &DareForest,
@@ -252,19 +387,7 @@ impl Fume {
         test: &Dataset,
         group: GroupSpec,
     ) -> Result<FumeReport, FumeError> {
-        match &self.config.checkpoint_dir {
-            Some(dir) => {
-                let normalized = checkpoint::normalize_forest(dir, forest)?;
-                self.explain_with(
-                    DareRemoval::new(&normalized, train),
-                    &normalized,
-                    train,
-                    test,
-                    group,
-                )
-            }
-            None => self.explain_with(DareRemoval::new(forest, train), forest, train, test, group),
-        }
+        self.run(&ExplainRequest::new(train, test, group).with_model(forest))
     }
 
     /// Explains *any* deployed classifier's violation, given a
@@ -275,6 +398,10 @@ impl Fume {
     /// `model` must be the deployed model trained on exactly the rows of
     /// `train`, and `removal.with_removed(T, f)` must hand `f` a model
     /// emulating training on `train \ T`.
+    #[deprecated(
+        note = "use `Fume::run` with `ExplainRequest::with_classifier` and a \
+                Retrain/Shared `RemovalSpec` (see docs/serving.md)"
+    )]
     pub fn explain_with<R, C>(
         &self,
         removal: R,
@@ -282,6 +409,24 @@ impl Fume {
         train: &Dataset,
         test: &Dataset,
         group: GroupSpec,
+    ) -> Result<FumeReport, FumeError>
+    where
+        R: crate::removal::RemovalMethod,
+        C: fume_tabular::Classifier + ?Sized,
+    {
+        self.run_inner(removal, model, train, test, group, None)
+    }
+
+    /// The run body shared by every entrypoint: violation check, lattice
+    /// search over the attribution estimator, ranking.
+    fn run_inner<R, C>(
+        &self,
+        removal: R,
+        model: &C,
+        train: &Dataset,
+        test: &Dataset,
+        group: GroupSpec,
+        memo: Option<&dyn EvalMemo>,
     ) -> Result<FumeReport, FumeError>
     where
         R: crate::removal::RemovalMethod,
@@ -307,7 +452,7 @@ impl Fume {
             return Err(FumeError::NoViolation { metric: self.config.metric });
         }
 
-        let estimator = AttributionEstimator::new(
+        let mut estimator = AttributionEstimator::new(
             removal,
             self.config.metric,
             test,
@@ -315,6 +460,9 @@ impl Fume {
             original_bias,
             self.config.n_jobs,
         );
+        if let Some(memo) = memo {
+            estimator = estimator.with_memo(memo);
+        }
 
         let t0 = Stopwatch::start();
         let outcome = {
@@ -497,7 +645,7 @@ mod tests {
     #[test]
     fn finds_the_planted_cohort() {
         let (train, test, group) = setup();
-        let report = Fume::new(config()).explain(&train, &test, group).unwrap();
+        let report = Fume::new(config()).run(&ExplainRequest::new(&train, &test, group)).unwrap();
         assert!(report.original_bias > 0.02, "bias {}", report.original_bias);
         assert!(!report.top_k.is_empty());
         // The planted cohort (city = urban AND job = manual) must rank in
@@ -530,7 +678,7 @@ mod tests {
     #[test]
     fn report_is_internally_consistent() {
         let (train, test, group) = setup();
-        let report = Fume::new(config()).explain(&train, &test, group).unwrap();
+        let report = Fume::new(config()).run(&ExplainRequest::new(&train, &test, group)).unwrap();
         assert_eq!(report.original_fairness.abs(), report.original_bias);
         for s in &report.top_k {
             assert!((s.phi + s.parity_reduction).abs() < 1e-12);
@@ -550,7 +698,7 @@ mod tests {
     #[test]
     fn markdown_rendering() {
         let (train, test, group) = setup();
-        let report = Fume::new(config()).explain(&train, &test, group).unwrap();
+        let report = Fume::new(config()).run(&ExplainRequest::new(&train, &test, group)).unwrap();
         let md = report.to_markdown();
         assert!(md.starts_with("| # | Patterns"));
         assert!(md.lines().count() >= 3);
@@ -560,8 +708,8 @@ mod tests {
     #[test]
     fn deterministic_given_seeds() {
         let (train, test, group) = setup();
-        let a = Fume::new(config()).explain(&train, &test, group).unwrap();
-        let b = Fume::new(config()).explain(&train, &test, group).unwrap();
+        let a = Fume::new(config()).run(&ExplainRequest::new(&train, &test, group)).unwrap();
+        let b = Fume::new(config()).run(&ExplainRequest::new(&train, &test, group)).unwrap();
         assert_eq!(a.top_k, b.top_k);
         assert_eq!(a.evaluated, b.evaluated);
     }
@@ -581,10 +729,10 @@ mod tests {
         // a forest evaluated against itself may still be biased, so accept
         // either a successful run or the NoViolation error here — what we
         // assert is that empty data errors deterministically.
-        let _ = fume.explain_model(&forest, &train, &tiny, group);
+        let _ = fume.run(&ExplainRequest::new(&train, &tiny, group).with_model(&forest));
         let empty = train.select_rows(&[]).unwrap();
         assert_eq!(
-            fume.explain_model(&forest, &train, &empty, group).unwrap_err(),
+            fume.run(&ExplainRequest::new(&train, &empty, group).with_model(&forest)).unwrap_err(),
             FumeError::EmptyData
         );
     }
@@ -609,7 +757,7 @@ mod tests {
     fn extended_metric_equal_opportunity_is_explainable() {
         let (train, test, group) = setup();
         let fume = Fume::new(config().with_metric(FairnessMetric::EqualOpportunity));
-        match fume.explain(&train, &test, group) {
+        match fume.run(&ExplainRequest::new(&train, &test, group)) {
             Ok(report) => {
                 assert_eq!(report.metric, FairnessMetric::EqualOpportunity);
                 assert!(report.original_bias > 0.0);
@@ -629,5 +777,26 @@ mod tests {
         let (unlearned, report) = apply_removal(&forest, &train, &[0, 1, 2]);
         assert_eq!(unlearned.num_instances() + 3, forest.num_instances());
         assert!(report.leaves_updated > 0 || report.subtrees_retrained > 0);
+    }
+
+    /// Pins the deprecation contract: the legacy entrypoints are thin
+    /// wrappers over `Fume::run` and stay bit-identical to it.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_run() {
+        let (train, test, group) = setup();
+        let fume = Fume::new(config());
+        let via_run = fume.run(&ExplainRequest::new(&train, &test, group)).unwrap();
+        let via_explain = fume.explain(&train, &test, group).unwrap();
+        assert_eq!(via_run.top_k, via_explain.top_k);
+        assert_eq!(via_run.evaluated, via_explain.evaluated);
+
+        let forest = DareForest::fit(&train, fume.config().forest.clone());
+        let via_run_model = fume
+            .run(&ExplainRequest::new(&train, &test, group).with_model(&forest))
+            .unwrap();
+        let via_explain_model = fume.explain_model(&forest, &train, &test, group).unwrap();
+        assert_eq!(via_run_model.top_k, via_explain_model.top_k);
+        assert_eq!(via_run_model.evaluated, via_explain_model.evaluated);
     }
 }

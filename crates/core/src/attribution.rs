@@ -29,6 +29,22 @@ pub fn parity_reduction(original_bias: f64, bias_without: f64) -> f64 {
     -phi(original_bias, bias_without)
 }
 
+/// A memo of already-computed `ρ` values keyed by canonical row
+/// selection, consulted by [`AttributionEstimator`] before paying for an
+/// unlearn-eval. Implementations decide scope and eviction — the
+/// estimator only promises that `store(rows, rho)` is called with the
+/// exact `rho` an eval produced and that `lookup` results are used
+/// verbatim (so a memo shared across runs must key on everything `ρ`
+/// depends on beyond the rows: dataset, metric, and model identity).
+/// `fume-serve` implements this as its bounded cross-request LRU.
+pub trait EvalMemo: Sync {
+    /// The cached `ρ` for this row selection, if present.
+    fn lookup(&self, rows: &[u32]) -> Option<f64>;
+
+    /// Records a freshly computed `ρ` for this row selection.
+    fn store(&self, rows: &[u32], rho: f64);
+}
+
 /// Estimates subset attributions through a [`RemovalMethod`]: FUME's
 /// Equation 2 with `R` = DaRE unlearning, or the ground truth with `R` =
 /// retraining.
@@ -39,6 +55,7 @@ pub struct AttributionEstimator<'a, R: RemovalMethod> {
     group: GroupSpec,
     original_bias: f64,
     n_jobs: usize,
+    memo: Option<&'a dyn EvalMemo>,
     /// Wall-clock nanoseconds spent inside [`BatchEvaluator::evaluate`].
     eval_nanos: AtomicU64,
 }
@@ -47,11 +64,11 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     /// Builds an estimator around the deployed model's observed bias.
     /// `original_bias` must be positive (there must *be* a violation).
     ///
-    /// Calls [`RemovalMethod::prepare`] with the resolved worker count,
-    /// so pool-backed methods clone their scratch state once here rather
+    /// Calls [`RemovalMethod::warm`] with the resolved worker count, so
+    /// pool-backed methods clone their scratch state once here rather
     /// than per evaluated subset.
     pub fn new(
-        mut removal: R,
+        removal: R,
         metric: FairnessMetric,
         test: &'a Dataset,
         group: GroupSpec,
@@ -60,7 +77,7 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     ) -> Self {
         assert!(original_bias > 0.0, "no fairness violation to attribute");
         let n_jobs = n_jobs.unwrap_or_else(workers::available_parallelism).max(1);
-        removal.prepare(n_jobs);
+        removal.warm(n_jobs);
         Self {
             removal,
             metric,
@@ -68,8 +85,18 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
             group,
             original_bias,
             n_jobs,
+            memo: None,
             eval_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches an [`EvalMemo`] consulted before every unlearn-eval.
+    /// With a memo attached the `fume.unlearn_evals` counter reports
+    /// only the evals actually performed (memo misses), which is what
+    /// lets a trace prove a fully warm request cost zero unlearning.
+    pub fn with_memo(mut self, memo: &'a dyn EvalMemo) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// `ρ` for a single subset.
@@ -107,7 +134,6 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
             return Vec::new();
         }
         let _span = fume_obs::span!("fume.phase.unlearn_eval", batch = items.len());
-        fume_obs::counter!("fume.unlearn_evals", items.len());
         let t0 = Stopwatch::start();
 
         // Dedupe identical row selections: `slot_of[i]` maps item `i` to
@@ -129,13 +155,67 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
             fume_obs::progress::tick_deduped(deduped as u64);
         }
 
-        let jobs = self.n_jobs.min(unique.len());
-        let rho_unique: Vec<f64> = workers::parallel_map(&unique, jobs, |rows| {
+        // Consult the memo (if any) before paying for an unlearn-eval:
+        // hits reuse the cached ρ verbatim, only misses go to the pool.
+        let mut rho_unique: Vec<Option<f64>> = vec![None; unique.len()];
+        let miss_idx: Vec<usize> = match self.memo {
+            Some(memo) => {
+                let mut misses = Vec::with_capacity(unique.len());
+                for (i, rows) in unique.iter().enumerate() {
+                    match memo.lookup(rows) {
+                        Some(rho) => rho_unique[i] = Some(rho),
+                        None => misses.push(i),
+                    }
+                }
+                misses
+            }
+            None => (0..unique.len()).collect(),
+        };
+        // Without a memo the counter keeps its historical meaning (items
+        // submitted, pre-dedup); with one it counts evals actually run,
+        // so a fully warm request shows zero here in the trace.
+        if self.memo.is_none() {
+            fume_obs::counter!("fume.unlearn_evals", items.len());
+        } else if !miss_idx.is_empty() {
+            fume_obs::counter!("fume.unlearn_evals", miss_idx.len());
+        }
+
+        let miss_rows: Vec<&[u32]> = miss_idx.iter().map(|&i| unique[i]).collect();
+        let jobs = self.n_jobs.min(miss_rows.len());
+        let computed: Vec<f64> = workers::parallel_map(&miss_rows, jobs, |rows| {
             let rho = self.rho(rows);
             fume_obs::progress::tick_eval(1);
             rho
         });
-        let out = slot_of.into_iter().map(|i| rho_unique[i]).collect();
+        if let Some(memo) = self.memo {
+            for (&i, &rho) in miss_idx.iter().zip(&computed) {
+                memo.store(unique[i], rho);
+            }
+            // Correctness mode: re-derive every memo hit from scratch and
+            // demand bitwise agreement — a scope-confused memo (wrong
+            // dataset/metric/model in the key) fails loudly here.
+            if fume_forest::deepcheck::enabled() {
+                for (i, rows) in unique.iter().enumerate() {
+                    if let Some(cached) = rho_unique[i] {
+                        let fresh = self.rho(rows);
+                        assert!(
+                            cached.to_bits() == fresh.to_bits(),
+                            "FUME_DEEPCHECK: memoised ρ {cached} != recomputed ρ {fresh} \
+                             for a {}-row selection — eval memo scope is wrong",
+                            rows.len()
+                        );
+                    }
+                }
+            }
+        }
+        for (&i, &rho) in miss_idx.iter().zip(&computed) {
+            rho_unique[i] = Some(rho);
+        }
+        let out = slot_of
+            .into_iter()
+            // fume-lint: allow(F001) -- every index is either a memo hit (filled at lookup) or a miss (filled from `computed` just above); the partition is exhaustive by construction
+            .map(|i| rho_unique[i].expect("every unique selection resolved"))
+            .collect();
         self.eval_nanos
             .fetch_add(t0.elapsed_nanos(), Ordering::Relaxed);
         out
@@ -258,6 +338,91 @@ mod tests {
         assert_eq!(out.len(), 3, "every item still gets its ρ");
         assert_eq!(out[0], out[1], "duplicates share the evaluation result");
         assert_eq!(calls.load(Ordering::Relaxed), 2, "two distinct subsets → two removals");
+    }
+
+    #[test]
+    fn memo_hits_skip_removals_and_match_cold_results() {
+        use std::collections::HashMap as Map;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Mutex;
+
+        /// Counts removals actually executed underneath memo + dedup.
+        struct CountingRemoval<'a> {
+            inner: DareRemoval<'a>,
+            calls: &'a AtomicUsize,
+        }
+        impl RemovalMethod for CountingRemoval<'_> {
+            fn with_removed<T>(
+                &self,
+                subset: &[u32],
+                f: impl FnOnce(&dyn fume_tabular::Classifier) -> T,
+            ) -> T {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.with_removed(subset, f)
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+
+        #[derive(Default)]
+        struct MapMemo(Mutex<Map<Vec<u32>, f64>>);
+        impl EvalMemo for MapMemo {
+            fn lookup(&self, rows: &[u32]) -> Option<f64> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(rows)
+                    .copied()
+            }
+            fn store(&self, rows: &[u32], rho: f64) {
+                self.0
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(rows.to_vec(), rho);
+            }
+        }
+
+        let (train, test, group, forest, bias) = setup();
+        let preds: Vec<Predicate> =
+            (0..3u16).map(|v| Predicate::single(Literal::eq(1, v))).collect();
+        let selections: Vec<Vec<u32>> = preds.iter().map(|p| p.select(&train)).collect();
+        let items: Vec<EvalItem<'_>> = preds
+            .iter()
+            .zip(&selections)
+            .map(|(p, s)| EvalItem { predicate: p, rows: s })
+            .collect();
+
+        let cold = AttributionEstimator::new(
+            DareRemoval::new(&forest, &train),
+            FairnessMetric::StatisticalParity,
+            &test,
+            group,
+            bias,
+            Some(1),
+        );
+        let expect = cold.evaluate(&items);
+
+        let memo = MapMemo::default();
+        let calls = AtomicUsize::new(0);
+        for (pass, expected_calls) in [("cold", 3usize), ("warm", 3)] {
+            let est = AttributionEstimator::new(
+                CountingRemoval { inner: DareRemoval::new(&forest, &train), calls: &calls },
+                FairnessMetric::StatisticalParity,
+                &test,
+                group,
+                bias,
+                Some(1),
+            )
+            .with_memo(&memo);
+            let got = est.evaluate(&items);
+            assert_eq!(got, expect, "{pass} pass must match memo-less results");
+            assert_eq!(
+                calls.load(Ordering::Relaxed),
+                expected_calls,
+                "{pass}: cold pays every eval, warm pays zero"
+            );
+        }
     }
 
     #[test]

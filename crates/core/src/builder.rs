@@ -19,7 +19,7 @@
 //!     .support(SupportRange::new(0.02, 0.25).unwrap())
 //!     .top_k(5)
 //!     .build();
-//! let report = fume.explain(&train, &test, group).unwrap();
+//! let report = fume.run(&ExplainRequest::new(&train, &test, group)).unwrap();
 //! assert!(!report.top_k.is_empty());
 //! ```
 

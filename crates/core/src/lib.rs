@@ -12,9 +12,11 @@
 //! exponential predicate space is navigated by the apriori-style
 //! [lattice search](fume_lattice) with the paper's five pruning rules.
 //!
-//! Entry point: [`Fume::builder`](algorithm::Fume::builder) (fluent), or
-//! [`Fume::new`](algorithm::Fume::new) with an explicit [`FumeConfig`].
-//! Most users want `use fume_core::prelude::*;`.
+//! Entry point: build a [`Fume`](algorithm::Fume) (fluently via
+//! [`Fume::builder`](algorithm::Fume::builder), or [`Fume::new`] with an
+//! explicit [`FumeConfig`]) and execute an [`ExplainRequest`] with
+//! [`Fume::run`](algorithm::Fume::run). Most users want
+//! `use fume_core::prelude::*;`.
 
 #![warn(missing_docs)]
 
@@ -28,10 +30,12 @@ pub mod instance_attribution;
 pub mod path_mining;
 pub mod removal;
 pub mod report;
+pub mod report_json;
+pub mod request;
 pub mod slice_finder;
 
 pub use algorithm::{apply_removal, ExplainedSubset, Fume, FumeError, FumeReport};
-pub use attribution::{parity_reduction, phi, AttributionEstimator};
+pub use attribution::{parity_reduction, phi, AttributionEstimator, EvalMemo};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use baseline::{drop_unpriv_unfavor, BaselineResult};
 pub use builder::FumeBuilder;
@@ -39,8 +43,10 @@ pub use config::FumeConfig;
 pub use instance_attribution::{overlap_with_subset, rank_instances, InstanceAttribution};
 pub use path_mining::{mine_unfair_paths, MinedPattern};
 pub use removal::{
-    DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval,
+    DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn, RemovalMethod,
+    RetrainRemoval, SharedAdapter,
 };
+pub use request::{ExplainRequest, ModelSpec, RemovalSpec};
 pub use slice_finder::{find_slices, Slice};
 
 /// One-stop imports for a typical FUME run: the engine, its
@@ -55,12 +61,14 @@ pub use slice_finder::{find_slices, Slice};
 /// ```
 pub mod prelude {
     pub use crate::algorithm::{Fume, FumeError, FumeReport};
-    pub use crate::attribution::AttributionEstimator;
+    pub use crate::attribution::{AttributionEstimator, EvalMemo};
     pub use crate::builder::FumeBuilder;
     pub use crate::config::FumeConfig;
     pub use crate::removal::{
-        DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalMethod, RetrainRemoval,
+        DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn, RemovalMethod,
+        RetrainRemoval,
     };
+    pub use crate::request::{ExplainRequest, ModelSpec, RemovalSpec};
     pub use fume_fairness::FairnessMetric;
     pub use fume_forest::{DareConfig, DareForest, MaxFeatures};
     pub use fume_lattice::{LiteralGen, SupportRange};

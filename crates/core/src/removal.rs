@@ -36,13 +36,80 @@ pub trait RemovalMethod: Sync {
 
     /// One-time warm-up before a batch evaluation fans out over
     /// `workers` threads — e.g. pre-populating a scratch pool so no
-    /// worker pays a cold clone mid-loop. The default does nothing.
-    fn prepare(&mut self, workers: usize) {
+    /// worker pays a cold clone mid-loop. Takes `&self` (interior
+    /// mutability) so a long-lived removal method can be warmed once and
+    /// then shared across concurrent runs. The default does nothing.
+    fn warm(&self, workers: usize) {
         let _ = workers;
     }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Object-safe mirror of [`RemovalMethod`], for callers that hold a
+/// removal method behind `&dyn` — e.g. a long-lived serving engine that
+/// shares one warm [`DareRemoval`] pool across concurrent requests, or
+/// an [`ExplainRequest`](crate::ExplainRequest) carrying a custom
+/// method. `with_removed` is generic over the closure's return type and
+/// therefore not dyn-compatible; this trait narrows the closure to
+/// `&mut dyn FnMut` with no return value, and a blanket impl bridges
+/// every `RemovalMethod` automatically — implement only the generic
+/// trait, never this one.
+pub trait RemovalDyn: Sync {
+    /// Type-erased [`RemovalMethod::with_removed`]: runs `f` against the
+    /// model with `subset` removed. `f` is invoked exactly once.
+    fn with_removed_dyn(&self, subset: &[u32], f: &mut dyn FnMut(&dyn Classifier));
+
+    /// Type-erased [`RemovalMethod::warm`].
+    fn warm_dyn(&self, workers: usize);
+
+    /// Type-erased [`RemovalMethod::name`].
+    fn name_dyn(&self) -> &'static str;
+}
+
+impl<R: RemovalMethod> RemovalDyn for R {
+    fn with_removed_dyn(&self, subset: &[u32], f: &mut dyn FnMut(&dyn Classifier)) {
+        self.with_removed(subset, |model| f(model));
+    }
+
+    fn warm_dyn(&self, workers: usize) {
+        self.warm(workers);
+    }
+
+    fn name_dyn(&self) -> &'static str {
+        self.name()
+    }
+}
+
+/// Adapts a shared `&dyn RemovalDyn` back into a [`RemovalMethod`], so
+/// one long-lived removal method (e.g. a serving engine's warm
+/// [`DareRemoval`] pool) can be lent to many concurrent runs. The
+/// generic closure is threaded through the dyn boundary by stashing its
+/// result in an `Option`.
+#[derive(Clone, Copy)]
+pub struct SharedAdapter<'a>(pub &'a dyn RemovalDyn);
+
+impl RemovalMethod for SharedAdapter<'_> {
+    fn with_removed<T>(&self, subset: &[u32], f: impl FnOnce(&dyn Classifier) -> T) -> T {
+        let mut f = Some(f);
+        let mut out = None;
+        self.0.with_removed_dyn(subset, &mut |model| {
+            if let Some(f) = f.take() {
+                out = Some(f(model));
+            }
+        });
+        // fume-lint: allow(F001) -- RemovalDyn's contract is that the closure runs exactly once, and the blanket impl (the only intended implementor) guarantees it
+        out.expect("RemovalDyn::with_removed_dyn must invoke the closure exactly once")
+    }
+
+    fn warm(&self, workers: usize) {
+        self.0.warm_dyn(workers);
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name_dyn()
+    }
 }
 
 /// Machine unlearning via DaRE with a scratch-forest pool: workers lease
@@ -58,7 +125,7 @@ pub struct DareRemoval<'a> {
 impl<'a> DareRemoval<'a> {
     /// Wraps a trained forest and its training data. The scratch pool
     /// starts empty and fills on first use (or via
-    /// [`RemovalMethod::prepare`]).
+    /// [`RemovalMethod::warm`]).
     pub fn new(forest: &'a DareForest, train: &'a Dataset) -> Self {
         Self { forest, train, pool: Mutex::new(Vec::new()) }
     }
@@ -119,7 +186,7 @@ impl RemovalMethod for DareRemoval<'_> {
         out
     }
 
-    fn prepare(&mut self, workers: usize) {
+    fn warm(&self, workers: usize) {
         let mut pool = self.pool_guard();
         while pool.len() < workers.max(1) {
             pool.push(self.forest.clone());
@@ -253,8 +320,8 @@ mod tests {
     fn scratch_pool_reuses_forests_across_calls() {
         let (train, _) = planted_toy().generate_scaled(0.15, 65).unwrap();
         let forest = DareForest::fit(&train, DareConfig::small(65).with_trees(5));
-        let mut removal = DareRemoval::new(&forest, &train);
-        removal.prepare(2);
+        let removal = DareRemoval::new(&forest, &train);
+        removal.warm(2);
         assert_eq!(removal.pooled_scratch(), 2);
         for round in 0..4 {
             removal.with_removed(&[round, round + 10], |_| ());
@@ -306,6 +373,25 @@ mod tests {
             (b_dare - b_retrain).abs() < 0.08,
             "unlearned bias {b_dare} vs retrained {b_retrain}"
         );
+    }
+
+    #[test]
+    fn dyn_bridge_matches_generic_path() {
+        use fume_fairness::FairnessMetric;
+        let (data, group) = planted_toy().generate_scaled(0.3, 67).unwrap();
+        let (train, test) = fume_tabular::split::train_test_split(&data, 0.3, 67).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(67));
+        let removal = DareRemoval::new(&forest, &train);
+        let erased: &dyn RemovalDyn = &removal;
+        let metric = FairnessMetric::StatisticalParity;
+        let subset = [0u32, 3, 9];
+        let direct = removal.with_removed(&subset, |m| metric.bias(m, &test, group));
+        let mut via_dyn = f64::NAN;
+        erased.with_removed_dyn(&subset, &mut |m| via_dyn = metric.bias(m, &test, group));
+        assert_eq!(direct.to_bits(), via_dyn.to_bits());
+        erased.warm_dyn(3);
+        assert_eq!(removal.pooled_scratch(), 3);
+        assert_eq!(erased.name_dyn(), "DaRE unlearning");
     }
 
     #[test]

@@ -103,7 +103,7 @@ mod tests {
                 .with_support(SupportRange::new(0.02, 0.3).unwrap())
                 .with_forest(DareConfig::small(83).with_trees(10)),
         );
-        (fume.explain(&train, &test, group).unwrap(), train)
+        (fume.run(&crate::ExplainRequest::new(&train, &test, group)).unwrap(), train)
     }
 
     #[test]

@@ -115,6 +115,32 @@ pub fn parallel_zip_map<T: Send, A: Send, R: Send>(
     collect_slots(out)
 }
 
+/// Runs `main` while `n` long-lived workers execute `worker(i)` on
+/// scoped threads. Unlike [`parallel_map`] there is no work list: the
+/// workers are event loops (queue consumers, socket acceptors) that
+/// coordinate with `main` through whatever shared state the caller
+/// closes over. The scope joins every worker before returning, so
+/// `main` must arrange for the workers to observe shutdown (otherwise
+/// the join blocks forever — that is the caller's contract, the same
+/// structured-concurrency guarantee the mapping helpers give).
+/// `n == 0` runs `main` inline with no threads.
+pub fn scoped_workers<T: Send>(
+    n: usize,
+    worker: impl Fn(usize) + Sync,
+    main: impl FnOnce() -> T + Send,
+) -> T {
+    if n == 0 {
+        return main();
+    }
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let worker = &worker;
+            scope.spawn(move || worker(i));
+        }
+        main()
+    })
+}
+
 /// Unwraps the slot vector every helper fills. Chunking covers every
 /// index exactly once, so an empty slot is unreachable; the expect is
 /// the single audited join point for the whole worker module.
@@ -167,6 +193,39 @@ mod tests {
         assert_eq!(parallel_map(&[42], 8, |&x| x), vec![42]);
         let empty: Vec<i32> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn scoped_workers_join_before_return() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Condvar, Mutex};
+        use std::sync::PoisonError;
+        let done = AtomicUsize::new(0);
+        let gate = (Mutex::new(false), Condvar::new());
+        let out = scoped_workers(
+            3,
+            |_i| {
+                let (lock, cv) = &gate;
+                let mut open = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*open {
+                    open = cv.wait(open).unwrap_or_else(PoisonError::into_inner);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            },
+            || {
+                let (lock, cv) = &gate;
+                *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cv.notify_all();
+                42
+            },
+        );
+        assert_eq!(out, 42);
+        assert_eq!(done.load(Ordering::SeqCst), 3, "scope joins all workers");
+    }
+
+    #[test]
+    fn scoped_workers_zero_runs_inline() {
+        assert_eq!(scoped_workers(0, |_| unreachable!(), || 7), 7);
     }
 
     #[test]

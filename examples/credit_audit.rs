@@ -14,7 +14,7 @@
 //! ```
 
 use fume::core::{
-    apply_removal, drop_unpriv_unfavor, mine_unfair_paths, Fume,
+    apply_removal, drop_unpriv_unfavor, mine_unfair_paths, ExplainRequest, Fume,
 };
 use fume::fairness::{fairest_threshold, threshold_sweep, FairnessMetric};
 use fume::forest::{DareConfig, DareForest};
@@ -92,7 +92,7 @@ fn main() {
     println!("\n== Strategy 3: FUME top-5 attributable subsets (5-15% support) ==");
     let fume = Fume::builder().forest(forest_cfg).build();
     let report = fume
-        .explain_model(&forest, &train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group).with_model(&forest))
         .expect("the model is biased");
     print!("{}", report.to_markdown());
     println!(

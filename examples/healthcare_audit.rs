@@ -10,7 +10,7 @@
 //! cargo run --release --example healthcare_audit
 //! ```
 
-use fume::core::Fume;
+use fume::core::{ExplainRequest, Fume};
 use fume::fairness::{fairness_report, FairnessMetric};
 use fume::forest::{DareConfig, DareForest};
 use fume::tabular::datasets::meps;
@@ -40,7 +40,7 @@ fn main() {
             .top_k(3)
             .forest(forest_cfg.clone())
             .build();
-        match fume.explain_model(&forest, &train, &test, group) {
+        match fume.run(&ExplainRequest::new(&train, &test, group).with_model(&forest)) {
             Ok(report) => print!("{}", report.to_markdown()),
             Err(e) => println!("  ({e})"),
         }

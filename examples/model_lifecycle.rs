@@ -8,7 +8,7 @@
 //! cargo run --release --example model_lifecycle
 //! ```
 
-use fume::core::{find_slices, overlap_with_subset, rank_instances, Fume};
+use fume::core::{find_slices, overlap_with_subset, rank_instances, ExplainRequest, Fume};
 use fume::fairness::FairnessMetric;
 use fume::forest::persist;
 use fume::forest::{DareConfig, DareForest};
@@ -58,7 +58,7 @@ fn main() {
         .forest(cfg.clone())
         .build();
     let audit = fume
-        .explain_model(&served, &train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group).with_model(&served))
         .expect("the toy model is biased");
     println!(
         "\naudit: |F| = {:.4}; top attributable subset: {} (removes {:.1}% of the bias)",

@@ -9,7 +9,7 @@
 //! cargo run --release --example policing_audit
 //! ```
 
-use fume::core::{Fume, RetrainRemoval, RemovalMethod};
+use fume::core::{ExplainRequest, Fume, RetrainRemoval, RemovalMethod};
 use fume::fairness::{permutation_importance, FairnessMetric};
 use fume::forest::{DareConfig, DareForest};
 use fume::tabular::datasets::sqf;
@@ -32,7 +32,7 @@ fn main() {
 
     let fume = Fume::builder().forest(forest_cfg.clone()).build();
     let report = fume
-        .explain_model(&forest, &train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group).with_model(&forest))
         .expect("the model is biased");
     print!("\n{}", report.to_markdown());
 

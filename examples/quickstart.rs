@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fume::core::Fume;
+use fume::core::{ExplainRequest, Fume};
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::tabular::datasets::planted_toy;
@@ -32,7 +32,7 @@ fn main() {
     // 3. Explain. FUME trains a DaRE forest, measures its violation, and
     //    searches the predicate lattice using machine unlearning to score
     //    every candidate subset.
-    let report = fume.explain(&train, &test, group).expect("a violation exists");
+    let report = fume.run(&ExplainRequest::new(&train, &test, group)).expect("a violation exists");
 
     println!(
         "\nmodel accuracy: {:.1}%   statistical parity violation |F|: {:.4}",

@@ -115,6 +115,52 @@ for site in post-eval post-level mid-checkpoint-write:3; do
     echo "    $site: killed, resumed, reports identical"
 done
 
+echo "==> fume-serve smoke: persistent engine vs one-shot CLI"
+# The same dataset/model flags must yield byte-identical canonical
+# reports whether answered by the persistent engine or a fresh CLI run —
+# and the repeated request must be served from the cross-request cache.
+rcli="target/release/fume-cli"
+serve="target/release/fume-serve"
+"$rcli" explain $common --json > "$smoke_dir/cli_report.json" 2>/dev/null
+session="$smoke_dir/serve_session.txt"
+printf '%s\n' \
+    '{"op":"explain","id":"r1"}' \
+    '{"op":"explain","id":"r2"}' \
+    '{"op":"stats","id":"r3"}' \
+    | "$serve" $common --workers 2 > "$session" 2>/dev/null
+lines=$(wc -l < "$session")
+if [ "$lines" -ne 3 ]; then
+    echo "fume-serve session answered $lines/3 requests" >&2
+    cat "$session" >&2
+    exit 1
+fi
+cli_report=$(cat "$smoke_dir/cli_report.json")
+matches=$(grep -cF "\"report\":${cli_report}}" "$session" || true)
+if [ "$matches" -ne 2 ]; then
+    echo "fume-serve reports do not match fume-cli --json ($matches/2 lines)" >&2
+    exit 1
+fi
+hits=$(sed -n 's/.*"cache_hits":\([0-9][0-9]*\).*/\1/p' "$session")
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "repeated request did not hit the cross-request cache" >&2
+    grep '"id":"r3"' "$session" >&2 || true
+    exit 1
+fi
+echo "    2 explains byte-identical to the CLI; repeat served from cache (hits=$hits)"
+
+echo "==> bench smoke: serve throughput (warm cache vs cold)"
+cargo bench -q --offline -p fume-bench --bench serve_throughput -- --smoke
+serve_speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' BENCH_serve.json)
+if [ -z "$serve_speedup" ]; then
+    echo "could not read speedup from BENCH_serve.json" >&2
+    exit 1
+fi
+if ! awk -v s="$serve_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "warm (cached) serve path slower than cold (speedup ${serve_speedup}x)" >&2
+    exit 1
+fi
+echo "    warm path ${serve_speedup}x over cold"
+
 echo "==> verify: no crates-io dependencies"
 if cargo tree --offline --workspace --edges normal,build,dev | grep -v '^\s*$' \
     | grep -vE '\(\*\)$' | grep -E 'v[0-9]' | grep -vE 'fume(-[a-z]+)? v'; then

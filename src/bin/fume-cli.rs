@@ -11,7 +11,7 @@
 
 use std::process::exit;
 
-use fume::core::{drop_unpriv_unfavor, find_slices, Fume, FumeConfig};
+use fume::core::{drop_unpriv_unfavor, find_slices, ExplainRequest, Fume, FumeConfig};
 use fume::fairness::FairnessMetric;
 use fume::forest::{DareConfig, DareForest};
 use fume::lattice::{LiteralGen, SupportRange};
@@ -41,6 +41,7 @@ struct Args {
     progress: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
+    json: bool,
 }
 
 fn usage() -> ! {
@@ -60,7 +61,8 @@ fn usage() -> ! {
                   --trace FILE          write a JSONL span/counter trace (or set FUME_TRACE)\n\
                   --progress            live search status line on stderr (level, evals/s, ETA)\n\
                   --checkpoint-dir DIR  checkpoint the explain run (forest + search state)\n\
-                  --resume              continue a crashed run from --checkpoint-dir"
+                  --resume              continue a crashed run from --checkpoint-dir\n\
+                  --json                print the explain report as canonical JSON (schema 1)"
     );
     exit(2)
 }
@@ -97,6 +99,7 @@ fn parse_args() -> Args {
         progress: false,
         checkpoint_dir: None,
         resume: false,
+        json: false,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -143,6 +146,7 @@ fn parse_args() -> Args {
             "--progress" => args.progress = true,
             "--checkpoint-dir" => args.checkpoint_dir = Some(value()),
             "--resume" => args.resume = true,
+            "--json" => args.json = true,
             "--help" | "-h" => usage(),
             other => fail(format!("unknown flag `{other}`")),
         }
@@ -152,6 +156,9 @@ fn parse_args() -> Args {
     }
     if args.resume && args.checkpoint_dir.is_none() {
         fail("--resume requires --checkpoint-dir");
+    }
+    if args.json && args.command != "explain" {
+        fail("--json only applies to the explain command");
     }
     if args.checkpoint_dir.is_some() && args.command != "explain" {
         fail("--checkpoint-dir only applies to the explain command");
@@ -250,7 +257,7 @@ fn main() {
         });
     }
     let (train, test, group) = load(&args);
-    println!(
+    let banner = format!(
         "loaded {} train / {} test rows, {} attributes; sensitive `{}` (privileged `{}`)",
         train.num_rows(),
         test.num_rows(),
@@ -258,6 +265,12 @@ fn main() {
         args.sensitive,
         args.privileged
     );
+    if args.json {
+        // Keep stdout pure JSON for scripting.
+        eprintln!("{banner}");
+    } else {
+        println!("{banner}");
+    }
     let cfg = config(&args);
     if args.trace.is_some() {
         let rec = fume::obs::global().expect("recorder installed when tracing");
@@ -279,7 +292,8 @@ fn main() {
             } else {
                 Fume::new(cfg)
             };
-            match fume.explain(&train, &test, group) {
+            match fume.run(&ExplainRequest::new(&train, &test, group)) {
+                Ok(report) if args.json => println!("{}", report.to_json()),
                 Ok(report) => {
                     println!(
                         "\nmodel accuracy {:.1}% · {} violation |F| = {:.4} · \

@@ -6,11 +6,13 @@
 //! * [`forest`] — DaRE random forests with exact unlearning;
 //! * [`fairness`] — group-fairness metrics and feature importance;
 //! * [`lattice`] — predicate search space with pruning;
-//! * [`core`] — the FUME top-k attribution algorithm itself.
+//! * [`core`] — the FUME top-k attribution algorithm itself;
+//! * [`serve`] — the persistent multi-request explain engine.
 
 pub use fume_core as core;
 pub use fume_fairness as fairness;
 pub use fume_forest as forest;
 pub use fume_lattice as lattice;
 pub use fume_obs as obs;
+pub use fume_serve as serve;
 pub use fume_tabular as tabular;

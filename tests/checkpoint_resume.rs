@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use fume::core::checkpoint;
-use fume::core::{CheckpointError, Fume, FumeConfig, FumeError, FumeReport};
+use fume::core::{CheckpointError, ExplainRequest, Fume, FumeConfig, FumeError, FumeReport};
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::obs::fault;
@@ -46,7 +46,7 @@ fn fresh_dir(name: &str) -> PathBuf {
 }
 
 fn run(dir: &Path, train: &Dataset, test: &Dataset, group: GroupSpec) -> FumeReport {
-    Fume::new(config(dir)).explain(train, test, group).unwrap()
+    Fume::new(config(dir)).run(&ExplainRequest::new(train, test, group)).unwrap()
 }
 
 /// The two runs must agree bit-for-bit on everything the run computes;
@@ -76,7 +76,7 @@ fn uninterrupted_checkpointed_run_matches_plain_run_ranking() {
     // only need to be a working run (see docs/checkpointing.md).
     let mut plain_cfg = config(&dir);
     plain_cfg.checkpoint_dir = None;
-    let plain = Fume::new(plain_cfg).explain(&train, &test, group).unwrap();
+    let plain = Fume::new(plain_cfg).run(&ExplainRequest::new(&train, &test, group)).unwrap();
     assert_eq!(ckpt_report.original_bias.to_bits(), plain.original_bias.to_bits());
     assert_eq!(ckpt_report.original_accuracy.to_bits(), plain.original_accuracy.to_bits());
     assert_eq!(ckpt_report.metric, plain.metric);
@@ -120,7 +120,7 @@ fn killed_runs_resume_to_byte_identical_reports() {
 
         let resumed = Fume::resume(&dir)
             .unwrap_or_else(|e| panic!("site {site}:{nth}: resume failed: {e}"))
-            .explain(&train, &test, group)
+            .run(&ExplainRequest::new(&train, &test, group))
             .unwrap_or_else(|e| panic!("site {site}:{nth}: resumed run failed: {e}"));
         assert_reports_identical(&baseline, &resumed);
         // Resumption reloads the persisted forest; no retraining happened.
@@ -139,7 +139,7 @@ fn resuming_a_finished_run_replays_the_report() {
     let baseline = run(&dir, &train, &test, group);
     let ckpt = checkpoint::load_state(&dir).unwrap();
     assert!(ckpt.state.done, "terminal state must be persisted");
-    let replay = Fume::resume(&dir).unwrap().explain(&train, &test, group).unwrap();
+    let replay = Fume::resume(&dir).unwrap().run(&ExplainRequest::new(&train, &test, group)).unwrap();
     assert_reports_identical(&baseline, &replay);
 }
 
@@ -186,7 +186,7 @@ fn resume_rejects_different_data_or_config() {
     // Different data (another seed) under the same checkpoint: rejected.
     let (data2, group2) = german_credit().generate_scaled(0.2, SEED + 1).unwrap();
     let (train2, test2) = train_test_split(&data2, 0.3, SEED).unwrap();
-    match Fume::resume(&dir).unwrap().explain(&train2, &test2, group2) {
+    match Fume::resume(&dir).unwrap().run(&ExplainRequest::new(&train2, &test2, group2)) {
         Err(FumeError::Checkpoint(CheckpointError::Mismatch(_))) => {}
         other => panic!("expected Mismatch, got {other:?}"),
     }
@@ -194,7 +194,7 @@ fn resume_rejects_different_data_or_config() {
     // A fresh (non-resume) run with a different config over the same dir
     // simply overwrites the checkpoint — it must not be poisoned by it.
     let other_cfg = config(&dir).with_top_k(3);
-    let report = Fume::new(other_cfg).explain(&train, &test, group).unwrap();
+    let report = Fume::new(other_cfg).run(&ExplainRequest::new(&train, &test, group)).unwrap();
     assert!(report.top_k.len() <= 3);
 }
 
@@ -218,7 +218,7 @@ fn fault_during_checkpoint_write_preserves_previous_checkpoint() {
     // the interrupted write's temp file never shadows it.
     let ckpt = checkpoint::load_state(&dir).unwrap();
     assert!(!ckpt.state.done);
-    let resumed = Fume::resume(&dir).unwrap().explain(&train, &test, group).unwrap();
+    let resumed = Fume::resume(&dir).unwrap().run(&ExplainRequest::new(&train, &test, group)).unwrap();
     let baseline_dir = fresh_dir("atomic_baseline");
     let baseline = run(&baseline_dir, &train, &test, group);
     assert_reports_identical(&baseline, &resumed);

@@ -2,7 +2,7 @@
 //! categorical) data, discretize it, and run FUME on it — no synthetic
 //! generator involved.
 
-use fume::core::{Fume, FumeConfig};
+use fume::core::{ExplainRequest, Fume, FumeConfig};
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::tabular::csv::{parse_csv, to_csv, CsvOptions};
@@ -54,7 +54,7 @@ fn csv_to_fume_pipeline() {
             .with_support(SupportRange::new(0.05, 0.40).expect("valid"))
             .with_forest(DareConfig::small(5).with_trees(10)),
     );
-    let report = fume.explain(&train, &test, group).expect("bias exists");
+    let report = fume.run(&ExplainRequest::new(&train, &test, group)).expect("bias exists");
     assert!(!report.top_k.is_empty());
     // The planted cohort is (job = manual, sex = f); its removal — or the
     // removal of either defining literal's cohort — is what reduces bias.

@@ -2,7 +2,7 @@
 //! through the `fume` facade: generate biased data → train a DaRE forest
 //! → explain the violation → act on the explanation.
 
-use fume::core::{apply_removal, drop_unpriv_unfavor, Fume, FumeConfig, FumeError};
+use fume::core::{apply_removal, drop_unpriv_unfavor, ExplainRequest, Fume, FumeConfig, FumeError};
 use fume::fairness::FairnessMetric;
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
@@ -26,7 +26,7 @@ fn fume_recovers_planted_bias_across_seeds() {
     let mut hits = 0;
     for seed in [101u64, 202, 303] {
         let (train, test, group) = setup(seed);
-        let report = Fume::new(config(seed)).explain(&train, &test, group).expect("violation");
+        let report = Fume::new(config(seed)).run(&ExplainRequest::new(&train, &test, group)).expect("violation");
         let found = report.top_k.iter().any(|s| {
             s.predicate.literals().iter().all(|l| {
                 PLANTED_TOY_COHORT
@@ -47,7 +47,7 @@ fn acting_on_the_top_subset_reduces_real_bias() {
     let (train, test, group) = setup(7);
     let fume = Fume::new(config(7));
     let forest = fume::forest::DareForest::fit(&train, fume.config().forest.clone());
-    let report = fume.explain_model(&forest, &train, &test, group).expect("violation");
+    let report = fume.run(&ExplainRequest::new(&train, &test, group).with_model(&forest)).expect("violation");
     let top = report.top_k.first().expect("found subsets");
 
     let (cleaned, _) = apply_removal(&forest, &train, &top.rows);
@@ -74,7 +74,7 @@ fn fume_beats_baseline_on_data_efficiency() {
     // where it rivals the baseline's blanket removal.
     let (train, test, group) = setup(12);
     let fume = Fume::new(config(12));
-    let report = fume.explain(&train, &test, group).expect("violation");
+    let report = fume.run(&ExplainRequest::new(&train, &test, group)).expect("violation");
     let top = report.top_k.first().expect("found subsets");
 
     let baseline = drop_unpriv_unfavor(
@@ -98,7 +98,7 @@ fn all_three_metrics_can_be_explained() {
     let (train, test, group) = setup(13);
     for metric in FairnessMetric::ALL {
         let fume = Fume::new(config(13).with_metric(metric));
-        match fume.explain(&train, &test, group) {
+        match fume.run(&ExplainRequest::new(&train, &test, group)) {
             Ok(report) => {
                 assert_eq!(report.metric, metric);
                 for s in &report.top_k {
@@ -115,7 +115,7 @@ fn all_three_metrics_can_be_explained() {
 #[test]
 fn subset_rows_actually_match_their_pattern() {
     let (train, test, group) = setup(17);
-    let report = Fume::new(config(17)).explain(&train, &test, group).expect("violation");
+    let report = Fume::new(config(17)).run(&ExplainRequest::new(&train, &test, group)).expect("violation");
     for s in &report.top_k {
         let reselected = s.predicate.select(&train);
         assert_eq!(s.rows, reselected, "{}", s.pattern);
@@ -129,7 +129,7 @@ fn exclude_attrs_keeps_sensitive_attribute_out_of_explanations() {
     let (train, test, group) = setup(19);
     let mut cfg = config(19);
     cfg.exclude_attrs = vec![group.attr as u16];
-    let report = Fume::new(cfg).explain(&train, &test, group).expect("violation");
+    let report = Fume::new(cfg).run(&ExplainRequest::new(&train, &test, group)).expect("violation");
     for s in &report.top_k {
         assert!(
             s.predicate.literals().iter().all(|l| l.attr as usize != group.attr),
@@ -142,8 +142,8 @@ fn exclude_attrs_keeps_sensitive_attribute_out_of_explanations() {
 #[test]
 fn larger_k_extends_rather_than_reorders_the_ranking() {
     let (train, test, group) = setup(23);
-    let r3 = Fume::new(config(23).with_top_k(3)).explain(&train, &test, group).unwrap();
-    let r8 = Fume::new(config(23).with_top_k(8)).explain(&train, &test, group).unwrap();
+    let r3 = Fume::new(config(23).with_top_k(3)).run(&ExplainRequest::new(&train, &test, group)).unwrap();
+    let r8 = Fume::new(config(23).with_top_k(8)).run(&ExplainRequest::new(&train, &test, group)).unwrap();
     assert!(r8.top_k.len() >= r3.top_k.len());
     for (a, b) in r3.top_k.iter().zip(&r8.top_k) {
         assert_eq!(a.pattern, b.pattern);

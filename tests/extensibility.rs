@@ -2,7 +2,7 @@
 //! runs unchanged on *other* model families by swapping the removal
 //! method behind `EstimateAttribution`.
 
-use fume::core::{Fume, FumeConfig, GbdtRetrainRemoval, RetrainRemoval};
+use fume::core::{ExplainRequest, Fume, FumeConfig, GbdtRetrainRemoval, RemovalSpec, RetrainRemoval};
 use fume::forest::extra_trees::ExtraForest;
 use fume::forest::{DareConfig, Gbdt, GbdtConfig};
 use fume::lattice::SupportRange;
@@ -45,8 +45,11 @@ fn fume_explains_a_gbdt_via_retraining_removal() {
     let model = Gbdt::fit(&train, cfg.clone());
     assert!(model.accuracy(&test) > 0.5);
 
+    let removal = GbdtRetrainRemoval::new(&train, cfg);
     let report = fume()
-        .explain_with(GbdtRetrainRemoval::new(&train, cfg), &model, &train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group)
+            .with_classifier(&model)
+            .with_removal(RemovalSpec::Shared(&removal)))
         .expect("the GBDT inherits the planted bias");
     assert!(!report.top_k.is_empty());
     assert!(report.top_k[0].parity_reduction > 0.0);
@@ -66,14 +69,11 @@ fn fume_explains_an_extremely_randomized_forest() {
     // path on purpose — any (model, removal) pair plugs in. The removal
     // must mirror how the model was trained (ERT = all-random layers).
     let ert_cfg = DareConfig { random_depth: cfg.max_depth, ..cfg };
+    let removal = RetrainRemoval::new(&train, ert_cfg);
     let report = fume()
-        .explain_with(
-            RetrainRemoval::new(&train, ert_cfg),
-            model.as_dare(),
-            &train,
-            &test,
-            group,
-        )
+        .run(&ExplainRequest::new(&train, &test, group)
+            .with_classifier(model.as_dare())
+            .with_removal(RemovalSpec::Shared(&removal)))
         .expect("the ERT inherits the planted bias");
     assert!(!report.top_k.is_empty());
     assert!(report.top_k[0].parity_reduction > 0.0);
@@ -88,13 +88,16 @@ fn dare_and_gbdt_explanations_agree_on_the_culprit_family() {
             .with_support(SupportRange::new(0.02, 0.30).expect("valid"))
             .with_forest(DareConfig::small(57).with_trees(15)),
     )
-    .explain(&train, &test, group)
+    .run(&ExplainRequest::new(&train, &test, group))
     .expect("violation");
     // GBDT path.
     let cfg = GbdtConfig { n_rounds: 25, seed: 57, ..GbdtConfig::default() };
     let model = Gbdt::fit(&train, cfg.clone());
+    let removal = GbdtRetrainRemoval::new(&train, cfg);
     let gbdt_report = fume()
-        .explain_with(GbdtRetrainRemoval::new(&train, cfg), &model, &train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group)
+            .with_classifier(&model)
+            .with_removal(RemovalSpec::Shared(&removal)))
         .expect("violation");
 
     // Both should identify cohorts touching the planted attributes

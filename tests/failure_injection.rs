@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use fume::core::{drop_unpriv_unfavor, Fume, FumeConfig, FumeError};
+use fume::core::{drop_unpriv_unfavor, ExplainRequest, Fume, FumeConfig, FumeError};
 use fume::fairness::{fairness_report, FairnessMetric};
 use fume::forest::{DareConfig, DareForest};
 use fume::lattice::SupportRange;
@@ -71,7 +71,7 @@ fn fume_errors_cleanly_when_support_range_excludes_everything() {
             .with_support(SupportRange::new(0.90, 0.95).unwrap())
             .with_forest(DareConfig::small(3).with_trees(5)),
     );
-    match fume.explain(&train, &test, group) {
+    match fume.run(&ExplainRequest::new(&train, &test, group)) {
         Ok(report) => {
             assert!(report.top_k.is_empty());
             assert_eq!(report.unlearning_operations, 0);
@@ -89,7 +89,7 @@ fn fume_with_all_attributes_excluded_finds_nothing() {
         .with_support(SupportRange::new(0.01, 0.9).unwrap())
         .with_forest(DareConfig::small(4).with_trees(5));
     cfg.exclude_attrs = (0..train.num_attributes() as u16).collect();
-    match Fume::new(cfg).explain(&train, &test, group) {
+    match Fume::new(cfg).run(&ExplainRequest::new(&train, &test, group)) {
         Ok(report) => assert!(report.top_k.is_empty()),
         Err(FumeError::NoViolation { .. }) => {}
         Err(e) => panic!("unexpected: {e}"),
@@ -148,7 +148,7 @@ fn explaining_with_train_equals_test_works() {
             .with_support(SupportRange::new(0.02, 0.3).unwrap())
             .with_forest(DareConfig::small(7).with_trees(10)),
     );
-    match fume.explain(&data, &data, group) {
+    match fume.run(&ExplainRequest::new(&data, &data, group)) {
         Ok(report) => assert!(report.original_bias > 0.0),
         Err(FumeError::NoViolation { .. }) => {}
         Err(e) => panic!("unexpected: {e}"),

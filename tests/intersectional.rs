@@ -2,7 +2,7 @@
 //! and explain the violation against a specific intersection — the
 //! "Gender Shades"-style workflow.
 
-use fume::core::{Fume, FumeConfig};
+use fume::core::{ExplainRequest, Fume, FumeConfig};
 use fume::fairness::FairnessMetric;
 use fume::forest::{DareConfig, DareForest};
 use fume::lattice::SupportRange;
@@ -101,7 +101,7 @@ fn fume_explains_the_intersectional_violation() {
     // would trivially mirror the group definition.
     cfg.exclude_attrs = vec![idx as u16];
     let report = Fume::new(cfg)
-        .explain(&train, &test, group)
+        .run(&ExplainRequest::new(&train, &test, group))
         .expect("intersectional violation exists");
     assert!(!report.top_k.is_empty());
     // The top subsets should touch sex or race — the axes of the planted

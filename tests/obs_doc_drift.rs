@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use fume::core::{Fume, FumeConfig};
+use fume::core::{ExplainRequest, Fume, FumeConfig};
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::tabular::datasets::planted_toy;
@@ -70,6 +70,15 @@ const SITUATIONAL: &[(&str, &str)] = &[
     // Only when a level contains two subsets with identical row sets;
     // the planted toy lattice has none.
     ("fume.unlearn_evals.deduped", "counter"),
+    // Only when a serve job fails or panics; the battery's jobs succeed.
+    ("fume.serve.jobs_failed", "counter"),
+    // Only when the serve queue overflows; the battery submits serially.
+    ("fume.serve.busy_rejections", "counter"),
+    // Only when the eval cache exceeds its capacity; two identical
+    // requests on a toy lattice stay well under the default bound.
+    ("fume.serve.cache.evictions", "counter"),
+    // Only after a panicking cache-lock holder.
+    ("fume.serve.cache.poison_recoveries", "counter"),
 ];
 
 #[test]
@@ -100,9 +109,9 @@ fn emitted_names_match_the_documented_vocabulary() {
         .with_forest(DareConfig::small(99))
         .with_support(SupportRange::new(0.02, 0.30).unwrap())
         .with_checkpoint_dir(&dir);
-    Fume::new(config).explain(&train, &test, group).unwrap();
+    Fume::new(config).run(&ExplainRequest::new(&train, &test, group)).unwrap();
     // Resuming the finished run replays it: `ckpt.load` + `ckpt.resumes`.
-    Fume::resume(&dir).unwrap().explain(&train, &test, group).unwrap();
+    Fume::resume(&dir).unwrap().run(&ExplainRequest::new(&train, &test, group)).unwrap();
 
     let forest_path = dir.join("roundtrip.dare");
     let held_out = 8u32;
@@ -114,6 +123,29 @@ fn emitted_names_match_the_documented_vocabulary() {
     let wave: Vec<u32> = (0..held_out).collect();
     forest.insert(&wave, &train).unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+
+    // A short serve session: two identical explain jobs, so the second is
+    // answered entirely by the cross-request cache (`fume.serve.cache.hits`)
+    // while the first populated it (`fume.serve.cache.misses`).
+    let serve_config = FumeConfig::default()
+        .with_forest(DareConfig::small(99))
+        .with_support(SupportRange::new(0.02, 0.30).unwrap());
+    let engine = fume::serve::Engine::new(
+        serve_config,
+        train.clone(),
+        test.clone(),
+        group,
+        fume::serve::EngineOptions { workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    engine.serve(|h| {
+        for _ in 0..2 {
+            h.explain(fume::serve::ExplainOverrides::default())
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+    });
 
     let emitted = rec.inventory();
     rec.reset();

@@ -1,0 +1,203 @@
+//! Integration tests for the persistent serve engine (`fume-serve`)
+//! through the facade: concurrent clients must see exactly what serial
+//! clients see, warm repeats must be answered entirely by the
+//! cross-request eval cache, and overload/faults must surface as typed
+//! protocol errors rather than hangs.
+
+use std::sync::{Mutex, PoisonError};
+
+use fume::core::FumeConfig;
+use fume::forest::DareConfig;
+use fume::lattice::SupportRange;
+use fume::serve::{serve_lines, Engine, EngineOptions, ExplainOverrides, JobReply};
+use fume::tabular::datasets::planted_toy;
+use fume::tabular::split::train_test_split;
+use fume::tabular::workers;
+
+/// Fault arming is process-global and every explain job passes through
+/// the `serve-mid-job` fault site, so tests that run jobs must not
+/// overlap with the test that arms it.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn engine_with(opts: EngineOptions) -> Engine {
+    let (data, group) = planted_toy().generate_scaled(0.6, 7).unwrap();
+    let (train, test) = train_test_split(&data, 0.3, 7).unwrap();
+    let config = FumeConfig::default()
+        .with_forest(DareConfig::small(7))
+        .with_support(SupportRange::new(0.02, 0.30).unwrap());
+    Engine::new(config, train, test, group, opts).unwrap()
+}
+
+fn engine(workers: usize) -> Engine {
+    engine_with(EngineOptions { workers, ..EngineOptions::default() })
+}
+
+fn client_overrides(i: usize) -> ExplainOverrides {
+    ExplainOverrides { top_k: Some(3 + i), ..ExplainOverrides::default() }
+}
+
+fn report_json(reply: JobReply) -> String {
+    match reply {
+        JobReply::Report(report) => report.to_json(),
+        JobReply::Stats(_) => panic!("expected a report reply"),
+    }
+}
+
+#[test]
+fn concurrent_clients_are_byte_identical_to_serial() {
+    let _g = serial();
+    const CLIENTS: usize = 3;
+
+    // Serial baseline: a single-worker engine answering one request at a
+    // time, in order.
+    let baseline: Vec<String> = engine(1).serve(|h| {
+        (0..CLIENTS)
+            .map(|i| report_json(h.explain(client_overrides(i)).unwrap().wait().unwrap()))
+            .collect()
+    });
+
+    // The same requests from concurrent client threads against a
+    // multi-worker engine sharing one eval cache.
+    let slots: Vec<Mutex<Option<String>>> =
+        (0..CLIENTS).map(|_| Mutex::new(None)).collect();
+    engine(2).serve(|h| {
+        workers::scoped_workers(
+            CLIENTS,
+            |i| {
+                let json =
+                    report_json(h.explain(client_overrides(i)).unwrap().wait().unwrap());
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(json);
+            },
+            || (),
+        )
+    });
+
+    for (i, (slot, expected)) in slots.iter().zip(&baseline).enumerate() {
+        let got = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(
+            got.as_deref(),
+            Some(expected.as_str()),
+            "client {i}: concurrent report differs from serial"
+        );
+    }
+}
+
+#[test]
+fn warm_repeat_performs_zero_unlearn_evals() {
+    let _g = serial();
+    let engine = engine(1);
+    let (cold, cold_stats, warm, warm_stats) = engine.serve(|h| {
+        let cold = report_json(h.explain(ExplainOverrides::default()).unwrap().wait().unwrap());
+        let cold_stats = h.stats();
+        let warm = report_json(h.explain(ExplainOverrides::default()).unwrap().wait().unwrap());
+        (cold, cold_stats, warm, h.stats())
+    });
+
+    assert_eq!(cold, warm, "the cache must not change the canonical report");
+    assert!(cold_stats.cache.misses > 0, "the cold request populates the cache");
+    assert_eq!(
+        warm_stats.cache.misses, cold_stats.cache.misses,
+        "a warm identical request must perform zero unlearn-evals"
+    );
+    assert!(
+        warm_stats.cache.hits > cold_stats.cache.hits,
+        "the warm request must be answered from the cache"
+    );
+}
+
+#[test]
+fn queue_overflow_is_a_typed_busy_error_over_the_wire() {
+    let _g = serial();
+    if !cfg!(debug_assertions) {
+        return; // `sleep_ms` (which holds the worker busy) is debug-only
+    }
+    // One worker, a one-deep queue: the slow job occupies the worker, the
+    // second request fills the queue, the third must be refused with a
+    // typed `busy` error — and the session keeps serving afterwards. The
+    // requests arrive over a pipe with pauses between them so each one is
+    // parsed and submitted before the next is written.
+    let engine = engine_with(EngineOptions {
+        workers: 1,
+        queue_depth: 1,
+        ..EngineOptions::default()
+    });
+    let (pipe_reader, pipe_writer) = std::io::pipe().unwrap();
+    let writer_slot = Mutex::new(Some(pipe_writer));
+    let mut out: Vec<u8> = Vec::new();
+    engine.serve(|h| {
+        workers::scoped_workers(
+            1,
+            |_| {
+                use std::io::Write as _;
+                let w = writer_slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                let mut w = w.expect("one writer thread");
+                let pause = |ms| std::thread::sleep(std::time::Duration::from_millis(ms));
+                let slow = r#"{"op":"explain","id":"slow","sleep_ms":500}"#;
+                let queued = r#"{"op":"explain","id":"queued"}"#;
+                let refused = r#"{"op":"explain","id":"refused"}"#;
+                let ping = r#"{"op":"ping","id":"alive"}"#;
+                writeln!(w, "{slow}").unwrap();
+                pause(150); // the worker has dequeued `slow` and is inside it
+                writeln!(w, "{queued}").unwrap();
+                pause(100); // `queued` now fills the one-slot queue
+                writeln!(w, "{refused}").unwrap();
+                writeln!(w, "{ping}").unwrap();
+                // dropping the writer ends the session with EOF
+            },
+            || serve_lines(h, std::io::BufReader::new(pipe_reader), &mut out),
+        )
+    });
+    let out = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "{out}");
+    assert!(lines[0].contains("\"id\":\"slow\"") && lines[0].contains("\"ok\":true"));
+    assert!(lines[1].contains("\"id\":\"queued\"") && lines[1].contains("\"ok\":true"));
+    assert!(
+        lines[2].contains("\"id\":\"refused\"")
+            && lines[2].contains("\"ok\":false")
+            && lines[2].contains("\"kind\":\"busy\""),
+        "overflow must be a typed busy error: {}",
+        lines[2]
+    );
+    assert!(lines[3].contains("\"pong\":true"), "session must survive the rejection");
+}
+
+#[test]
+fn mid_job_fault_is_a_typed_error_and_the_session_survives() {
+    let _g = serial();
+    if !cfg!(debug_assertions) {
+        return; // fault injection only exists in debug builds
+    }
+    let engine = engine(1);
+    let mut out: Vec<u8> = Vec::new();
+    engine.serve(|h| {
+        fume::obs::fault::arm("serve-mid-job", 1);
+        let doomed = "{\"op\":\"explain\",\"id\":\"doomed\"}\n";
+        serve_lines(h, doomed.as_bytes(), &mut out);
+        fume::obs::fault::disarm();
+        let retry = "{\"op\":\"explain\",\"id\":\"retry\"}\n";
+        serve_lines(h, retry.as_bytes(), &mut out);
+    });
+    let out = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(
+        lines[0].contains("\"id\":\"doomed\"")
+            && lines[0].contains("\"ok\":false")
+            && lines[0].contains("\"kind\":\"job_panicked\""),
+        "injected fault must surface as a typed error: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"id\":\"retry\"") && lines[1].contains("\"ok\":true"),
+        "the engine must keep serving after a job panic: {}",
+        lines[1]
+    );
+    assert_eq!(engine.stats().jobs_failed, 1);
+}

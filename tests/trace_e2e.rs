@@ -2,7 +2,7 @@
 //! trace carrying spans for every pipeline phase and counters for every
 //! pruning rule and unlearning statistic.
 
-use fume::core::{Fume, FumeConfig};
+use fume::core::{ExplainRequest, Fume, FumeConfig};
 use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::tabular::datasets::planted_toy;
@@ -164,7 +164,7 @@ fn explain_run_leaves_a_complete_trace() {
         .with_forest(DareConfig::small(85))
         .with_support(SupportRange::new(0.02, 0.30).unwrap())
         .with_checkpoint_dir(&ckpt_dir);
-    let report = Fume::new(config).explain(&train, &test, group).unwrap();
+    let report = Fume::new(config).run(&ExplainRequest::new(&train, &test, group)).unwrap();
     assert!(!report.top_k.is_empty());
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 
