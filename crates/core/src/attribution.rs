@@ -2,7 +2,7 @@
 //! with parallel batch evaluation.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use fume_obs::sync::Counter;
 
 use fume_obs::clock::{Duration, Stopwatch};
 use fume_tabular::workers;
@@ -57,7 +57,7 @@ pub struct AttributionEstimator<'a, R: RemovalMethod> {
     n_jobs: usize,
     memo: Option<&'a dyn EvalMemo>,
     /// Wall-clock nanoseconds spent inside [`BatchEvaluator::evaluate`].
-    eval_nanos: AtomicU64,
+    eval_nanos: Counter,
 }
 
 impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
@@ -86,7 +86,7 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
             original_bias,
             n_jobs,
             memo: None,
-            eval_nanos: AtomicU64::new(0),
+            eval_nanos: Counter::new(0),
         }
     }
 
@@ -119,7 +119,7 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
 
     /// Cumulative wall-clock time spent inside batch evaluations so far.
     pub fn eval_time(&self) -> Duration {
-        Duration::from_nanos(self.eval_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.eval_nanos.get())
     }
 }
 
@@ -216,8 +216,7 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
             // fume-lint: allow(F001) -- every index is either a memo hit (filled at lookup) or a miss (filled from `computed` just above); the partition is exhaustive by construction
             .map(|i| rho_unique[i].expect("every unique selection resolved"))
             .collect();
-        self.eval_nanos
-            .fetch_add(t0.elapsed_nanos(), Ordering::Relaxed);
+        self.eval_nanos.add(t0.elapsed_nanos());
         out
     }
 }
@@ -225,6 +224,8 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
+
     use crate::removal::DareRemoval;
     use fume_forest::{DareConfig, DareForest};
     use fume_lattice::{Literal, Op, Predicate};

@@ -18,7 +18,7 @@
 //!   efficiency baseline);
 //! * [`GbdtRetrainRemoval`] — model-agnostic retraining for GBDTs.
 
-use std::sync::{Mutex, MutexGuard};
+use fume_obs::sync::{TrackedGuard, TrackedMutex};
 
 use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig};
 use fume_tabular::{Classifier, Dataset};
@@ -119,7 +119,13 @@ impl RemovalMethod for SharedAdapter<'_> {
 pub struct DareRemoval<'a> {
     forest: &'a DareForest,
     train: &'a Dataset,
-    pool: Mutex<Vec<DareForest>>,
+    pool: TrackedMutex<Vec<DareForest>>,
+}
+
+/// Poison recovery for the scratch pool — see [`DareRemoval::pool_guard`].
+fn reset_pool(pool: &mut Vec<DareForest>) {
+    fume_obs::counter!("fume.scratch.poison_recoveries", 1);
+    pool.clear();
 }
 
 impl<'a> DareRemoval<'a> {
@@ -127,7 +133,11 @@ impl<'a> DareRemoval<'a> {
     /// starts empty and fills on first use (or via
     /// [`RemovalMethod::warm`]).
     pub fn new(forest: &'a DareForest, train: &'a Dataset) -> Self {
-        Self { forest, train, pool: Mutex::new(Vec::new()) }
+        Self {
+            forest,
+            train,
+            pool: TrackedMutex::with_recovery("core.scratch_pool", Vec::new(), reset_pool),
+        }
     }
 
     /// Number of scratch forests currently resting in the pool.
@@ -143,15 +153,11 @@ impl<'a> DareRemoval<'a> {
     /// were each released clean (rollback verified by the debug
     /// assertion in [`RemovalMethod::with_removed`]), yet distinguishing
     /// "poisoned while resting" from "poisoned mid-push" is not worth
-    /// reasoning about: on poison we clear the pool and let subsequent
-    /// leases re-clone cold, trading a few clones for certainty.
-    fn pool_guard(&self) -> MutexGuard<'_, Vec<DareForest>> {
-        self.pool.lock().unwrap_or_else(|poisoned| {
-            fume_obs::counter!("fume.scratch.poison_recoveries", 1);
-            let mut pool = poisoned.into_inner();
-            pool.clear();
-            pool
-        })
+    /// reasoning about: on poison [`reset_pool`] clears the pool and
+    /// lets subsequent leases re-clone cold, trading a few clones for
+    /// certainty.
+    fn pool_guard(&self) -> TrackedGuard<'_, Vec<DareForest>> {
+        self.pool.lock()
     }
 
     fn lease(&self) -> DareForest {
@@ -166,7 +172,11 @@ impl<'a> DareRemoval<'a> {
     }
 
     fn release(&self, scratch: DareForest) {
-        self.pool_guard().push(scratch);
+        let mut pool = self.pool_guard();
+        // Crash site *while the pool lock is held*: lets the resumability
+        // suite prove the poison-recovery policy (reset_pool) works.
+        fume_obs::fault::fault_point("scratch-pool-release");
+        pool.push(scratch);
     }
 }
 

@@ -57,6 +57,10 @@ pub struct Suppression {
     pub line: u32,
     /// Whether a non-empty reason followed `--`.
     pub has_reason: bool,
+    /// The reason text after `--`, trimmed; empty when absent. Rules
+    /// with structured suppression contracts (F010's `lock-order:`)
+    /// inspect it.
+    pub reason: String,
 }
 
 /// Output of [`lex`]: the token stream plus any suppression directives.
@@ -198,11 +202,12 @@ fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
         .filter(|r| !r.is_empty())
         .collect();
     let tail = rest[close + 1..].trim_start();
-    let has_reason = tail
+    let reason = tail
         .strip_prefix("--")
-        .map(|r| !r.trim().is_empty())
-        .unwrap_or(false);
-    Some(Suppression { rules, line, has_reason })
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    let has_reason = !reason.is_empty();
+    Some(Suppression { rules, line, has_reason, reason })
 }
 
 fn block_comment(c: &mut Cursor) {
@@ -283,6 +288,10 @@ fn raw_or_byte_string(c: &mut Cursor) -> String {
         if b == b'"' {
             for i in 0..fence {
                 if c.peek(i) != Some(b'#') {
+                    // Partial fence: this quote is literal content, not
+                    // the terminator — keep it (the hashes after it are
+                    // pushed by later iterations).
+                    text.push('"');
                     continue 'scan;
                 }
             }
@@ -545,6 +554,58 @@ mod tests {
         assert_eq!(lexed.suppressions[0].line, 1);
         assert!(!lexed.suppressions[1].has_reason);
         assert_eq!(lexed.suppressions[1].line, 3);
+    }
+
+    #[test]
+    fn suppression_reason_text_is_captured() {
+        let lexed = lex(
+            "// fume-lint: allow(F010) -- lock-order: a < b (held briefly)\n// fume-lint: allow(F001)\n",
+        );
+        assert_eq!(lexed.suppressions[0].reason, "lock-order: a < b (held briefly)");
+        assert!(lexed.suppressions[1].reason.is_empty());
+    }
+
+    #[test]
+    fn raw_string_partial_fence_keeps_the_quote() {
+        // `"#` inside an `##`-fenced raw string is content, not a
+        // terminator — the quote must survive in the captured text and
+        // the literal must end at the real fence.
+        let toks = lex("let s = r##\"a\"#b\"##; tail()").tokens;
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a\"#b"]);
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"tail"), "{ids:?}");
+    }
+
+    #[test]
+    fn lines_survive_multiline_raw_strings_and_nested_comments() {
+        // Neither construct may lose newlines: the token after each must
+        // carry an accurate 1-based line number.
+        let src = "let s = r#\"one\ntwo\nthree\"#;\nafter_raw();\n/* a /* b\nc */ d\n*/\nafter_comment();\n";
+        let toks = lex(src).tokens;
+        let at = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(at("after_raw"), 4);
+        assert_eq!(at("after_comment"), 8);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_strings_and_suppressions() {
+        // A suppression directive inside a block comment is dead text —
+        // it must not be parsed — and an unbalanced quote inside must
+        // not derail the scanner.
+        let lexed = lex("/* \" /* fume-lint: allow(F001) */ still \" out */ live()");
+        assert!(lexed.suppressions.is_empty());
+        let ids: Vec<&str> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert_eq!(ids, vec!["live"]);
     }
 
     #[test]

@@ -82,6 +82,12 @@ impl LintReport {
 
     /// Renders the report as a JSON document (hand-rolled — the crate is
     /// dependency-free like the rest of the workspace).
+    ///
+    /// Every diagnostic carries the machine-stable `code` (same value as
+    /// `rule`, promised never to be renumbered), a `severity` (currently
+    /// always `"deny"` — the catalog has no warn-level rules), and the
+    /// rule's one-line `explanation` from [`rules::CATALOG`], so JSON
+    /// consumers need no side table to render findings.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
@@ -94,13 +100,20 @@ impl LintReport {
             if i > 0 {
                 out.push(',');
             }
+            let explanation = rules::CATALOG
+                .iter()
+                .find(|(id, _)| *id == d.rule)
+                .map(|(_, summary)| *summary)
+                .unwrap_or("");
             out.push_str(&format!(
-                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}, \"excerpt\": {}}}",
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"code\": {}, \"severity\": \"deny\", \"message\": {}, \"explanation\": {}, \"excerpt\": {}}}",
                 json_str(&d.path),
                 d.line,
                 d.col,
                 json_str(d.rule),
+                json_str(d.rule),
                 json_str(&d.message),
+                json_str(explanation),
                 json_str(&d.excerpt)
             ));
         }
@@ -144,6 +157,9 @@ pub fn lint_source(path_label: &str, source: &str, policy: &FilePolicy) -> LintR
                 s.has_reason
                     && s.rules.iter().any(|r| r == d.rule)
                     && (s.line == d.line || s.line + 1 == d.line)
+                    // F010's suppression contract is structured: the
+                    // reason must actually document the lock order.
+                    && (d.rule != "F010" || s.reason.contains("lock-order:"))
             });
         if covered {
             suppressed += 1;
@@ -271,6 +287,31 @@ mod tests {
         // The embedded quotes must come out escaped: no bare `"quoted"`.
         assert!(!json.contains("\"quoted\""));
         assert!(json.contains("quoted"));
+    }
+
+    #[test]
+    fn f010_suppression_requires_a_lock_order_reason() {
+        // A generic reason is not enough for F010 — the directive must
+        // document the order.
+        let src = "fn f() {\n    let a = m1.lock();\n    // fume-lint: allow(F010) -- both held briefly\n    let b = m2.lock();\n}\n";
+        let r = lint_source("crates/core/src/x.rs", src, &FilePolicy::all());
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "F010");
+
+        let src = "fn f() {\n    let a = m1.lock();\n    // fume-lint: allow(F010) -- lock-order: m1 < m2 (m2 only under m1)\n    let b = m2.lock();\n}\n";
+        let r = lint_source("crates/core/src/x.rs", src, &FilePolicy::all());
+        assert!(r.clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn json_diagnostics_carry_code_severity_and_explanation() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let r = lint_source("crates/core/src/x.rs", src, &FilePolicy::all());
+        let json = r.to_json();
+        assert!(json.contains("\"code\": \"F001\""), "{json}");
+        assert!(json.contains("\"severity\": \"deny\""), "{json}");
+        assert!(json.contains("\"explanation\": \"panic path in library code"), "{json}");
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub struct FilePolicy {
     /// F008 dotted string-literal names at `counter!`/`gauge!`/
     /// `histogram!` call sites.
     pub obs_names: bool,
+    /// F009 condvar waits re-checked under a loop.
+    pub condvar_wait: bool,
+    /// F010 documented lock order when one function takes two locks.
+    pub nested_locks: bool,
+    /// F011 explicit atomic memory orderings.
+    pub atomic_orderings: bool,
+    /// F012 raw `std::sync` primitive construction.
+    pub sync_construction: bool,
 }
 
 impl FilePolicy {
@@ -50,6 +58,10 @@ impl FilePolicy {
             threads: true,
             must_use: true,
             obs_names: true,
+            condvar_wait: true,
+            nested_locks: true,
+            atomic_orderings: true,
+            sync_construction: true,
         }
     }
 }
@@ -103,6 +115,18 @@ pub fn policy_for(path: &str) -> FilePolicy {
         // included — a trace with an off-convention name is wrong no
         // matter who recorded it.
         obs_names: true,
+        // Concurrency discipline (like F002/F006) binds harnesses too: a
+        // deadlock in a bench is still a deadlock. The sanctioned sync
+        // module carries inline suppressions for its own wait wrappers
+        // rather than a carve-out, so F009/F010 stay on everywhere.
+        condvar_wait: true,
+        nested_locks: true,
+        // `fume_obs::sync` and the lock-free progress ticker are the two
+        // places allowed to pick atomic orderings by hand.
+        atomic_orderings: p != "crates/obs/src/progress.rs" && p != "crates/obs/src/sync.rs",
+        // Only the sanctioned module may construct raw primitives (it
+        // wraps them).
+        sync_construction: p != "crates/obs/src/sync.rs",
     }
 }
 

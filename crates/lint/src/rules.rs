@@ -13,7 +13,7 @@ use crate::scope::test_scopes;
 /// A rule violation before suppression filtering (no file/excerpt yet).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawDiag {
-    /// Stable rule ID (`F001`…`F007`, `F000` for malformed suppressions).
+    /// Stable rule ID (`F001`…`F012`, `F000` for malformed suppressions).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -34,6 +34,10 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("F006", "thread creation outside the sanctioned scoped worker module (fume_tabular::workers)"),
     ("F007", "journal/builder/guard type without #[must_use] (dropping one silently forfeits work)"),
     ("F008", "counter!/gauge!/histogram! name is not a dotted `layer.operation` string literal"),
+    ("F009", "condvar wait whose predicate is not re-checked in a loop (spurious wakeups)"),
+    ("F010", "two distinct lock acquisitions in one function without a documented `-- lock-order: A < B`"),
+    ("F011", "explicit atomic memory ordering outside the sanctioned sync modules; use fume_obs::sync primitives"),
+    ("F012", "raw std::sync Mutex/Condvar/RwLock construction outside fume_obs::sync; use the Tracked wrappers"),
 ];
 
 const NARROW_INT: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
@@ -101,6 +105,8 @@ pub fn check(lexed: &Lexed, policy: &FilePolicy) -> Vec<RawDiag> {
             check_threads(toks, i, policy, &mut out);
             check_must_use(toks, i, policy, &pending_attrs, &mut out);
             check_obs_names(toks, i, policy, &mut out);
+            check_atomic_orderings(toks, i, policy, &mut out);
+            check_sync_construction(toks, i, policy, &mut out);
         }
 
         // Attribute scope: attrs attach to the next item. Visibility
@@ -114,6 +120,10 @@ pub fn check(lexed: &Lexed, policy: &FilePolicy) -> Vec<RawDiag> {
         }
         i += 1;
     }
+
+    // Structural passes that need the whole stream, not a window.
+    check_condvar_wait(toks, &exempt, policy, &mut out);
+    check_nested_locks(toks, &exempt, policy, &mut out);
 
     for s in &lexed.suppressions {
         if !s.has_reason {
@@ -387,6 +397,240 @@ fn check_obs_names(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<Ra
     }
 }
 
+/// F011: a bare `Ordering::<memory-ordering>` literal. Raw atomics are
+/// sanctioned only inside `fume_obs::{sync, progress}`; everything else
+/// uses the `fume_obs::sync` primitives (`Flag`, `Counter`, the Tracked
+/// locks), which pick their orderings once, in one audited place.
+/// `std::cmp::Ordering::{Less, Equal, Greater}` shares the type name but
+/// not the variants, so it never matches.
+fn check_atomic_orderings(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.atomic_orderings {
+        return;
+    }
+    let t = &toks[i];
+    if !ident(t, "Ordering") {
+        return;
+    }
+    if !toks.get(i + 1).map(|n| punct(n, "::")).unwrap_or(false) {
+        return;
+    }
+    let Some(variant) = toks.get(i + 2) else { return };
+    if variant.kind == TokKind::Ident
+        && matches!(
+            variant.text.as_str(),
+            "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+        )
+    {
+        out.push(RawDiag {
+            rule: "F011",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`Ordering::{}` outside the sanctioned sync modules; use `fume_obs::sync` primitives (Flag/Counter/TrackedMutex) instead of hand-picked orderings",
+                variant.text
+            ),
+        });
+    }
+}
+
+/// F012: constructing `std::sync::{Mutex, Condvar, RwLock}` directly.
+/// The sanctioned constructors live in `fume_obs::sync` (`TrackedMutex`,
+/// `TrackedCondvar`), which add site names, poison-recovery policy, and
+/// lock-order tracking — a raw primitive opts out of all three.
+fn check_sync_construction(toks: &[Tok], i: usize, policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.sync_construction {
+        return;
+    }
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "Mutex" | "Condvar" | "RwLock") {
+        return;
+    }
+    if !toks.get(i + 1).map(|n| punct(n, "::")).unwrap_or(false) {
+        return;
+    }
+    let Some(ctor) = toks.get(i + 2) else { return };
+    if ctor.kind == TokKind::Ident && matches!(ctor.text.as_str(), "new" | "default") {
+        let wrapper = if t.text == "Condvar" { "TrackedCondvar" } else { "TrackedMutex" };
+        out.push(RawDiag {
+            rule: "F012",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{}::{}` constructs a raw std::sync primitive; use `fume_obs::sync::{wrapper}` so the site is named, poison-recovered, and lock-order tracked",
+                t.text, ctor.text
+            ),
+        });
+    }
+}
+
+/// F009: `.wait(…)` / `.wait_timeout(…)` whose result is not re-checked
+/// under an enclosing `while`/`loop`/`for`. Condvars wake spuriously;
+/// a wait that is not wrapped in a predicate loop is a latent hang or a
+/// phantom wakeup bug. The check is syntactic: the call must sit inside
+/// at least one loop-introduced brace.
+fn check_condvar_wait(toks: &[Tok], exempt: &[bool], policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.condvar_wait {
+        return;
+    }
+    // Brace stack: `true` for braces opened by a loop keyword.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "while" | "loop" | "for") => {
+                pending_loop = true;
+            }
+            TokKind::Punct if t.text == "{" => {
+                stack.push(pending_loop);
+                pending_loop = false;
+            }
+            TokKind::Punct if t.text == "}" => {
+                stack.pop();
+            }
+            TokKind::Punct if t.text == ";" => {
+                pending_loop = false;
+            }
+            TokKind::Ident
+                if matches!(t.text.as_str(), "wait" | "wait_timeout")
+                    && i >= 1
+                    && punct(&toks[i - 1], ".")
+                    && toks.get(i + 1).map(|n| punct(n, "(")).unwrap_or(false) =>
+            {
+                if exempt.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                if !stack.iter().any(|&l| l) {
+                    out.push(RawDiag {
+                        rule: "F009",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{}(…)` outside a `while`/`loop`: condvars wake spuriously, so the predicate must be re-checked in a loop",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The dotted receiver chain of a `.lock()` call, walking back from the
+/// `.` at `toks[k]`. Returns `None` for computed receivers
+/// (`stdout().lock()`), which name no stable lock site.
+fn lock_receiver(toks: &[Tok], mut k: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(prev) = k.checked_sub(1).map(|p| &toks[p]) {
+        if prev.kind == TokKind::Punct && prev.text == ")" {
+            return None;
+        }
+        if prev.kind != TokKind::Ident {
+            break;
+        }
+        parts.push(prev.text.clone());
+        k -= 1;
+        let Some(sep) = k.checked_sub(1).map(|p| &toks[p]) else { break };
+        if sep.kind == TokKind::Punct && (sep.text == "." || sep.text == "::") {
+            k -= 1;
+            continue;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        parts.reverse();
+        Some(parts.join("."))
+    }
+}
+
+/// F010: two (or more) *distinct* `.lock()` receivers inside one
+/// function body. Two locks in one scope is where lock-order inversions
+/// are born, so the site must either restructure or carry a suppression
+/// documenting the global order (`-- lock-order: A < B`, enforced by
+/// [`crate::lint_source`]). The diagnostic lands on the first
+/// acquisition of the *second* distinct receiver — the edge that creates
+/// the ordering obligation.
+fn check_nested_locks(toks: &[Tok], exempt: &[bool], policy: &FilePolicy, out: &mut Vec<RawDiag>) {
+    if !policy.nested_locks {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if !ident(&toks[i], "fn") {
+            i += 1;
+            continue;
+        }
+        // Locate the body `{`; a `;` or `}` first means there is no body
+        // here (trait method declaration, fn-pointer type, field).
+        let mut j = i + 1;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" | "}" => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(start) = open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut k = start;
+        let mut seen: Vec<String> = Vec::new();
+        let mut diag: Option<(u32, u32, String, String)> = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if ident(t, "lock")
+                && k >= 1
+                && punct(&toks[k - 1], ".")
+                && toks.get(k + 1).map(|n| punct(n, "(")).unwrap_or(false)
+                && !exempt.get(k).copied().unwrap_or(false)
+            {
+                if let Some(recv) = lock_receiver(toks, k - 1) {
+                    if !seen.contains(&recv) {
+                        if let (Some(first), None) = (seen.first(), &diag) {
+                            diag = Some((t.line, t.col, first.clone(), recv.clone()));
+                        }
+                        seen.push(recv);
+                    }
+                }
+            }
+            k += 1;
+        }
+        if let Some((line, col, a, b)) = diag {
+            out.push(RawDiag {
+                rule: "F010",
+                line,
+                col,
+                message: format!(
+                    "`{b}.lock()` in a function that also locks `{a}`; document the acquisition order with `-- lock-order: {a} < {b}` (or restructure so one scope holds one lock)"
+                ),
+            });
+        }
+        i = start + 1;
+    }
+}
+
 /// Two or more `.`-separated segments, each nonempty and drawn from
 /// `[a-z0-9_]`.
 fn valid_obs_name(name: &str) -> bool {
@@ -513,5 +757,95 @@ mod tests {
     fn one_diagnostic_per_rule_per_line() {
         let hits = run("use std::time::Instant;");
         assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn unlooped_condvar_wait_is_f009() {
+        assert_eq!(
+            rules_hit("fn f() { let g = cv.wait(g); }"),
+            vec!["F009"],
+            "bare wait"
+        );
+        assert_eq!(
+            rules_hit("fn f() { let r = cv.wait_timeout(g, d); }"),
+            vec!["F009"],
+            "bare wait_timeout"
+        );
+        // An `if` is not a loop: the predicate is checked once.
+        assert_eq!(rules_hit("fn f() { if !*g { g = cv.wait(g); } }"), vec!["F009"]);
+    }
+
+    #[test]
+    fn looped_condvar_wait_is_fine() {
+        assert!(rules_hit("fn f() { while !*g { g = cv.wait(g); } }").is_empty());
+        assert!(rules_hit("fn f() { loop { g = cv.wait(g); if *g { break; } } }").is_empty());
+        // The loop may be an ancestor, not the immediate parent.
+        assert!(rules_hit("fn f() { while !*g { if x { g = cv.wait(g); } } }").is_empty());
+        // `wait_while` manages its own loop; only bare wait/wait_timeout match.
+        assert!(rules_hit("fn f() { let g = cv.wait_while(g, |v| !*v); }").is_empty());
+        // A loop *after* the wait does not cover it.
+        assert_eq!(rules_hit("fn f() { g = cv.wait(g); loop { step(); } }"), vec!["F009"]);
+    }
+
+    #[test]
+    fn two_distinct_locks_in_one_fn_are_f010() {
+        let src = "fn f() {\n    let a = m1.lock();\n    let b = m2.lock();\n}";
+        let hits = run(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!((hits[0].rule, hits[0].line), ("F010", 3), "flagged at the second receiver");
+        // Dotted receiver chains are distinct sites.
+        assert_eq!(
+            rules_hit("fn f() { let a = self.state.lock(); let b = job.slot.lock(); }"),
+            vec!["F010"]
+        );
+    }
+
+    #[test]
+    fn single_or_repeated_locks_are_not_f010() {
+        assert!(rules_hit("fn f() { let a = m.lock(); }").is_empty());
+        assert!(rules_hit("fn f() { let a = m.lock(); drop(a); let b = m.lock(); }").is_empty());
+        // Computed receivers name no stable site.
+        assert!(rules_hit("fn f() { let a = io::stdout().lock(); let b = m.lock(); }").is_empty());
+        // Separate functions are separate scopes.
+        assert!(rules_hit("fn f() { m1.lock(); }\nfn g() { m2.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_types_do_not_confuse_f010() {
+        // The `fn` keyword in a type position has no body; the scanner
+        // must not attribute the next function's braces to it.
+        let src = "pub struct R { cb: fn(&mut u32) }\nfn f() { let a = m1.lock(); let b = m2.lock(); }";
+        let hits = run(src);
+        assert_eq!(hits.iter().map(|d| d.rule).collect::<Vec<_>>(), vec!["F010"], "{hits:?}");
+    }
+
+    #[test]
+    fn atomic_orderings_are_f011() {
+        assert_eq!(rules_hit("fn f() { x.load(Ordering::Relaxed); }"), vec!["F011"]);
+        assert_eq!(rules_hit("fn f() { x.store(1, Ordering::Release); }"), vec!["F011"]);
+        assert_eq!(
+            rules_hit("fn f() { x.fetch_add(1, Ordering::SeqCst); }"),
+            vec!["F011"]
+        );
+        // std::cmp::Ordering variants share the type name, not the rule.
+        assert!(rules_hit("fn f() { matches!(o, Ordering::Less | Ordering::Greater) }").is_empty());
+        assert!(rules_hit("fn f() -> Ordering { a.cmp(&b) }").is_empty());
+    }
+
+    #[test]
+    fn raw_sync_construction_is_f012() {
+        assert_eq!(rules_hit("fn f() { let m = Mutex::new(0); }"), vec!["F012"]);
+        assert_eq!(rules_hit("fn f() { let c = Condvar::new(); }"), vec!["F012"]);
+        assert_eq!(rules_hit("fn f() { let l = RwLock::new(0); }"), vec!["F012"]);
+        assert_eq!(rules_hit("fn f() { let m: Mutex<u32> = Mutex::default(); }"), vec!["F012"]);
+        // The sanctioned wrappers and non-constructing mentions pass.
+        assert!(rules_hit("fn f() { let m = TrackedMutex::new(\"site\", 0); }").is_empty());
+        assert!(rules_hit("fn f(m: &Mutex<u32>) {}").is_empty());
+    }
+
+    #[test]
+    fn sync_rules_are_exempt_in_test_scopes() {
+        let src = "#[cfg(test)] mod t { fn f() { let m = Mutex::new(0); let g = cv.wait(g); x.load(Ordering::Relaxed); a.lock(); b.lock(); } }";
+        assert!(rules_hit(src).is_empty());
     }
 }

@@ -95,6 +95,51 @@ fn f000_reasonless_suppression_flagged_and_ineffective() {
 }
 
 #[test]
+fn f009_unlooped_condvar_waits_flagged_at_exact_lines() {
+    assert_eq!(
+        hits("f009_bad.rs"),
+        vec![("F009", 4), ("F009", 10)],
+        "bare wait and if-guarded wait_timeout flagged; looped wait and wait_while pass"
+    );
+}
+
+#[test]
+fn f010_undocumented_second_lock_flagged_at_exact_line() {
+    assert_eq!(
+        hits("f010_bad.rs"),
+        vec![("F010", 5)],
+        "the second distinct receiver is the ordering obligation; repeats and computed receivers pass"
+    );
+}
+
+#[test]
+fn f011_atomic_orderings_flagged_at_exact_lines() {
+    assert_eq!(
+        hits("f011_bad.rs"),
+        vec![("F011", 4), ("F011", 8)],
+        "memory orderings flagged; std::cmp::Ordering variants pass"
+    );
+}
+
+#[test]
+fn f012_raw_sync_construction_flagged_at_exact_lines() {
+    assert_eq!(
+        hits("f012_bad.rs"),
+        vec![("F012", 4), ("F012", 8), ("F012", 12)],
+        "Mutex/Condvar/RwLock constructors flagged; type mentions and Tracked wrappers pass"
+    );
+}
+
+#[test]
+fn lexer_edge_cases_do_not_shift_or_invent_findings() {
+    assert_eq!(
+        hits("lexer_edge_bad.rs"),
+        vec![("F001", 12)],
+        "the only finding is the real unwrap, at its exact line — nothing from the raw string or nested comment"
+    );
+}
+
+#[test]
 fn good_fixture_is_clean_despite_hostile_tokens() {
     let report = lint_fixture("good.rs");
     assert!(report.clean(), "{:?}", report.diagnostics);
@@ -105,7 +150,10 @@ fn good_fixture_is_clean_despite_hostile_tokens() {
 fn suppressed_fixture_is_clean_with_counted_suppressions() {
     let report = lint_fixture("suppressed.rs");
     assert!(report.clean(), "{:?}", report.diagnostics);
-    assert_eq!(report.suppressed, 7, "one documented suppression per rule F001..F007");
+    assert_eq!(
+        report.suppressed, 11,
+        "one documented suppression per rule F001..F007 and F009..F012"
+    );
 }
 
 #[test]
@@ -130,6 +178,13 @@ fn cli_exits_nonzero_on_bad_fixture_and_names_the_rule() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("F002"), "{stdout}");
     assert!(stdout.contains(":6:"), "{stdout}");
+}
+
+#[test]
+fn cli_usage_error_exits_two() {
+    // No inputs at all is a usage error: exit 2, distinct from findings.
+    let out = Command::new(env!("CARGO_BIN_EXE_fume-lint")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
 
 #[test]

@@ -1,0 +1,24 @@
+//! F009 fixture: condvar waits that skip the predicate loop.
+
+pub fn bare_wait(cv: &Cv, mut g: Guard) -> Guard {
+    g = cv.wait(g);
+    g
+}
+
+pub fn if_is_not_a_loop(cv: &Cv, mut g: Guard, d: Dur) -> Guard {
+    if !*g {
+        g = cv.wait_timeout(g, d);
+    }
+    g
+}
+
+pub fn looped_is_fine(cv: &Cv, mut g: Guard) -> Guard {
+    while !*g {
+        g = cv.wait(g);
+    }
+    g
+}
+
+pub fn wait_while_manages_its_own_loop(cv: &Cv, g: Guard) -> Guard {
+    cv.wait_while(g, |open| !*open)
+}

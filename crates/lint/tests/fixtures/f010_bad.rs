@@ -1,0 +1,20 @@
+//! F010 fixture: two distinct lock receivers in one function.
+
+pub fn transfer(a: &Lk, b: &Lk) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop((ga, gb));
+}
+
+pub fn single_site(a: &Lk) {
+    let first = a.lock();
+    drop(first);
+    let again = a.lock();
+    drop(again);
+}
+
+pub fn computed_receivers_are_unnamed(m: &Lk) {
+    let out = std::io::stdout().lock();
+    let g = m.lock();
+    drop((out, g));
+}

@@ -1,0 +1,13 @@
+//! F011 fixture: hand-picked atomic memory orderings.
+
+pub fn read(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}
+
+pub fn publish(x: &AtomicU64) {
+    x.store(1, Ordering::Release);
+}
+
+pub fn cmp_variants_are_not_atomics(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), Ordering::Less | Ordering::Greater)
+}

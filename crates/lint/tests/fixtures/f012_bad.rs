@@ -1,0 +1,18 @@
+//! F012 fixture: raw std::sync primitive construction.
+
+pub fn make_mutex() -> Mutex<u32> {
+    Mutex::new(0)
+}
+
+pub fn make_condvar() -> Condvar {
+    Condvar::new()
+}
+
+pub fn make_rwlock() -> RwLock<u32> {
+    RwLock::default()
+}
+
+pub fn types_and_wrappers_pass(m: &Mutex<u32>) -> TrackedMutex<u32> {
+    let _ = m;
+    TrackedMutex::new("fixture.site", 0)
+}

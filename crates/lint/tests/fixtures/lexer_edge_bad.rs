@@ -1,0 +1,13 @@
+//! Lexer regression fixture: a partial raw-string fence and nested
+//! block comments precede a real finding, which must land on its exact
+//! line (the lexer may neither lose lines nor look inside either).
+
+pub const TRICKY: &str = r##"content with "# partial fence and x.unwrap() inside"##;
+
+/* nested /* comment with m.lock().unwrap() and
+   Instant::now() spanning
+   lines */ still outer */
+
+pub fn after(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -34,3 +34,26 @@ pub fn six() {
 pub struct IgnoredGuard {
     pub token: u32,
 }
+
+pub fn nine(cv: &Cv, mut g: Guard) -> Guard {
+    // fume-lint: allow(F009) -- fixture: sole caller loops on the predicate
+    g = cv.wait(g);
+    g
+}
+
+pub fn ten(a: &Lk, b: &Lk) {
+    let ga = a.lock();
+    // fume-lint: allow(F010) -- lock-order: a < b (b only ever taken under a)
+    let gb = b.lock();
+    drop((ga, gb));
+}
+
+pub fn eleven(x: &AtomicU64) -> u64 {
+    // fume-lint: allow(F011) -- fixture: relaxed is sufficient for a statistic
+    x.load(Ordering::Relaxed)
+}
+
+pub fn twelve() -> Condvar {
+    // fume-lint: allow(F012) -- fixture: raw primitive quarantined to this constructor
+    Condvar::new()
+}

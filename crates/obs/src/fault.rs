@@ -16,7 +16,9 @@
 //! not trip over the same fault again.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
+
+use crate::sync::TrackedMutex;
 
 struct FaultState {
     /// Armed site and 1-based occurrence at which to fire.
@@ -25,10 +27,10 @@ struct FaultState {
     hits: HashMap<String, u64>,
 }
 
-fn state() -> &'static Mutex<FaultState> {
-    static STATE: OnceLock<Mutex<FaultState>> = OnceLock::new();
+fn state() -> &'static TrackedMutex<FaultState> {
+    static STATE: OnceLock<TrackedMutex<FaultState>> = OnceLock::new();
     STATE.get_or_init(|| {
-        Mutex::new(FaultState { armed: armed_from_env(), hits: HashMap::new() })
+        TrackedMutex::new("obs.fault", FaultState { armed: armed_from_env(), hits: HashMap::new() })
     })
 }
 
@@ -56,14 +58,14 @@ fn parse_spec(spec: &str) -> Option<(String, u64)> {
 /// Arms `site` to panic at its `nth` (1-based) hit, resetting all hit
 /// counters. Overrides any `FUME_FAULT` environment arming.
 pub fn arm(site: &str, nth: u64) {
-    let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut st = state().lock();
     st.armed = Some((site.to_string(), nth.max(1)));
     st.hits.clear();
 }
 
 /// Disarms fault injection and resets all hit counters.
 pub fn disarm() {
-    let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut st = state().lock();
     st.armed = None;
     st.hits.clear();
 }
@@ -76,7 +78,7 @@ pub fn fault_point(site: &str) {
         return;
     }
     let fire = {
-        let mut st = state().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = state().lock();
         let hit = {
             let h = st.hits.entry(site.to_string()).or_insert(0);
             *h += 1;
@@ -94,7 +96,7 @@ pub fn fault_point(site: &str) {
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::Mutex as StdMutex;
+    use std::sync::{Mutex as StdMutex, PoisonError};
 
     /// Fault state is process-global; serialize the tests that mutate it.
     static LOCK: StdMutex<()> = StdMutex::new(());

@@ -29,9 +29,9 @@ pub mod json;
 pub mod progress;
 mod recorder;
 mod span;
+pub mod sync;
 pub mod trace;
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub use hist::Histogram;
@@ -94,13 +94,13 @@ impl From<String> for Value {
 }
 
 static RECORDER: OnceLock<Recorder> = OnceLock::new();
-static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENABLED: sync::Flag = sync::Flag::new(false);
 
 /// Installs the process-wide recorder (idempotent) and returns it.
 /// From this point every `span!`/`counter!`/`gauge!` site records.
 pub fn install() -> &'static Recorder {
     let rec = RECORDER.get_or_init(Recorder::new);
-    ENABLED.store(true, Ordering::Release);
+    ENABLED.set(true);
     rec
 }
 
@@ -108,7 +108,7 @@ pub fn install() -> &'static Recorder {
 /// disabled instrumentation site pays.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.get()
 }
 
 /// The installed recorder, if any.

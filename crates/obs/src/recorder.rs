@@ -3,7 +3,6 @@
 //! JSONL export.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::hist::Histogram;
@@ -146,7 +145,7 @@ struct State {
 /// [`crate::install`]; a standalone instance is useful in tests.
 pub struct Recorder {
     epoch: Instant,
-    state: Mutex<State>,
+    state: crate::sync::TrackedMutex<State>,
 }
 
 impl Default for Recorder {
@@ -158,18 +157,24 @@ impl Default for Recorder {
 impl Recorder {
     /// An empty recorder whose clock starts now.
     pub fn new() -> Self {
-        Recorder { epoch: Instant::now(), state: Mutex::new(State::default()) }
+        Recorder {
+            epoch: Instant::now(),
+            // Quiet: this lock backs every `fume.sync.*` emission, so a
+            // metric-emitting wrapper here would recurse into itself.
+            state: crate::sync::TrackedMutex::new_quiet("obs.recorder", State::default()),
+        }
     }
 
-    /// Locks the aggregate state, recovering from poisoning.
+    /// Locks the aggregate state.
     ///
     /// Telemetry must never turn one panicking worker thread into a
     /// cascade: every mutation under this lock (push, BTreeMap insert,
     /// counter add) either completes or leaves the maps structurally
-    /// valid, so after a poison the worst case is one lost event — we
-    /// keep recording rather than propagate the panic.
-    fn state(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// valid, so after a poison the worst case is one lost event — the
+    /// tracked lock's `Keep` recovery keeps recording rather than
+    /// propagate the panic.
+    fn state(&self) -> crate::sync::TrackedGuard<'_, State> {
+        self.state.lock()
     }
 
     /// Nanoseconds since this recorder was created (saturating).

@@ -2,17 +2,17 @@
 //! knows how much of its wall time was spent in child spans.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::sync::Counter;
 use crate::Value;
 
 /// Process-wide thread sequence numbers — stable small integers for the
 /// trace (unlike `ThreadId`, which has no stable integer accessor).
-static NEXT_THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD_SEQ: Counter = Counter::new(0);
 
 thread_local! {
-    static THREAD_SEQ: u64 = NEXT_THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+    static THREAD_SEQ: u64 = NEXT_THREAD_SEQ.add(1);
     /// One child-time accumulator per open span on this thread.
     static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }

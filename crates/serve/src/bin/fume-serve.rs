@@ -315,6 +315,17 @@ fn main() {
         }
         None => stdio_loop(handle),
     });
+    // With lock-order tracking active (debug builds or FUME_DEEPCHECK=1)
+    // any inversion recorded during the session is a correctness bug:
+    // report every cycle and refuse to exit cleanly. With tracking off
+    // the graph is empty and this is free.
+    let cycles = fume_obs::sync::cycle_reports();
+    if !cycles.is_empty() {
+        for cycle in &cycles {
+            eprintln!("fume-serve: {cycle}");
+        }
+        fail(format!("{} lock-order cycle(s) detected during the session", cycles.len()));
+    }
     let stats = engine.stats();
     eprintln!(
         "fume-serve: drained; {} jobs ({} failed, {} busy rejections), cache {} hits / {} misses / {} evictions",

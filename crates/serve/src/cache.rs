@@ -21,8 +21,9 @@
 //! `fume.serve.cache.hits` / `.misses` / `.evictions`.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+use fume_obs::sync::{Counter, TrackedGuard, TrackedMutex};
 
 use fume_core::report_json::metric_tag;
 use fume_core::EvalMemo;
@@ -86,43 +87,43 @@ pub struct CacheStats {
 /// nothing is stored).
 #[derive(Debug)]
 pub struct EvalCache {
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+/// Poison recovery for the cache interior: a worker that died
+/// mid-operation cannot have left a torn entry behind the lock, but
+/// re-deriving a few `ρ` values is cheaper than reasoning about it.
+fn reset_cache(inner: &mut Inner) {
+    fume_obs::counter!("fume.serve.cache.poison_recoveries", 1);
+    inner.map.clear();
+    inner.order.clear();
 }
 
 impl EvalCache {
     /// An empty cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner::default()),
+            inner: TrackedMutex::with_recovery("serve.cache", Inner::default(), reset_cache),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(0),
+            misses: Counter::new(0),
+            evictions: Counter::new(0),
         }
     }
 
-    /// Locks the interior, recovering from poisoning by clearing: a
-    /// worker that died mid-operation cannot have left a torn entry
-    /// behind the lock, but re-deriving a few `ρ` values is cheaper than
-    /// reasoning about it.
-    fn guard(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|poisoned: PoisonError<MutexGuard<'_, Inner>>| {
-            fume_obs::counter!("fume.serve.cache.poison_recoveries", 1);
-            let mut inner = poisoned.into_inner();
-            inner.map.clear();
-            inner.order.clear();
-            inner
-        })
+    /// Locks the interior (poisoning recovered by [`reset_cache`]).
+    fn guard(&self) -> TrackedGuard<'_, Inner> {
+        self.inner.lock()
     }
 
     /// The cached `ρ` for `(scope, rows)`, refreshing its recency.
     pub fn lookup(&self, scope: u64, rows: &[u32]) -> Option<f64> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.add(1);
             fume_obs::counter!("fume.serve.cache.misses", 1);
             return None;
         }
@@ -141,13 +142,13 @@ impl EvalCache {
                     entry.tick = now;
                 }
                 drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.add(1);
                 fume_obs::counter!("fume.serve.cache.hits", 1);
                 Some(rho)
             }
             None => {
                 drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.add(1);
                 fume_obs::counter!("fume.serve.cache.misses", 1);
                 None
             }
@@ -161,6 +162,9 @@ impl EvalCache {
             return;
         }
         let mut inner = self.guard();
+        // Crash site *while the cache lock is held*: lets the resumability
+        // suite prove the poison-recovery policy (reset_cache) works.
+        fume_obs::fault::fault_point("serve-cache-store");
         inner.tick += 1;
         let now = inner.tick;
         let key = Arc::new(Key { scope, rows: rows.into() });
@@ -186,7 +190,7 @@ impl EvalCache {
         inner.map.insert(key, Entry { rho, tick: now });
         drop(inner);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
             fume_obs::counter!("fume.serve.cache.evictions", evicted);
         }
     }
@@ -195,9 +199,9 @@ impl EvalCache {
     pub fn stats(&self) -> CacheStats {
         let entries = self.guard().map.len() as u64;
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries,
         }
     }

@@ -18,9 +18,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
 use fume_obs::clock::Duration;
+use fume_obs::sync::{Counter, TrackedCondvar, TrackedGuard, TrackedMutex};
 
 use fume_core::checkpoint::{self, CheckpointError};
 use fume_core::{DareRemoval, ExplainRequest, Fume, FumeConfig, FumeError, FumeReport, RemovalSpec};
@@ -177,8 +178,8 @@ pub struct EngineStats {
 }
 
 struct Slot {
-    result: Mutex<Option<JobOutcome>>,
-    done: Condvar,
+    result: TrackedMutex<Option<JobOutcome>>,
+    done: TrackedCondvar,
 }
 
 /// A claim on one submitted job's eventual outcome. Every accepted
@@ -192,20 +193,12 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the job finishes and takes its outcome.
     pub fn wait(self) -> JobOutcome {
-        let mut guard = self
-            .slot
-            .result
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.slot.result.lock();
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
             }
-            guard = self
-                .slot
-                .done
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
+            guard = self.slot.done.wait(guard);
         }
     }
 }
@@ -226,14 +219,14 @@ struct QueueState {
 struct Shared<'e> {
     engine: &'e Engine,
     removal: DareRemoval<'e>,
-    state: Mutex<QueueState>,
-    work: Condvar,
-    next_id: AtomicU64,
+    state: TrackedMutex<QueueState>,
+    work: TrackedCondvar,
+    next_id: Counter,
 }
 
 impl Shared<'_> {
-    fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> TrackedGuard<'_, QueueState> {
+        self.state.lock()
     }
 
     fn execute(&self, id: u64, spec: &JobSpec) -> JobOutcome {
@@ -272,26 +265,20 @@ fn worker_loop(shared: &Shared<'_>, _index: usize) {
                 if state.shutting_down {
                     return;
                 }
-                state = shared
-                    .work
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                state = shared.work.wait(state);
             }
         };
         fume_obs::histogram!("fume.serve.queue_wait_ns", job.enqueued.elapsed_nanos());
-        shared.engine.jobs.fetch_add(1, Ordering::Relaxed);
+        shared.engine.jobs.add(1);
         fume_obs::counter!("fume.serve.jobs", 1);
         let outcome = catch_unwind(AssertUnwindSafe(|| shared.execute(job.id, &job.spec)))
             .unwrap_or(Err(ServeError::JobPanicked));
         if outcome.is_err() {
-            shared.engine.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.engine.jobs_failed.add(1);
             fume_obs::counter!("fume.serve.jobs_failed", 1);
         }
-        let mut result = job
-            .slot
-            .result
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        // fume-lint: allow(F010) -- lock-order: serve.engine.queue < serve.engine.slot (the queue guard is released before a slot result is filled)
+        let mut result = job.slot.result.lock();
         *result = Some(outcome);
         job.slot.done.notify_all();
     }
@@ -316,13 +303,16 @@ impl EngineHandle<'_, '_> {
         }
         if state.queue.len() >= engine.opts.queue_depth {
             drop(state);
-            engine.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            engine.busy_rejections.add(1);
             fume_obs::counter!("fume.serve.busy_rejections", 1);
             return Err(ServeError::Busy { queue_depth: engine.opts.queue_depth });
         }
-        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        let slot = Arc::new(Slot {
+            result: TrackedMutex::new("serve.engine.slot", None),
+            done: TrackedCondvar::new(),
+        });
         let job = Job {
-            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            id: self.shared.next_id.add(1),
             spec,
             slot: Arc::clone(&slot),
             enqueued: Stopwatch::start(),
@@ -375,9 +365,9 @@ pub struct Engine {
     forest: DareForest,
     fingerprint: u64,
     cache: EvalCache,
-    jobs: AtomicU64,
-    jobs_failed: AtomicU64,
-    busy_rejections: AtomicU64,
+    jobs: Counter,
+    jobs_failed: Counter,
+    busy_rejections: Counter,
 }
 
 impl std::fmt::Debug for Engine {
@@ -445,9 +435,9 @@ impl Engine {
             forest,
             fingerprint,
             cache,
-            jobs: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
+            jobs: Counter::new(0),
+            jobs_failed: Counter::new(0),
+            busy_rejections: Counter::new(0),
         })
     }
 
@@ -475,9 +465,9 @@ impl Engine {
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            jobs: self.jobs.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            jobs: self.jobs.get(),
+            jobs_failed: self.jobs_failed.get(),
+            busy_rejections: self.busy_rejections.get(),
             cache: self.cache.stats(),
         }
     }
@@ -529,9 +519,9 @@ impl Engine {
         let shared = Shared {
             engine: self,
             removal,
-            state: Mutex::new(QueueState::default()),
-            work: Condvar::new(),
-            next_id: AtomicU64::new(0),
+            state: TrackedMutex::new("serve.engine.queue", QueueState::default()),
+            work: TrackedCondvar::new(),
+            next_id: Counter::new(0),
         };
         workers::scoped_workers(
             self.opts.workers.max(1),
@@ -552,6 +542,8 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
     use fume_tabular::datasets::planted_toy;
     use fume_tabular::split::train_test_split;
 

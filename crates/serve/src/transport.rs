@@ -12,9 +12,9 @@
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
-use std::sync::{Mutex, PoisonError};
 
 use fume_obs::clock::Stopwatch;
+use fume_obs::sync::TrackedMutex;
 use fume_tabular::workers;
 
 use crate::engine::{EngineHandle, JobReply, JobSpec, Ticket};
@@ -42,6 +42,7 @@ enum Pending {
 fn render_outcome(pending: Pending) -> String {
     match pending {
         Pending::Immediate(line) => line,
+        // fume-lint: allow(F009) -- Ticket::wait is not a condvar wait; it re-checks the slot under a loop internally
         Pending::Job { id, ticket, started } => match ticket.wait() {
             Ok(JobReply::Report(report)) => {
                 render_report(&id, started.elapsed_nanos(), &report)
@@ -62,15 +63,16 @@ where
     W: Write + Send,
 {
     let (tx, rx) = mpsc::channel::<Pending>();
-    let rx = Mutex::new(rx);
-    let writer = Mutex::new(writer);
+    let rx = TrackedMutex::new("serve.transport.rx", rx);
+    let writer = TrackedMutex::new("serve.transport.writer", writer);
     workers::scoped_workers(
         1,
         |_| {
-            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            let rx = rx.lock();
             while let Ok(pending) = rx.recv() {
                 let line = render_outcome(pending);
-                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                // fume-lint: allow(F010) -- lock-order: serve.transport.rx < serve.transport.writer (the responder holds rx for its lifetime and takes writer per line)
+                let mut w = writer.lock();
                 let _ = writeln!(w, "{line}");
                 let _ = w.flush();
             }

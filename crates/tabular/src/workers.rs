@@ -197,30 +197,31 @@ mod tests {
 
     #[test]
     fn scoped_workers_join_before_return() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::{Condvar, Mutex};
-        use std::sync::PoisonError;
-        let done = AtomicUsize::new(0);
-        let gate = (Mutex::new(false), Condvar::new());
+        use fume_obs::sync::{Counter, TrackedCondvar, TrackedMutex};
+        let done = Counter::new(0);
+        let gate = (
+            TrackedMutex::new("tabular.workers.test_gate", false),
+            TrackedCondvar::new(),
+        );
         let out = scoped_workers(
             3,
             |_i| {
                 let (lock, cv) = &gate;
-                let mut open = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut open = lock.lock();
                 while !*open {
-                    open = cv.wait(open).unwrap_or_else(PoisonError::into_inner);
+                    open = cv.wait(open);
                 }
-                done.fetch_add(1, Ordering::SeqCst);
+                done.add(1);
             },
             || {
                 let (lock, cv) = &gate;
-                *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                *lock.lock() = true;
                 cv.notify_all();
                 42
             },
         );
         assert_eq!(out, 42);
-        assert_eq!(done.load(Ordering::SeqCst), 3, "scope joins all workers");
+        assert_eq!(done.get(), 3, "scope joins all workers");
     }
 
     #[test]

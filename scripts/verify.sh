@@ -71,6 +71,14 @@ FUME_DEEPCHECK=1 cargo test -q --offline --test checkpoint_resume
 FUME_DEEPCHECK=1 cargo test -q --offline -p fume-core checkpoint
 FUME_DEEPCHECK=1 cargo test -q --offline -p fume-obs fault
 
+echo "==> lock-order deadlock detector: inversion fires, clean batteries stay silent"
+# The fume-obs sync suite includes a deliberate AB/BA inversion that must
+# produce a CycleReport, plus consistent-order runs that must not; the
+# serve battery asserts zero cycles across a warm+cold session and a
+# poison-recovery round (fume.sync.* counters).
+FUME_DEEPCHECK=1 cargo test -q --offline -p fume-obs sync
+FUME_DEEPCHECK=1 cargo test -q --offline --test serve_engine
+
 echo "==> fault-injection smoke: run -> inject -> resume -> diff reports"
 # Faults only exist in debug builds; build the debug CLI explicitly.
 cargo build --offline -q --bin fume-cli
@@ -147,6 +155,29 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
     exit 1
 fi
 echo "    2 explains byte-identical to the CLI; repeat served from cache (hits=$hits)"
+
+echo "==> fume-serve smoke under FUME_DEEPCHECK=1: zero lock-order cycles"
+# The release binary with the runtime detector armed: fume-serve exits
+# nonzero at drain if any lock-order cycle was recorded, so a clean exit
+# with all requests answered proves the session's lock order consistent.
+deep_session="$smoke_dir/serve_session_deepcheck.txt"
+printf '%s\n' \
+    '{"op":"explain","id":"d1"}' \
+    '{"op":"explain","id":"d2"}' \
+    '{"op":"stats","id":"d3"}' \
+    | FUME_DEEPCHECK=1 "$serve" $common --workers 2 > "$deep_session" 2>/dev/null
+deep_lines=$(wc -l < "$deep_session")
+if [ "$deep_lines" -ne 3 ]; then
+    echo "deepcheck fume-serve session answered $deep_lines/3 requests" >&2
+    cat "$deep_session" >&2
+    exit 1
+fi
+deep_matches=$(grep -cF "\"report\":${cli_report}}" "$deep_session" || true)
+if [ "$deep_matches" -ne 2 ]; then
+    echo "deepcheck fume-serve reports not byte-identical to fume-cli --json ($deep_matches/2)" >&2
+    exit 1
+fi
+echo "    tracked session drained clean; reports byte-identical to the CLI"
 
 echo "==> bench smoke: serve throughput (warm cache vs cold)"
 cargo bench -q --offline -p fume-bench --bench serve_throughput -- --smoke

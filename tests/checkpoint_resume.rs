@@ -126,6 +126,15 @@ fn killed_runs_resume_to_byte_identical_reports() {
         // Resumption reloads the persisted forest; no retraining happened.
         assert_eq!(resumed.training_time.as_nanos(), 0, "site {site}:{nth}");
     }
+
+    // Kill/resume cycles take and re-take every pipeline lock; the
+    // lock-order detector (active in debug and under FUME_DEEPCHECK=1)
+    // must have recorded a consistent order throughout.
+    assert!(
+        fume::obs::sync::cycle_reports().is_empty(),
+        "{:?}",
+        fume::obs::sync::cycle_reports()
+    );
 }
 
 /// Resuming an already-finished run replays its report from the terminal

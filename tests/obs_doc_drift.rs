@@ -79,6 +79,15 @@ const SITUATIONAL: &[(&str, &str)] = &[
     ("fume.serve.cache.evictions", "counter"),
     // Only after a panicking cache-lock holder.
     ("fume.serve.cache.poison_recoveries", "counter"),
+    // `fume.sync.*` is emitted only while lock tracking is active (debug
+    // builds or FUME_DEEPCHECK=1); a release-mode battery run emits none,
+    // and even a debug run has no contention, inversions or poisoning.
+    ("fume.sync.acquisitions", "counter"),
+    ("fume.sync.contended", "counter"),
+    ("fume.sync.order_edges", "counter"),
+    ("fume.sync.cycles", "counter"),
+    ("fume.sync.poison_recoveries", "counter"),
+    ("fume.sync.hold_ns", "histogram"),
 ];
 
 #[test]

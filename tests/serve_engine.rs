@@ -106,6 +106,13 @@ fn warm_repeat_performs_zero_unlearn_evals() {
         warm_stats.cache.hits > cold_stats.cache.hits,
         "the warm request must be answered from the cache"
     );
+    // The warm+cold session exercises every engine lock; the lock-order
+    // detector (active in debug builds) must have seen no inversion.
+    assert!(
+        fume::obs::sync::cycle_reports().is_empty(),
+        "{:?}",
+        fume::obs::sync::cycle_reports()
+    );
 }
 
 #[test]
@@ -200,4 +207,64 @@ fn mid_job_fault_is_a_typed_error_and_the_session_survives() {
         lines[1]
     );
     assert_eq!(engine.stats().jobs_failed, 1);
+}
+
+/// Faults injected *while the eval-cache and scratch-pool locks are
+/// held* poison those locks; the next acquisition must recover them by
+/// policy (clear the interior, count the recovery) and the engine must
+/// keep answering. Asserted through the `fume.sync.*` /
+/// `*.poison_recoveries` counters, which requires the recorder.
+#[test]
+fn poisoned_cache_and_pool_locks_recover_by_policy() {
+    let _g = serial();
+    if !cfg!(debug_assertions) {
+        return; // fault injection only exists in debug builds
+    }
+    let rec = fume::obs::install();
+    rec.reset();
+    let engine = engine(1);
+    engine.serve(|h| {
+        // Phase 1: die during the first cache store — the job panics with
+        // the `serve.cache` lock held, poisoning it.
+        fume::obs::fault::arm("serve-cache-store", 1);
+        let doomed = h.explain(ExplainOverrides::default()).unwrap().wait();
+        assert!(doomed.is_err(), "fault under the cache lock must fail the job");
+
+        // Phase 2: the next job's first cache access recovers the poison
+        // (reset_cache), then dies during the first scratch-pool release —
+        // poisoning `core.scratch_pool` in turn.
+        fume::obs::fault::arm("scratch-pool-release", 1);
+        let doomed = h.explain(ExplainOverrides::default()).unwrap().wait();
+        assert!(doomed.is_err(), "fault under the pool lock must fail the job");
+
+        // Phase 3: with faults disarmed, the next job recovers the pool
+        // (reset_pool → cold clone) and completes normally.
+        fume::obs::fault::disarm();
+        let retry = h.explain(ExplainOverrides::default()).unwrap().wait();
+        assert!(retry.is_ok(), "both locks must be usable after recovery: {retry:?}");
+    });
+    assert_eq!(engine.stats().jobs_failed, 2);
+
+    assert_eq!(
+        rec.counter_value("fume.serve.cache.poison_recoveries"),
+        Some(1),
+        "reset_cache must run exactly once for the poisoned cache lock"
+    );
+    assert_eq!(
+        rec.counter_value("fume.scratch.poison_recoveries"),
+        Some(1),
+        "reset_pool must run exactly once for the poisoned pool lock"
+    );
+    assert_eq!(
+        rec.counter_value("fume.sync.poison_recoveries"),
+        Some(2),
+        "each tracked-lock recovery counts once in the sync vocabulary"
+    );
+    // The recovery path must not have perturbed the lock order anywhere.
+    assert!(
+        fume::obs::sync::cycle_reports().is_empty(),
+        "{:?}",
+        fume::obs::sync::cycle_reports()
+    );
+    rec.reset();
 }
