@@ -11,7 +11,7 @@ use fume_fairness::FairnessMetric;
 use fume_lattice::{BatchEvaluator, EvalItem};
 use fume_tabular::{Dataset, GroupSpec};
 
-use crate::removal::RemovalMethod;
+use crate::removal::{BiasEval, RemovalMethod};
 
 /// The paper's subset attribution
 /// `φ_T = (|F(h_T)| − |F(h)|) / |F(h)|` (Definition 2.3): negative when
@@ -91,19 +91,22 @@ impl<'a, R: RemovalMethod> AttributionEstimator<'a, R> {
     }
 
     /// Attaches an [`EvalMemo`] consulted before every unlearn-eval.
-    /// With a memo attached the `fume.unlearn_evals` counter reports
-    /// only the evals actually performed (memo misses), which is what
-    /// lets a trace prove a fully warm request cost zero unlearning.
+    /// Memo hits surface as `fume.unlearn_evals.memoized` while
+    /// `fume.unlearn_evals` keeps counting only the evals actually
+    /// performed, which is what lets a trace prove a fully warm request
+    /// cost zero unlearning.
     pub fn with_memo(mut self, memo: &'a dyn EvalMemo) -> Self {
         self.memo = Some(memo);
         self
     }
 
-    /// `ρ` for a single subset.
+    /// `ρ` for a single subset. Goes through
+    /// [`RemovalMethod::bias_removed`], so a removal method with an
+    /// incremental path (journal-driven dirty-row reuse) answers without
+    /// a full prediction pass.
     pub fn rho(&self, subset: &[u32]) -> f64 {
-        let new_bias = self
-            .removal
-            .with_removed(subset, |model| self.metric.bias(model, self.test, self.group));
+        let eval = BiasEval { metric: self.metric, test: self.test, group: self.group };
+        let new_bias = self.removal.bias_removed(subset, &eval);
         parity_reduction(self.original_bias, new_bias)
     }
 
@@ -171,13 +174,19 @@ impl<R: RemovalMethod> BatchEvaluator for AttributionEstimator<'_, R> {
             }
             None => (0..unique.len()).collect(),
         };
-        // Without a memo the counter keeps its historical meaning (items
-        // submitted, pre-dedup); with one it counts evals actually run,
-        // so a fully warm request shows zero here in the trace.
-        if self.memo.is_none() {
-            fume_obs::counter!("fume.unlearn_evals", items.len());
-        } else if !miss_idx.is_empty() {
+        // One accounting identity, memo or not:
+        //   fume.unlearn_evals (+ .deduped + .memoized) == items submitted.
+        // `fume.unlearn_evals` counts evals actually *executed* — a fully
+        // warm request shows zero here in the trace — and every satisfied
+        // item ticks progress exactly once (computed, deduped, or
+        // memoized), so `done` always reaches `planned`.
+        if !miss_idx.is_empty() {
             fume_obs::counter!("fume.unlearn_evals", miss_idx.len());
+        }
+        let memoized = unique.len() - miss_idx.len();
+        if memoized > 0 {
+            fume_obs::counter!("fume.unlearn_evals.memoized", memoized);
+            fume_obs::progress::tick_memoized(memoized as u64);
         }
 
         let miss_rows: Vec<&[u32]> = miss_idx.iter().map(|&i| unique[i]).collect();

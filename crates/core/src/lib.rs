@@ -43,7 +43,7 @@ pub use config::FumeConfig;
 pub use instance_attribution::{overlap_with_subset, rank_instances, InstanceAttribution};
 pub use path_mining::{mine_unfair_paths, MinedPattern};
 pub use removal::{
-    DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn, RemovalMethod,
+    BiasEval, DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn, RemovalMethod,
     RetrainRemoval, SharedAdapter,
 };
 pub use request::{ExplainRequest, ModelSpec, RemovalSpec};
@@ -65,8 +65,8 @@ pub mod prelude {
     pub use crate::builder::FumeBuilder;
     pub use crate::config::FumeConfig;
     pub use crate::removal::{
-        DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn, RemovalMethod,
-        RetrainRemoval,
+        BiasEval, DareCloneRemoval, DareRemoval, GbdtRetrainRemoval, RemovalDyn,
+        RemovalMethod, RetrainRemoval,
     };
     pub use crate::request::{ExplainRequest, ModelSpec, RemovalSpec};
     pub use fume_fairness::FairnessMetric;

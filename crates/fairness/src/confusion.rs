@@ -1,4 +1,19 @@
 //! Per-group confusion statistics underlying every fairness metric.
+//!
+//! # The empty-denominator contract
+//!
+//! Every rate on [`Confusion`] is a ratio of counts, and each
+//! denominator can legitimately be zero: an empty group
+//! (`selection_rate`, `base_rate`, `accuracy`), a group with no
+//! positive labels (`tpr`), none negative (`fpr`), or — predictive
+//! parity's everyday case — no positive *predictions* (`ppv`). The
+//! contract, pinned by tests here and at the metric layer, is that an
+//! empty denominator rates **0.0**, never NaN or ±∞. Metrics built as
+//! rate differences therefore stay finite and inside `[-1, 1]` on any
+//! input, degenerate or not; downstream evaluators (the core
+//! `NonFiniteAttribution` boundary) never see a NaN born here, and the
+//! incremental delta path ([`Confusion::reclassify`]) cannot disagree
+//! with a fresh tally about degenerate groups.
 
 /// Confusion counts of one sensitive group.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +64,35 @@ impl Confusion {
     pub fn accuracy(&self) -> f64 {
         ratio(self.tp + self.tn, self.total())
     }
+
+    /// Moves one row with label `y` from prediction `old_pred` to
+    /// `new_pred`: decrements the confusion cell the row used to occupy
+    /// and increments the one it occupies now. This is the delta an
+    /// incremental evaluator applies per re-predicted row instead of
+    /// re-tallying the whole dataset — counts are integers, so a tally
+    /// patched by `reclassify` is *identical* (not merely close) to a
+    /// fresh [`GroupConfusion::tally`] over the updated predictions.
+    ///
+    /// A no-op delta (`old_pred == new_pred`) is permitted and does
+    /// nothing. The row must actually be counted in this confusion
+    /// (debug builds panic on cell underflow).
+    pub fn reclassify(&mut self, y: bool, old_pred: bool, new_pred: bool) {
+        if old_pred == new_pred {
+            return;
+        }
+        fn cell(c: &mut Confusion, pred: bool, y: bool) -> &mut u32 {
+            match (pred, y) {
+                (true, true) => &mut c.tp,
+                (true, false) => &mut c.fp,
+                (false, false) => &mut c.tn,
+                (false, true) => &mut c.fn_,
+            }
+        }
+        let old_cell = cell(self, old_pred, y);
+        debug_assert!(*old_cell > 0, "reclassify underflow: row was never tallied here");
+        *old_cell -= 1;
+        *cell(self, new_pred, y) += 1;
+    }
 }
 
 #[inline]
@@ -88,6 +132,14 @@ impl GroupConfusion {
         }
         out
     }
+
+    /// [`Confusion::reclassify`] routed to the right group: applies the
+    /// `(row, old_pred, new_pred)` delta of a row with label `y` in the
+    /// privileged (`is_priv`) or protected group.
+    pub fn reclassify(&mut self, is_priv: bool, y: bool, old_pred: bool, new_pred: bool) {
+        let c = if is_priv { &mut self.privileged } else { &mut self.protected };
+        c.reclassify(y, old_pred, new_pred);
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +175,69 @@ mod tests {
         assert_eq!(c.tpr(), 0.0);
         assert_eq!(c.fpr(), 0.0);
         assert_eq!(c.ppv(), 0.0);
+        assert_eq!(c.base_rate(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn partial_empty_denominators_rate_zero_not_nan() {
+        // Non-empty group, but every per-rate denominator empty in turn.
+        // No positive predictions: PPV's denominator `tp + fp` is 0.
+        let no_pos_pred = Confusion { tp: 0, fp: 0, tn: 3, fn_: 2 };
+        assert_eq!(no_pos_pred.ppv(), 0.0, "empty Ŷ=1 set must not NaN");
+        // No positive labels: TPR's denominator `tp + fn_` is 0.
+        let no_pos_label = Confusion { tp: 0, fp: 2, tn: 3, fn_: 0 };
+        assert_eq!(no_pos_label.tpr(), 0.0);
+        // No negative labels: FPR's denominator `fp + tn` is 0.
+        let no_neg_label = Confusion { tp: 2, fp: 0, tn: 0, fn_: 3 };
+        assert_eq!(no_neg_label.fpr(), 0.0);
+        for c in [no_pos_pred, no_pos_label, no_neg_label] {
+            for rate in
+                [c.selection_rate(), c.tpr(), c.fpr(), c.ppv(), c.base_rate(), c.accuracy()]
+            {
+                assert!(rate.is_finite() && (0.0..=1.0).contains(&rate), "{c:?}: {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn reclassify_matches_a_fresh_tally() {
+        let mut preds = vec![true, true, false, false, true, false];
+        let labels = [true, false, false, true, true, false];
+        let mask = [true, true, true, false, false, false];
+        let mut g = GroupConfusion::tally(&preds, &labels, &mask);
+        // Flip a few predictions one row at a time, patching the tally.
+        for row in [0usize, 3, 5, 0] {
+            let new_pred = !preds[row];
+            g.reclassify(mask[row], labels[row], preds[row], new_pred);
+            preds[row] = new_pred;
+            assert_eq!(g, GroupConfusion::tally(&preds, &labels, &mask), "after row {row}");
+        }
+        // A no-op delta changes nothing.
+        let before = g;
+        g.reclassify(mask[1], labels[1], preds[1], preds[1]);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn reclassify_can_empty_and_refill_a_denominator() {
+        // One privileged row predicted positive; reclassifying it away
+        // empties the Ŷ=1 set (PPV denominator) and back.
+        let mut c = Confusion { tp: 1, fp: 0, tn: 1, fn_: 0 };
+        c.reclassify(true, true, false);
+        assert_eq!(c, Confusion { tp: 0, fp: 0, tn: 1, fn_: 1 });
+        assert_eq!(c.ppv(), 0.0, "emptied denominator rates zero");
+        c.reclassify(true, false, true);
+        assert_eq!(c, Confusion { tp: 1, fp: 0, tn: 1, fn_: 0 });
+        assert_eq!(c.ppv(), 1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "reclassify underflow")]
+    fn reclassify_of_an_untallied_row_panics_in_debug() {
+        let mut c = Confusion::default();
+        c.reclassify(true, true, false);
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! paper's `F(h, D) = P(Ŷ=1|S=0) − P(Ŷ=1|S=1)` convention for statistical
 //! parity): a negative value means the classifier is biased **against**
 //! the protected group, and `|F|` is the magnitude of the bias.
+//!
+//! Degenerate inputs follow the empty-denominator contract documented in
+//! [`crate::confusion`]: an empty group, an all-one-label group, or an
+//! empty `Ŷ=1` set (predictive parity) contributes a rate of 0.0, so
+//! every metric is finite and in `[-1, 1]` on *any* dataset — the
+//! evaluator boundary never has to launder a NaN minted here.
 
 use fume_tabular::{Classifier, Dataset, GroupSpec};
 
@@ -235,6 +241,55 @@ mod tests {
         );
         // 6 of 8 predictions match the labels.
         assert!((r.accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_metrics_are_finite_on_degenerate_groups() {
+        let (data, group) = toy();
+        // Predict nothing positive (PPV denominators empty in both
+        // groups), everything positive (FPR/TNR side degenerate), and a
+        // one-sided split (privileged Ŷ=1 set empty, protected not).
+        for preds in [
+            vec![false; 8],
+            vec![true; 8],
+            vec![false, false, false, false, true, true, true, true],
+        ] {
+            let h = FixedPreds(preds.clone());
+            for m in FairnessMetric::EXTENDED {
+                let f = m.evaluate(&h, &data, group);
+                assert!(
+                    f.is_finite() && (-1.0..=1.0).contains(&f),
+                    "{} on {preds:?}: {f}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prediction_set_pins_ppv_difference_to_protected_rate() {
+        let (data, group) = toy();
+        // Privileged Ŷ=1 empty → its PPV is 0 by contract; protected
+        // predicts row 4 (y=1) → PPV 1. The difference is exactly +1.
+        let h = FixedPreds(vec![false, false, false, false, true, false, false, false]);
+        assert_eq!(FairnessMetric::PredictiveParity.evaluate(&h, &data, group), 1.0);
+        // Both sides empty → both PPVs 0 → difference exactly 0.
+        let h = FixedPreds(vec![false; 8]);
+        assert_eq!(FairnessMetric::PredictiveParity.evaluate(&h, &data, group), 0.0);
+    }
+
+    #[test]
+    fn metrics_on_an_entirely_empty_dataset_are_zero() {
+        let (data, group) = toy();
+        let empty = data.select_rows(&[]).unwrap();
+        let h = ConstantClassifier { proba: 0.9 };
+        for m in FairnessMetric::EXTENDED {
+            assert_eq!(m.evaluate(&h, &empty, group), 0.0, "{}", m.name());
+            assert_eq!(m.bias(&h, &empty, group), 0.0, "{}", m.name());
+        }
+        let r = fairness_report(&h, &empty, group);
+        assert_eq!(r.accuracy, 0.0);
+        assert_eq!(r.confusion, GroupConfusion::default());
     }
 
     #[test]

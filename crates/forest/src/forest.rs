@@ -250,6 +250,23 @@ impl DareForest {
         Ok(total)
     }
 
+    /// Positive-class probability for a single `row` of `data` — bitwise
+    /// identical to `predict_proba(data)[row]`: same tree order, same
+    /// accumulate-then-divide float sequence, same empty-forest answer.
+    /// Incremental evaluators re-predict only dirty rows through this, so
+    /// a partially refreshed prediction vector cannot drift from a full
+    /// pass.
+    pub fn predict_row(&self, data: &Dataset, row: usize) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let mut acc = 0.0f64;
+        for tree in &self.trees {
+            acc += tree.predict_row(data, row);
+        }
+        acc / self.trees.len() as f64
+    }
+
     /// The trees, for structural inspection (path mining, validation).
     pub fn trees(&self) -> &[DareTree] {
         &self.trees
@@ -479,6 +496,16 @@ mod tests {
         assert_eq!(journal.n_deleted(), 0);
         assert_eq!(journal.nodes_recorded(), 0);
         assert_eq!(forest, before);
+    }
+
+    #[test]
+    fn predict_row_is_bitwise_identical_to_the_full_pass() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 35).unwrap();
+        let forest = DareForest::fit(&data, small_cfg(17));
+        let full = forest.predict_proba(&data);
+        for (row, p) in full.iter().enumerate() {
+            assert_eq!(p.to_bits(), forest.predict_row(&data, row).to_bits(), "row {row}");
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use fume_tabular::rng::StdRng;
 /// Address of a node as a left(0)/right(1) bit path from the root.
 /// Journaled trees must therefore be shallower than 64 levels — far above
 /// any configurable [`DareConfig::max_depth`](crate::DareConfig).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodePath {
     bits: u64,
     depth: u8,
@@ -44,6 +44,43 @@ impl NodePath {
             bits: self.bits | (u64::from(right) << self.depth),
             depth: self.depth + 1,
         }
+    }
+
+    /// Whether this node lies in the subtree rooted at `ancestor`, i.e.
+    /// `ancestor`'s bit path is a prefix of this one (every node is its
+    /// own ancestor). The routing index uses this to map a `Subtree`
+    /// undo record to the cached leaf addresses it invalidates.
+    pub fn descends_from(self, ancestor: NodePath) -> bool {
+        // `child` permits depths up to 64, so the prefix mask must not
+        // shift by the full word width.
+        let mask = if ancestor.depth >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << ancestor.depth) - 1
+        };
+        ancestor.depth <= self.depth && (self.bits & mask) == ancestor.bits
+    }
+
+    /// Descends from `root` along this path (shared-reference twin of
+    /// [`Self::locate_mut`], for read-only lookups like
+    /// [`DareTree::proba_at`](crate::DareTree::proba_at)).
+    pub(crate) fn locate(self, root: &Node) -> &Node {
+        let mut node = root;
+        for i in 0..self.depth {
+            let right = self.bits >> i & 1 == 1;
+            node = match node {
+                Node::Internal(internal) => {
+                    if right {
+                        &internal.right
+                    } else {
+                        &internal.left
+                    }
+                }
+                // fume-lint: allow(F001) -- path invariant: see locate_mut
+                Node::Leaf(_) => unreachable!("journal path descends through a leaf"),
+            };
+        }
+        node
     }
 
     /// Descends from `root` along this path.
@@ -321,6 +358,30 @@ mod tests {
         assert_ne!(l.child(true), r.child(false));
         // Left-left and left differ by depth even though the bits agree.
         assert_ne!(l, l.child(false));
+    }
+
+    #[test]
+    fn descendance_is_prefix_matching() {
+        let root = NodePath::ROOT;
+        let l = root.child(false);
+        let lr = l.child(true);
+        let r = root.child(true);
+        assert!(lr.descends_from(root));
+        assert!(lr.descends_from(l));
+        assert!(lr.descends_from(lr), "every node is its own ancestor");
+        assert!(!lr.descends_from(r));
+        assert!(!l.descends_from(lr), "ancestry is not symmetric");
+        // Same bits, shallower depth: left-left descends from left, and a
+        // right branch below does not leak into the left prefix.
+        assert!(l.child(false).descends_from(l));
+        assert!(!r.child(false).descends_from(l));
+        // Deep chains exercise the mask at high depths.
+        let mut deep = root;
+        for i in 0..63 {
+            deep = deep.child(i % 2 == 0);
+        }
+        assert!(deep.descends_from(root));
+        assert!(deep.child(true).descends_from(deep));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod insert;
 pub mod journal;
 pub mod node;
 pub mod persist;
+pub mod routing;
 pub mod tree;
 pub mod validate;
 
@@ -52,4 +53,5 @@ pub use forest::{DareForest, ForestError};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use insert::InsertReport;
 pub use journal::{TreeUndo, UndoJournal};
+pub use routing::{DirtyRows, RoutingIndex};
 pub use tree::DareTree;

@@ -12,6 +12,8 @@
 use fume_tabular::cast::row_u32;
 use fume_tabular::Dataset;
 
+use crate::journal::NodePath;
+
 /// A cached candidate split with its sufficient statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
@@ -148,6 +150,25 @@ impl Node {
                     } else {
                         &i.right
                     };
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::predict_row`], but also returns the [`NodePath`] of
+    /// the leaf the row lands in — the address the routing index stores
+    /// so a journaled deletion can name exactly which cached predictions
+    /// it invalidated.
+    pub fn route_row(&self, data: &Dataset, row: usize) -> (NodePath, f64) {
+        let mut node = self;
+        let mut path = NodePath::ROOT;
+        loop {
+            match node {
+                Node::Leaf(l) => return (path, l.proba()),
+                Node::Internal(i) => {
+                    let right = data.code(row, i.attr as usize) > i.threshold;
+                    path = path.child(right);
+                    node = if right { &i.right } else { &i.left };
                 }
             }
         }

@@ -50,6 +50,21 @@ impl DareTree {
         self.root.predict_row(data, row)
     }
 
+    /// The probability at the leaf addressed by `path` — the vote of
+    /// every row routed there, in the bits a full walk would produce.
+    /// Incremental evaluators use this to refresh all rows cached at a
+    /// journal-edited leaf with a single lookup instead of one walk per
+    /// row. Panics if `path` names an internal node: callers pass leaf
+    /// addresses recorded by this tree's own journal, outside any
+    /// rebuilt subtree, so the address still resolves to that leaf.
+    pub fn proba_at(&self, path: NodePath) -> f64 {
+        match path.locate(&self.root) {
+            Node::Leaf(leaf) => leaf.proba(),
+            // fume-lint: allow(F001) -- contract documented above: journal Leaf records only ever address leaves, and rebuilt cones are excluded by the caller; reaching an internal node means a corrupted journal, not a recoverable state
+            Node::Internal(_) => panic!("proba_at: {path:?} addresses an internal node"),
+        }
+    }
+
     /// Unlearns the training instances `del` (must be sorted, deduplicated
     /// and present in the tree). Statistics are updated in place; subtrees
     /// are rebuilt from surviving instances only where the cached

@@ -143,6 +143,14 @@ pub fn tick_deduped(n: u64) {
     tick_eval(n);
 }
 
+/// Records `n` evals satisfied from a cross-run eval memo. Like
+/// [`tick_deduped`], memo hits count toward the level's plan without
+/// costing forest work and fold into the snapshot's `deduped` figure —
+/// without this tick a warm run's `done` would never reach `planned`.
+pub fn tick_memoized(n: u64) {
+    tick_deduped(n);
+}
+
 /// Resets the run-scoped counters (tests and back-to-back experiments).
 /// The observer and active flag are process-wide and stay.
 pub fn reset() {

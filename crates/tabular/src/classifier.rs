@@ -11,9 +11,16 @@ pub trait Classifier {
     /// Predicted probability of the positive class for each row of `data`.
     fn predict_proba(&self, data: &Dataset) -> Vec<f64>;
 
-    /// Hard predictions, thresholded at 0.5 by default.
+    /// Hard predictions, thresholded through the shared
+    /// [`float::positive_class`](crate::float::positive_class) decision
+    /// (strictly above 0.5; exact ties are negative), so every consumer
+    /// of hard predictions — full passes and incremental per-row
+    /// re-prediction alike — agrees on tied probabilities.
     fn predict(&self, data: &Dataset) -> Vec<bool> {
-        self.predict_proba(data).into_iter().map(|p| p > 0.5).collect()
+        self.predict_proba(data)
+            .into_iter()
+            .map(crate::float::positive_class)
+            .collect()
     }
 
     /// Fraction of rows whose hard prediction matches the label.
@@ -90,6 +97,17 @@ mod tests {
         assert!((c.accuracy(&d) - 0.75).abs() < 1e-12);
         let c = ConstantClassifier { proba: 0.1 };
         assert!((c.accuracy(&d) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_probability_predicts_negative() {
+        // A per-tree vote average can land exactly on the threshold (e.g.
+        // an empty leaf's 0.5, or half the trees voting 1.0); the shared
+        // decision must put the tie on the negative side everywhere.
+        let d = toy();
+        let c = ConstantClassifier { proba: 0.5 };
+        assert_eq!(c.predict(&d), vec![false; 4], "exact ties are negative");
+        assert_eq!(c.accuracy(&d), 0.25, "only the one negative label matches");
     }
 
     #[test]

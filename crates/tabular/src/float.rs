@@ -38,6 +38,19 @@ pub fn bit_eq(a: f64, b: f64) -> bool {
     a.to_bits() == b.to_bits()
 }
 
+/// The one shared positive-class decision: a probability counts as a
+/// positive prediction iff it is **strictly** above 0.5 — a tie at
+/// exactly 0.5 (an empty leaf, a perfectly split ensemble vote) is
+/// negative. The comparison is deliberately exact, not epsilon-padded:
+/// the threshold is a convention, not a measurement, and every consumer
+/// (full `predict` passes, incremental per-row re-prediction, serving)
+/// must land on the same side of the same bit pattern or their confusion
+/// tallies diverge. Route every hard-prediction threshold through here.
+#[inline]
+pub fn positive_class(p: f64) -> bool {
+    p > 0.5
+}
+
 /// Whether `a` is *definitively* less than `b`: strictly below even after
 /// granting an [`EPSILON`] of accumulated error. The tolerant counterpart
 /// of `a < b` for threshold gates — values within `EPSILON` of the bound
@@ -86,6 +99,16 @@ mod tests {
         // Exactly-at-the-bound is neither above nor below.
         assert!(!approx_lt(0.5, 0.5));
         assert!(!approx_gt(0.5, 0.5));
+    }
+
+    #[test]
+    fn positive_class_ties_are_negative() {
+        assert!(!positive_class(0.5), "an exact tie is a negative prediction");
+        assert!(positive_class(0.5 + f64::EPSILON));
+        assert!(!positive_class(0.5 - f64::EPSILON / 4.0));
+        assert!(positive_class(1.0));
+        assert!(!positive_class(0.0));
+        assert!(!positive_class(f64::NAN), "NaN never predicts positive");
     }
 
     #[test]

@@ -46,6 +46,16 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
     exit 1
 fi
 echo "    pooled path ${speedup}x over clone-per-eval"
+incr_speedup=$(sed -n 's/.*"incr_speedup":\([0-9.]*\).*/\1/p' BENCH_unlearn_eval.json)
+if [ -z "$incr_speedup" ]; then
+    echo "could not read incr_speedup from BENCH_unlearn_eval.json" >&2
+    exit 1
+fi
+if ! awk -v s="$incr_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "incremental (dirty-row) eval path slower than pooled full recompute (incr_speedup ${incr_speedup}x)" >&2
+    exit 1
+fi
+echo "    incremental path ${incr_speedup}x over pooled full recompute"
 
 echo "==> fume-trace diff: smoke bench run-to-run perf gate"
 # A second identical run; the tolerance is generous (smoke runs are small
@@ -70,6 +80,11 @@ echo "==> checkpoint/fault tests under FUME_DEEPCHECK=1 (runtime audits on)"
 FUME_DEEPCHECK=1 cargo test -q --offline --test checkpoint_resume
 FUME_DEEPCHECK=1 cargo test -q --offline -p fume-core checkpoint
 FUME_DEEPCHECK=1 cargo test -q --offline -p fume-obs fault
+
+echo "==> incremental-vs-full differential battery under FUME_DEEPCHECK=1"
+# Every incremental bias answer is cross-checked bitwise against a full
+# recompute inside the removal method, per call.
+FUME_DEEPCHECK=1 cargo test -q --offline --test incremental_eval
 
 echo "==> lock-order deadlock detector: inversion fires, clean batteries stay silent"
 # The fume-obs sync suite includes a deliberate AB/BA inversion that must

@@ -1,0 +1,184 @@
+//! Differential battery for the incremental bias-evaluation engine:
+//! `DareRemoval::bias_removed` (journal-driven dirty-row reuse) must be
+//! **bitwise** identical to a full recompute — across all three paper
+//! metrics, random subset sizes, both removal methods, consecutive
+//! rollback-then-reuse evals on one shared pool, and exact 0.5
+//! probability ties. `scripts/verify.sh` reruns this file with
+//! `FUME_DEEPCHECK=1`, which additionally cross-checks every incremental
+//! answer against a scratch recompute *inside* the removal method.
+
+use std::sync::Arc;
+
+use fume::core::prelude::*;
+use fume::core::SharedAdapter;
+use fume::tabular::datasets::planted_toy;
+use fume::tabular::rng::{Rng, SeedableRng, StdRng};
+use fume::tabular::split::train_test_split;
+use fume::tabular::{Attribute, Dataset, Schema};
+
+fn fixture(seed: u64) -> (Dataset, Dataset, GroupSpec, DareForest) {
+    let (data, group) = planted_toy().generate_scaled(0.5, seed).unwrap();
+    let (train, test) = train_test_split(&data, 0.3, seed).unwrap();
+    let forest = DareForest::fit(&train, DareConfig::small(seed));
+    (train, test, group, forest)
+}
+
+fn random_subset(rng: &mut StdRng, universe: u32) -> Vec<u32> {
+    let size = 1 + rng.gen_range(0..universe / 4);
+    let mut subset: Vec<u32> = (0..size).map(|_| rng.gen_range(0..universe)).collect();
+    subset.sort_unstable();
+    subset.dedup();
+    subset
+}
+
+/// The core battery: for every metric and a spread of seeded random
+/// subsets, the incremental path, the generic closure path, and the
+/// clone-per-eval baseline agree to the bit. One `DareRemoval` serves
+/// every eval, so each iteration after the first exercises
+/// rollback-then-reuse: the routing index and base tally built on call
+/// one must stay valid against the rolled-back scratch forest.
+#[test]
+fn incremental_bias_is_bitwise_identical_to_full_recompute() {
+    let (train, test, group, forest) = fixture(97);
+    let snapshot = forest.clone();
+    let incremental = DareRemoval::new(&forest, &train);
+    let baseline = DareCloneRemoval::new(&forest, &train);
+    let mut rng = StdRng::seed_from_u64(97);
+    let n = train.num_rows() as u32;
+
+    for metric in FairnessMetric::ALL {
+        let eval = BiasEval { metric, test: &test, group };
+        for round in 0..8 {
+            let subset = random_subset(&mut rng, n);
+            let incr = incremental.bias_removed(&subset, &eval);
+            let closure = incremental.with_removed(&subset, |m| eval.full(m));
+            let cloned = baseline.bias_removed(&subset, &eval);
+            assert_eq!(
+                incr.to_bits(),
+                cloned.to_bits(),
+                "{} round {round} (|T| = {}): incremental {incr} != clone-path {cloned}",
+                metric.name(),
+                subset.len()
+            );
+            assert_eq!(
+                incr.to_bits(),
+                closure.to_bits(),
+                "{} round {round}: incremental path disagrees with its own pool",
+                metric.name()
+            );
+        }
+    }
+    assert_eq!(forest, snapshot, "deployed model must be untouched");
+}
+
+/// Alternating between two different evaluation targets (distinct test
+/// splits) forces the cached incremental state to be rebuilt on every
+/// switch — and each rebuild must still answer exactly.
+#[test]
+fn switching_eval_targets_rebuilds_state_exactly() {
+    let (data, group) = planted_toy().generate_scaled(0.5, 98).unwrap();
+    let (train, test_a) = train_test_split(&data, 0.3, 98).unwrap();
+    let (_, test_b) = train_test_split(&data, 0.5, 99).unwrap();
+    let forest = DareForest::fit(&train, DareConfig::small(98));
+    let incremental = DareRemoval::new(&forest, &train);
+    let baseline = DareCloneRemoval::new(&forest, &train);
+    let metric = FairnessMetric::EqualizedOdds;
+    let subset: Vec<u32> = (0..25).collect();
+
+    let eval_a = BiasEval { metric, test: &test_a, group };
+    let eval_b = BiasEval { metric, test: &test_b, group };
+    // a → b → a: the middle eval evicts a's state, the last rebuilds it.
+    for eval in [&eval_a, &eval_b, &eval_a] {
+        let incr = incremental.bias_removed(&subset, eval);
+        let full = baseline.bias_removed(&subset, eval);
+        assert_eq!(incr.to_bits(), full.to_bits(), "state rebuild changed the answer");
+    }
+}
+
+/// The `&dyn RemovalDyn` bridge (how `fume-serve` shares one warm pool
+/// across requests) must route `bias_removed` to the incremental
+/// override, not the generic default — and still answer exactly.
+#[test]
+fn shared_adapter_keeps_the_incremental_answer_exact() {
+    let (train, test, group, forest) = fixture(96);
+    let incremental = DareRemoval::new(&forest, &train);
+    let shared = SharedAdapter(&incremental);
+    let baseline = DareCloneRemoval::new(&forest, &train);
+    let subset: Vec<u32> = (0..30).collect();
+    for metric in FairnessMetric::ALL {
+        let eval = BiasEval { metric, test: &test, group };
+        let via_shared = shared.bias_removed(&subset, &eval);
+        let full = baseline.bias_removed(&subset, &eval);
+        assert_eq!(via_shared.to_bits(), full.to_bits(), "{}", metric.name());
+    }
+}
+
+/// An empty test set cannot be indexed; the incremental path must fall
+/// back to the reference computation instead of panicking.
+#[test]
+fn empty_test_set_falls_back_to_the_full_path() {
+    let (train, test, group, forest) = fixture(95);
+    let empty = test.select_rows(&[]).unwrap();
+    let incremental = DareRemoval::new(&forest, &train);
+    let eval = BiasEval { metric: FairnessMetric::StatisticalParity, test: &empty, group };
+    assert_eq!(incremental.bias_removed(&[0, 1, 2], &eval), 0.0);
+}
+
+/// A forest whose every leaf holds a perfectly balanced label split
+/// predicts exactly 0.5 for every row — the planted tie. The shared
+/// threshold convention (`float::positive_class`: ties are negative)
+/// must hold on both the base predictions and the incremental
+/// re-predictions, and a deletion that tips the balance must flip rows
+/// identically on the incremental and full paths.
+#[test]
+fn planted_probability_tie_is_handled_identically() {
+    let schema = Arc::new(
+        Schema::with_default_label(vec![
+            Attribute::categorical("x", vec!["a".into(), "b".into()]),
+            Attribute::categorical("s", vec!["f".into(), "m".into()]),
+        ])
+        .unwrap(),
+    );
+    // Labels balanced within each group: any leaf the tree can carve
+    // (by `s`; `x` is constant) tallies 50% positive, so every tree
+    // votes exactly 0.5 on every row.
+    let train = Dataset::new(
+        Arc::clone(&schema),
+        vec![vec![0; 8], vec![0, 0, 0, 0, 1, 1, 1, 1]],
+        vec![true, false, true, false, true, false, true, false],
+    )
+    .unwrap();
+    let test = Dataset::new(
+        Arc::clone(&schema),
+        vec![vec![0; 4], vec![0, 0, 1, 1]],
+        vec![true, false, true, false],
+    )
+    .unwrap();
+    let group = GroupSpec::new(1, 1);
+    let forest = DareForest::fit(&train, DareConfig::small(5).with_trees(3));
+
+    let probas = forest.predict_proba(&test);
+    assert!(
+        probas.iter().all(|p| p.to_bits() == 0.5f64.to_bits()),
+        "fixture must put every row exactly on the threshold: {probas:?}"
+    );
+    assert_eq!(forest.predict(&test), vec![false; 4], "exact ties are negative");
+
+    let incremental = DareRemoval::new(&forest, &train);
+    let baseline = DareCloneRemoval::new(&forest, &train);
+    for metric in FairnessMetric::ALL {
+        let eval = BiasEval { metric, test: &test, group };
+        // Deleting a negative privileged row tips that group's leaves
+        // above 0.5; deleting a positive one keeps them at or below it.
+        for subset in [vec![5u32], vec![4u32], vec![4u32, 5]] {
+            let incr = incremental.bias_removed(&subset, &eval);
+            let full = baseline.bias_removed(&subset, &eval);
+            assert_eq!(
+                incr.to_bits(),
+                full.to_bits(),
+                "{} deleting {subset:?}: tie rows diverged",
+                metric.name()
+            );
+        }
+    }
+}

@@ -70,6 +70,10 @@ const SITUATIONAL: &[(&str, &str)] = &[
     // Only when a level contains two subsets with identical row sets;
     // the planted toy lattice has none.
     ("fume.unlearn_evals.deduped", "counter"),
+    // Only when the incremental bias evaluator's cached state doesn't
+    // match the request (different test set/group) and it recomputes in
+    // full; the battery's requests all share one test set.
+    ("fume.incr.full_fallbacks", "counter"),
     // Only when a serve job fails or panics; the battery's jobs succeed.
     ("fume.serve.jobs_failed", "counter"),
     // Only when the serve queue overflows; the battery submits serially.

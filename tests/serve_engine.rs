@@ -85,6 +85,34 @@ fn concurrent_clients_are_byte_identical_to_serial() {
     }
 }
 
+/// The engine answers every bias query through the shared warm pool's
+/// *incremental* path (journal-driven dirty-row reuse behind
+/// `RemovalSpec::Shared`). Its canonical report must be byte-identical
+/// to a one-shot run forced onto the clone-per-eval removal method,
+/// which recomputes every bias with a full prediction pass.
+#[test]
+fn engine_reports_are_byte_identical_to_the_full_recompute_path() {
+    let _g = serial();
+    use fume::core::{ExplainRequest, Fume, RemovalSpec};
+
+    let (data, group) = planted_toy().generate_scaled(0.6, 7).unwrap();
+    let (train, test) = train_test_split(&data, 0.3, 7).unwrap();
+    let config = FumeConfig::default()
+        .with_forest(DareConfig::small(7))
+        .with_support(SupportRange::new(0.02, 0.30).unwrap());
+    let baseline = Fume::new(config)
+        .run(&ExplainRequest::new(&train, &test, group).with_removal(RemovalSpec::DareClone))
+        .unwrap()
+        .to_json();
+
+    // Same data, seed, and config as the one-shot run (the `engine`
+    // fixture re-derives them identically).
+    let got = engine(2).serve(|h| {
+        report_json(h.explain(ExplainOverrides::default()).unwrap().wait().unwrap())
+    });
+    assert_eq!(got, baseline, "incremental engine report diverged from full recompute");
+}
+
 #[test]
 fn warm_repeat_performs_zero_unlearn_evals() {
     let _g = serial();

@@ -253,10 +253,18 @@ fn explain_run_leaves_a_complete_trace() {
     }
 
     // --- aggregates agree with the report ---
+    // `fume.unlearn_evals` counts evals actually executed; items satisfied
+    // without forest work surface as `.deduped` (within-batch duplicates)
+    // or `.memoized` (cross-run memo hits). The three always sum to the
+    // report's submitted-operation count.
+    let executed = rec.counter_value("fume.unlearn_evals").unwrap_or(0);
+    let deduped = rec.counter_value("fume.unlearn_evals.deduped").unwrap_or(0);
+    let memoized = rec.counter_value("fume.unlearn_evals.memoized").unwrap_or(0);
     assert_eq!(
-        rec.counter_value("fume.unlearn_evals"),
-        Some(report.unlearning_operations as u64),
-        "unlearn-eval counter must match the report's operation count"
+        executed + deduped + memoized,
+        report.unlearning_operations as u64,
+        "executed + deduped + memoized unlearn-evals must match the report's \
+         operation count ({executed} + {deduped} + {memoized})"
     );
     let explored: usize = report.levels.iter().map(|l| l.explored).sum();
     assert_eq!(rec.counter_value("lattice.explored"), Some(explored as u64));
