@@ -1,0 +1,135 @@
+//! Pointer walk vs flattened prediction plan: full ensemble prediction
+//! passes over an Adult-scale test set, plus the plan compile cost.
+//! Emits `BENCH_predict.json`; `scripts/verify.sh` runs the `--smoke`
+//! mode and fails if the plan kernel regresses below 1.5x over the
+//! pointer walk. The two paths must agree bitwise before their speed is
+//! comparable — the bench asserts full-vector bit equality every round,
+//! and runs with `FUME_DEEPCHECK` semantics hard-coded (the comparison
+//! here *is* the deepcheck, at bench scale, in release mode).
+//!
+//! ```text
+//! cargo bench --bench predict_kernel            # full Adult-scale run
+//! cargo bench --bench predict_kernel -- --smoke # small CI-gate run
+//! ```
+
+use std::time::Instant;
+
+use fume_forest::{DareConfig, DareForest, PredictPlan};
+use fume_tabular::datasets::adult;
+use fume_tabular::split::train_test_split;
+use fume_tabular::Dataset;
+
+struct Setup {
+    mode: &'static str,
+    test: Dataset,
+    forest: DareForest,
+    /// Full passes per timed round: smoke-scale single passes are
+    /// sub-millisecond, so each round times a batch and reports
+    /// per-pass seconds — otherwise the gate compares timer noise.
+    passes: usize,
+    rounds: usize,
+}
+
+fn setup(smoke: bool) -> Setup {
+    let (mode, scale, trees, depth, passes, rounds) =
+        if smoke { ("smoke", 0.05, 30, 8, 30, 5) } else { ("full", 0.5, 50, 14, 5, 5) };
+    let (data, _) = adult().generate_scaled(scale, 11).expect("generate");
+    let (train, test) = train_test_split(&data, 0.3, 11).expect("split");
+    let cfg = DareConfig::default().with_trees(trees).with_max_depth(depth).with_seed(11);
+    let forest = DareForest::fit(&train, cfg);
+    Setup { mode, test, forest, passes, rounds }
+}
+
+/// Best-of-rounds per-pass seconds for `f`, which runs one full pass.
+fn time_passes(passes: usize, rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / passes as f64);
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_path = std::env::var("FUME_TRACE").ok().filter(|p| !p.is_empty());
+    if trace_path.is_some() {
+        let rec = fume_obs::install();
+        rec.reset();
+        rec.set_meta("bench", "predict_kernel");
+        rec.set_meta("mode", if smoke { "smoke" } else { "full" });
+    }
+    let s = setup(smoke);
+    let rows = s.test.num_rows();
+    let trees = s.forest.config().n_trees;
+
+    // Compile cost, timed separately — the plan is reused across passes
+    // in every real call site (routing build + base predictions share
+    // one compile), so it must not be charged to each pass.
+    let mut compile_secs = f64::INFINITY;
+    for _ in 0..s.rounds {
+        let t0 = Instant::now();
+        let plan = PredictPlan::compile(&s.forest);
+        compile_secs = compile_secs.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&plan);
+    }
+    let plan = PredictPlan::compile(&s.forest);
+
+    // Bitwise equivalence before any speed claim: every row of the plan
+    // kernel's output must carry the exact bits of the pointer walk.
+    let reference = s.forest.predict_proba_pointer(&s.test);
+    let mut out = vec![0.0f64; rows];
+    plan.predict_into(&s.test, &mut out);
+    for (row, (a, b)) in out.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "plan kernel diverged from the pointer walk at row {row}"
+        );
+    }
+
+    let pointer_secs = time_passes(s.passes, s.rounds, || {
+        std::hint::black_box(s.forest.predict_proba_pointer(&s.test));
+    });
+    let plan_secs = time_passes(s.passes, s.rounds, || {
+        plan.predict_into(&s.test, &mut out);
+        std::hint::black_box(&out);
+    });
+
+    let speedup = pointer_secs / plan_secs;
+    let pointer_rps = rows as f64 / pointer_secs;
+    let plan_rps = rows as f64 / plan_secs;
+
+    println!(
+        "predict_kernel ({} · {rows} test rows · {trees} trees · {} passes/round · {} rounds)",
+        s.mode, s.passes, s.rounds
+    );
+    println!("  pointer walk   {:>12.6}s/pass   {pointer_rps:>12.0} rows/s", pointer_secs);
+    println!("  plan kernel    {:>12.6}s/pass   {plan_rps:>12.0} rows/s", plan_secs);
+    println!("  plan compile   {:>12.6}s ({} nodes, ~{} KiB)",
+        compile_secs, plan.num_nodes(), plan.approx_bytes() / 1024);
+    println!("  speedup        {speedup:>12.2}x (plan vs pointer)");
+
+    let json = format!(
+        "{{\"bench\":\"predict\",\"mode\":\"{}\",\"rows\":{rows},\"trees\":{trees},\
+         \"passes_per_round\":{},\"rounds\":{},\
+         \"pointer_secs\":{pointer_secs:.9},\"plan_secs\":{plan_secs:.9},\
+         \"compile_secs\":{compile_secs:.9},\
+         \"pointer_rows_per_sec\":{pointer_rps:.0},\"plan_rows_per_sec\":{plan_rps:.0},\
+         \"speedup\":{speedup:.3}}}\n",
+        s.mode, s.passes, s.rounds
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
+    std::fs::write(out_path, json).expect("write BENCH_predict.json");
+    eprintln!("wrote BENCH_predict.json");
+
+    if let (Some(path), Some(rec)) = (trace_path, fume_obs::global()) {
+        let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let dest = root.join(&path);
+        std::fs::write(&dest, rec.events_to_jsonl()).expect("write FUME_TRACE file");
+        eprintln!("wrote trace to {path}");
+    }
+}

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use fume_obs::sync::{TrackedGuard, TrackedMutex};
 
 use fume_fairness::{FairnessMetric, GroupConfusion};
-use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig, RoutingIndex};
+use fume_forest::{DareConfig, DareForest, Gbdt, GbdtConfig, PredictPlan, RoutingIndex};
 use fume_tabular::{float, Classifier, Dataset, GroupSpec};
 
 /// One bias measurement, fully specified: which metric, over which
@@ -222,8 +222,14 @@ struct IncrState {
 
 impl IncrState {
     fn build(forest: &DareForest, eval: &BiasEval<'_>) -> Self {
-        let index = RoutingIndex::build(forest, eval.test);
-        let base_preds = forest.predict(eval.test);
+        // One plan compile feeds both full passes over the test set: the
+        // routing-index build and the deployed model's base predictions.
+        // The plan kernel is bitwise identical to the pointer walk, so
+        // the cached contributions and predictions are exactly what the
+        // reference path would produce.
+        let plan = PredictPlan::compile(forest);
+        let index = RoutingIndex::build_with_plan(&plan, eval.test);
+        let base_preds = plan.predict(eval.test);
         let privileged = eval.test.privileged_mask(eval.group);
         let base_confusion =
             GroupConfusion::tally(&base_preds, eval.test.labels(), &privileged);
@@ -295,6 +301,16 @@ impl<'a> DareRemoval<'a> {
         // suite prove the poison-recovery policy (reset_pool) works.
         fume_obs::fault::fault_point("scratch-pool-release");
         pool.push(scratch);
+    }
+
+    /// Builds the incremental-evaluation state for `eval` ahead of the
+    /// first bias query, so no request pays the cold routing-index +
+    /// base-prediction build mid-loop (a serving engine calls this right
+    /// after [`RemovalMethod::warm`]). A no-op when the state cannot
+    /// exist (empty forest or test set) or is already built for this
+    /// evaluation.
+    pub fn prewarm_incremental(&self, eval: &BiasEval<'_>) {
+        let _ = self.incr_state(eval);
     }
 
     /// The incremental-eval state for `eval`, building (or replacing) it

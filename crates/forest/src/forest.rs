@@ -267,6 +267,29 @@ impl DareForest {
         acc / self.trees.len() as f64
     }
 
+    /// The reference full prediction pass: the direct pointer walk over
+    /// every tree for every row, accumulate then divide. This is the
+    /// float-order contract every fast path must reproduce bitwise — the
+    /// [`PredictPlan`](crate::plan::PredictPlan) kernel is cross-checked
+    /// against it under `FUME_DEEPCHECK=1`, and `predict_kernel` benches
+    /// measure its speedup relative to this walk.
+    pub fn predict_proba_pointer(&self, data: &Dataset) -> Vec<f64> {
+        let mut acc = vec![0.0f64; data.num_rows()];
+        if self.trees.is_empty() {
+            return vec![0.5; data.num_rows()];
+        }
+        for tree in &self.trees {
+            for (row, slot) in acc.iter_mut().enumerate() {
+                *slot += tree.predict_row(data, row);
+            }
+        }
+        let k = self.trees.len() as f64;
+        for slot in &mut acc {
+            *slot /= k;
+        }
+        acc
+    }
+
     /// The trees, for structural inspection (path mining, validation).
     pub fn trees(&self) -> &[DareTree] {
         &self.trees
@@ -284,22 +307,31 @@ impl DareForest {
 }
 
 impl Classifier for DareForest {
-    /// Average of per-tree leaf probabilities.
+    /// Average of per-tree leaf probabilities. Passes over at least
+    /// [`PLAN_FULL_PASS_MIN_ROWS`](crate::plan::PLAN_FULL_PASS_MIN_ROWS)
+    /// rows compile a throwaway [`PredictPlan`](crate::plan::PredictPlan)
+    /// and run its blocked kernel; smaller passes (and the empty
+    /// ensemble) take [`Self::predict_proba_pointer`]. Both paths are
+    /// bitwise identical — callers that hold the forest across many
+    /// passes should compile a plan once instead of paying the implicit
+    /// recompile here.
     fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
-        let mut acc = vec![0.0f64; data.num_rows()];
-        if self.trees.is_empty() {
-            return vec![0.5; data.num_rows()];
+        if self.trees.is_empty() || data.num_rows() < crate::plan::PLAN_FULL_PASS_MIN_ROWS {
+            return self.predict_proba_pointer(data);
         }
-        for tree in &self.trees {
-            for (row, slot) in acc.iter_mut().enumerate() {
-                *slot += tree.predict_row(data, row);
+        let plan = crate::plan::PredictPlan::compile(self);
+        let mut out = vec![0.0f64; data.num_rows()];
+        plan.predict_into(data, &mut out);
+        if crate::deepcheck::enabled() {
+            let reference = self.predict_proba_pointer(data);
+            for (row, (a, b)) in out.iter().zip(&reference).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "FUME_DEEPCHECK: plan prediction diverged from the pointer walk at row {row}"
+                );
             }
         }
-        let k = self.trees.len() as f64;
-        for slot in &mut acc {
-            *slot /= k;
-        }
-        acc
+        out
     }
 }
 

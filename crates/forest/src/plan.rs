@@ -1,0 +1,750 @@
+//! The flattened prediction plan: a read-optimized arena compiled from a
+//! deployed [`DareForest`], plus the blocked batch-traversal kernel that
+//! replaces the pointer walk in full prediction passes.
+//!
+//! A [`DareForest`] is built to *mutate*: every node carries the cached
+//! statistics exact unlearning needs, children live behind `Box`es, and a
+//! prediction walk chases one heap pointer per level. That layout is right
+//! for `delete`/`insert` and wrong for the full passes FUME's pipeline
+//! keeps paying — routing-index builds, baseline scoring, serve cold
+//! paths — where the *same* static structure is traversed for thousands
+//! of rows. DaRE-style systems (Brophy & Lowd; DynFrs) keep the mutable
+//! training structure and serve inference from a compact read-only copy;
+//! [`PredictPlan`] is that copy.
+//!
+//! ## Layout
+//!
+//! Each tree is flattened **preorder** into an arena of 16-byte packed
+//! nodes — feature id, threshold, both child slots, and the leaf
+//! probability — with node addresses in a parallel side array (cold data
+//! for patching and routing only; the kernel never touches it). Preorder
+//! gives two structural invariants the whole module leans on:
+//!
+//! * a node's **left child is the next slot** (`i + 1`) — stored anyway
+//!   as `kids[0]` so a traversal step selects its successor by *indexing*
+//!   (`kids[go_right]`), never by branching on the split direction;
+//! * a **subtree occupies one contiguous range** `i..subtree_end(i)`, and
+//!   no pointer from outside that range targets its interior — which is
+//!   what makes cone splicing (below) a local operation.
+//!
+//! A **leaf points both children at itself**, so stepping a row that has
+//! already landed is a harmless self-loop. That makes every descent a
+//! fixed-length loop (the tree's maximum leaf depth) with *no data-
+//! dependent branches at all*: split directions are coin flips that a
+//! branch predictor loses every other step, so the kernel replaces the
+//! leaf test and the direction jump with indexed loads.
+//!
+//! ## The kernel
+//!
+//! [`PredictPlan::predict_into`] processes rows in blocks, trees-outer /
+//! rows-inner within each block, accumulating per-row sums and dividing
+//! once — the **exact float sequence** of [`DareForest::predict_row`], so
+//! plan predictions are bitwise identical to the pointer walk (not merely
+//! close). Within a tree the kernel descends [`LANES`](self) rows at
+//! once: one row's walk is a serial chain of dependent loads (node →
+//! feature code → compare → child slot → next node), so a single descent
+//! is latency-bound at roughly a dozen cycles per level no matter how the
+//! node is packed. Eight *independent* descents in flight overlap those
+//! chains and turn the walk throughput-bound — this, not the flat layout
+//! alone, is where the speedup over the pointer walk comes from (the
+//! pointer walk cannot interleave: each step chases a heap pointer and
+//! the borrow of one tree's `Box` chain pins the whole traversal order).
+//! `FUME_DEEPCHECK=1` cross-checks the bitwise claim per full pass in
+//! debug builds, and `benches/predict_kernel.rs` asserts it at bench
+//! scale before comparing speed.
+//!
+//! ## Staying coherent under unlearning
+//!
+//! The plan describes the forest *as compiled*. A journaled deletion
+//! invalidates only what its [`UndoJournal`] proves it touched:
+//! `InternalStats`/`Candidates` records never change the `(attr,
+//! threshold)` pair a walk consults, a `Leaf` record changes one stored
+//! probability in place, and a `Subtree` record replaces one contiguous
+//! arena cone. [`PredictPlan::patch`] therefore re-reads exactly those
+//! cones from the mutated forest, and [`PredictPlan::patch_cones`]
+//! replays the same cone set after a rollback — each patch is
+//! proportional to the edit, not to the forest. `plan.recompile` spans
+//! and the `fume.plan.{compiles,cone_patches,bytes}` counters make the
+//! compile/patch cost visible (see `docs/observability.md`).
+
+use fume_tabular::{Classifier, Dataset};
+
+use crate::forest::DareForest;
+use crate::journal::{NodePath, UndoJournal, UndoRecord};
+use crate::node::Node;
+
+/// Rows per traversal block in [`PredictPlan::predict_into`]: the block's
+/// accumulator (2 KiB of `f64`) stays L1-resident across all trees, while
+/// each tree's arena stays hot across all rows of the block.
+pub const BLOCK_ROWS: usize = 256;
+
+/// Interleaved descents per kernel step: enough independent load chains
+/// to keep the memory ports busy while each chain waits out its own
+/// latency, few enough that the lane state stays in registers.
+const LANES: usize = 8;
+
+/// Full passes over at least this many rows route through a compiled
+/// [`PredictPlan`] in [`DareForest::predict_proba`]; smaller passes walk
+/// the pointer structure directly, where a compile would cost more than
+/// it saves. Purely a performance threshold — both paths are bitwise
+/// identical.
+pub const PLAN_FULL_PASS_MIN_ROWS: usize = 512;
+
+/// An arena index as `u32` — the plan-side sibling of
+/// [`fume_tabular::cast::row_u32`]: arena sizes are bounded by node
+/// counts, which the builder bounds by instance counts, which dataset
+/// construction bounds to the `u32` row universe.
+fn node_u32(i: usize) -> u32 {
+    // fume-lint: allow(F001) -- audited narrowing: arena node counts are bounded by training-instance counts, which dataset construction caps at u32
+    i.try_into().expect("plan arena exceeds the u32 node universe")
+}
+
+/// One arena slot: everything a traversal step consults, packed into 16
+/// bytes (4 nodes per cache line). A leaf is any slot whose children
+/// point back at itself — there is no sentinel feature, so a leaf's
+/// `feat`/`thresh` are inert but *safe* to consult, and the kernel never
+/// needs a leaf test.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct PackedNode {
+    /// Splitting attribute; 0 (an ordinary, valid column) at leaves —
+    /// harmless because both children loop back to the leaf itself.
+    feat: u16,
+    /// Split threshold (`code <= thresh` goes left); 0 at leaves.
+    thresh: u16,
+    /// Child slots, `kids[0]` left / `kids[1]` right, so a step is
+    /// `kids[go_right]` — an indexed load, not a conditional jump. At a
+    /// leaf both entries hold the leaf's own slot (the self-loop).
+    kids: [u32; 2],
+    /// Leaf probability; 0.0 at internal nodes. Embedded in the node so
+    /// the terminal read of a walk comes from the line the final step
+    /// already loaded.
+    proba: f64,
+}
+
+/// One tree flattened into a preorder struct-of-arrays arena.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct TreePlan {
+    /// The hot array: one packed node per slot, in preorder.
+    nodes: Vec<PackedNode>,
+    /// Each slot's address in the pointer tree — cold data for
+    /// journal-driven invalidation and the routing index; the kernel
+    /// never touches it.
+    path: Vec<NodePath>,
+    /// Maximum leaf depth: the fixed step count that lands *every* row on
+    /// its leaf (shallower rows self-loop for the remaining steps).
+    steps: u32,
+}
+
+impl TreePlan {
+    fn from_root(root: &Node) -> Self {
+        let n = root.size();
+        let mut plan = Self {
+            nodes: Vec::with_capacity(n),
+            path: Vec::with_capacity(n),
+            steps: 0,
+        };
+        plan.flatten(root, NodePath::ROOT);
+        plan.steps = plan.max_depth();
+        plan
+    }
+
+    /// Appends `node`'s subtree in preorder. The left child lands at the
+    /// next slot (`kids[0]` is known immediately); the right child slot
+    /// is patched in once the left subtree's extent is known. Leaves
+    /// self-loop: both children point back at the leaf's own slot.
+    fn flatten(&mut self, node: &Node, path: NodePath) {
+        match node {
+            Node::Leaf(leaf) => {
+                let slot = node_u32(self.nodes.len());
+                self.nodes.push(PackedNode {
+                    feat: 0,
+                    thresh: 0,
+                    kids: [slot, slot],
+                    proba: leaf.proba(),
+                });
+                self.path.push(path);
+            }
+            Node::Internal(internal) => {
+                let slot = self.nodes.len();
+                self.nodes.push(PackedNode {
+                    feat: internal.attr,
+                    thresh: internal.threshold,
+                    kids: [node_u32(slot + 1), 0],
+                    proba: 0.0,
+                });
+                self.path.push(path);
+                self.flatten(&internal.left, path.child(false));
+                self.nodes[slot].kids[1] = node_u32(self.nodes.len());
+                self.flatten(&internal.right, path.child(true));
+            }
+        }
+    }
+
+    /// Whether arena slot `i` is a leaf — the self-loop test.
+    #[inline]
+    fn is_leaf(&self, i: usize) -> bool {
+        self.nodes[i].kids[0] as usize == i
+    }
+
+    /// Maximum leaf depth, from the recorded pointer-tree addresses.
+    fn max_depth(&self) -> u32 {
+        self.path.iter().map(|p| u32::from(p.depth())).max().unwrap_or(0)
+    }
+
+    /// Positive-class probability of `row` — the arena twin of
+    /// [`Node::predict_row`], bit for bit. Runs the fixed-length
+    /// branch-free descent: exactly [`Self::steps`] indexed steps (a row
+    /// that lands early self-loops on its leaf), then one probability
+    /// read. No leaf test, no direction branch.
+    #[inline]
+    pub(crate) fn predict_row(&self, data: &Dataset, row: usize) -> f64 {
+        let mut i = 0usize;
+        for _ in 0..self.steps {
+            let node = &self.nodes[i];
+            let go = usize::from(data.code(row, node.feat as usize) > node.thresh);
+            i = node.kids[go] as usize;
+        }
+        self.nodes[i].proba
+    }
+
+    /// Descends [`LANES`] consecutive rows (`first_row..first_row +
+    /// LANES`) through this tree at once, returning their leaf
+    /// probabilities. Each lane's walk is a serial chain of dependent
+    /// loads; running the lanes in lockstep keeps that many independent
+    /// chains in flight, which is what makes the kernel faster than any
+    /// single-row walk can be. The self-looping leaves make lockstep
+    /// trivially correct: lanes that land early just spin in place.
+    #[inline]
+    fn predict_lanes(&self, data: &Dataset, first_row: usize) -> [f64; LANES] {
+        let mut idx = [0usize; LANES];
+        for _ in 0..self.steps {
+            for (lane, i) in idx.iter_mut().enumerate() {
+                let node = &self.nodes[*i];
+                let code = data.code(first_row + lane, node.feat as usize);
+                *i = node.kids[usize::from(code > node.thresh)] as usize;
+            }
+        }
+        let mut out = [0.0; LANES];
+        for (lane, i) in idx.iter().enumerate() {
+            out[lane] = self.nodes[*i].proba;
+        }
+        out
+    }
+
+    /// Arena slot of the leaf `row` lands in.
+    #[inline]
+    pub(crate) fn route_row(&self, data: &Dataset, row: usize) -> usize {
+        let mut i = 0usize;
+        for _ in 0..self.steps {
+            let node = &self.nodes[i];
+            let go = usize::from(data.code(row, node.feat as usize) > node.thresh);
+            i = node.kids[go] as usize;
+        }
+        i
+    }
+
+    /// The leaf probability stored at `slot`.
+    #[inline]
+    pub(crate) fn proba_of(&self, slot: usize) -> f64 {
+        self.nodes[slot].proba
+    }
+
+    /// The pointer-tree address of `slot`.
+    #[inline]
+    pub(crate) fn path_of(&self, slot: usize) -> NodePath {
+        self.path[slot]
+    }
+
+    /// Number of arena slots.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Arena slot of the node at `path`, walking the recorded step bits.
+    /// `path` must address a node of this tree (journal paths always do:
+    /// they were recorded while descending the same structure).
+    fn locate(&self, path: NodePath) -> usize {
+        let mut i = 0usize;
+        for step in 0..path.depth() {
+            debug_assert!(!self.is_leaf(i), "plan path descends through a leaf");
+            i = self.nodes[i].kids[(path.bits() >> step & 1) as usize] as usize;
+        }
+        i
+    }
+
+    /// One past the last slot of the subtree rooted at `i`: preorder puts
+    /// a subtree in the contiguous range `i..subtree_end(i)`, and the
+    /// rightmost descent from `i` reaches its last slot (a self-looping
+    /// leaf, where the descent sticks).
+    fn subtree_end(&self, i: usize) -> usize {
+        let mut j = i;
+        while self.nodes[j].kids[1] as usize != j {
+            j = self.nodes[j].kids[1] as usize;
+        }
+        j + 1
+    }
+
+    /// Replaces the cone rooted at `root` with a fresh flattening of the
+    /// same address in `tree_root` (the live pointer tree), shifting the
+    /// child slots of every surviving node that points past the cone.
+    /// Cost is proportional to the cone plus one linear slot fixup — the
+    /// rest of the arena is untouched. The caller refreshes
+    /// [`Self::steps`] once all of a tree's cones are in (a rebuilt cone
+    /// can change the tree's depth).
+    fn splice_cone(&mut self, root: NodePath, tree_root: &Node) {
+        let i = self.locate(root);
+        let old_end = self.subtree_end(i);
+        let mut frag = TreePlan::default();
+        frag.flatten(root.locate(tree_root), root);
+        let new_end = i + frag.nodes.len();
+        // Rebase the fragment's child slots from fragment-relative to
+        // arena-absolute (this also moves leaf self-loops to their final
+        // slots — a fragment leaf at fragment slot `j` lands at `i + j`).
+        for node in &mut frag.nodes {
+            node.kids = node.kids.map(|k| node_u32(k as usize + i));
+        }
+        // Preorder guarantees no slot from outside the cone targets its
+        // interior: the only external references are the parent's child
+        // slot aimed at the cone root itself (slot `i`, unchanged) and
+        // slots at `old_end` or beyond, which shift by the cone's size
+        // delta (a surviving leaf's self-loop shifts with its own slot).
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            if j >= i && j < old_end {
+                continue; // discarded with the old cone
+            }
+            for kid in &mut node.kids {
+                let target = *kid as usize;
+                debug_assert!(
+                    target <= i || target >= old_end,
+                    "external child slot into a cone interior"
+                );
+                if target >= old_end {
+                    *kid = node_u32(target - old_end + new_end);
+                }
+            }
+        }
+        self.nodes.splice(i..old_end, frag.nodes);
+        self.path.splice(i..old_end, frag.path);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * (size_of::<PackedNode>() + size_of::<NodePath>())
+    }
+}
+
+/// An immutable, cache-friendly prediction kernel compiled from a
+/// deployed [`DareForest`]: per-tree preorder struct-of-arrays arenas
+/// plus a blocked batch-traversal pass that is bitwise identical to the
+/// pointer walk (see the [module docs](self) for the layout and the
+/// float-order argument).
+///
+/// ```
+/// use fume_forest::{DareConfig, DareForest, PredictPlan};
+/// use fume_tabular::datasets::planted_toy;
+/// use fume_tabular::Classifier;
+///
+/// let (data, _) = planted_toy().generate_scaled(0.2, 7).unwrap();
+/// let forest = DareForest::fit(&data, DareConfig::small(7));
+/// let plan = PredictPlan::compile(&forest);
+/// let fast = plan.predict_proba(&data);
+/// for (row, p) in fast.iter().enumerate() {
+///     assert_eq!(p.to_bits(), forest.predict_row(&data, row).to_bits());
+/// }
+/// ```
+///
+/// The plan describes the forest as it was at [`Self::compile`] (or last
+/// patch) time. After `delete_journaled`, call [`Self::patch`] with the
+/// journal; after the matching `rollback`, replay the returned
+/// [`PlanCones`] with [`Self::patch_cones`]. Destructive deletes and
+/// inserts have no journal — recompile after those.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictPlan {
+    trees: Vec<TreePlan>,
+}
+
+impl PredictPlan {
+    /// Flattens every tree of `forest` into its arena form. Emits a
+    /// `plan.recompile` span and the `fume.plan.compiles` /
+    /// `fume.plan.bytes` counters.
+    pub fn compile(forest: &DareForest) -> Self {
+        let _span = fume_obs::span!(
+            "plan.recompile",
+            trees = forest.trees().len(),
+            full = true
+        );
+        let trees: Vec<TreePlan> =
+            forest.trees().iter().map(|t| TreePlan::from_root(t.root())).collect();
+        let plan = Self { trees };
+        fume_obs::counter!("fume.plan.compiles", 1);
+        fume_obs::counter!("fume.plan.bytes", plan.approx_bytes());
+        plan
+    }
+
+    /// Number of flattened trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total arena slots across all trees (internal nodes plus leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(TreePlan::len).sum()
+    }
+
+    /// Rough arena footprint in bytes (what `fume.plan.bytes` reports).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.trees.iter().map(TreePlan::approx_bytes).sum::<usize>()
+    }
+
+    /// The per-tree arenas, for consumers that need per-tree routing
+    /// (the routing index reads leaf addresses and probabilities straight
+    /// out of the arena).
+    pub(crate) fn tree_plans(&self) -> &[TreePlan] {
+        &self.trees
+    }
+
+    /// The blocked batch kernel: fills `out[row]` with the ensemble
+    /// probability of every row of `data`, in blocks of [`BLOCK_ROWS`],
+    /// trees-outer / rows-inner within each block — the exact
+    /// accumulate-then-divide float order of [`DareForest::predict_row`],
+    /// so the result is bitwise identical to the pointer walk. Emits a
+    /// `plan.predict_block` span per pass.
+    ///
+    /// # Panics
+    /// If `out.len() != data.num_rows()`.
+    pub fn predict_into(&self, data: &Dataset, out: &mut [f64]) {
+        assert_eq!(out.len(), data.num_rows(), "output slice must cover every row");
+        if self.trees.is_empty() {
+            // The empty ensemble is maximally uncertain, matching
+            // `DareForest::predict_row`.
+            out.fill(0.5);
+            return;
+        }
+        let _span = fume_obs::span!(
+            "plan.predict_block",
+            rows = out.len(),
+            trees = self.trees.len()
+        );
+        let k = self.trees.len() as f64;
+        let mut start = 0usize;
+        while start < data.num_rows() {
+            let end = (start + BLOCK_ROWS).min(data.num_rows());
+            let block = &mut out[start..end];
+            block.fill(0.0);
+            for tree in &self.trees {
+                // Interleaved descents in LANES-row groups; the block
+                // tail (and any short block) falls back to the scalar
+                // walk, which lands on the same leaf and reads the same
+                // probability — per-row sums stay one addend per tree in
+                // tree order either way, so the interleave cannot
+                // perturb the float sequence.
+                let mut off = 0usize;
+                while off + LANES <= block.len() {
+                    let probas = tree.predict_lanes(data, start + off);
+                    for (slot, p) in block[off..off + LANES].iter_mut().zip(probas) {
+                        *slot += p;
+                    }
+                    off += LANES;
+                }
+                for (rest, slot) in block[off..].iter_mut().enumerate() {
+                    *slot += tree.predict_row(data, start + off + rest);
+                }
+            }
+            for slot in block.iter_mut() {
+                *slot /= k;
+            }
+            start = end;
+        }
+    }
+
+    /// Re-reads from `forest` exactly the arena cones a journaled
+    /// deletion invalidated — edited leaves in place, rebuilt subtrees by
+    /// splice — and returns the cone set so the caller can replay it
+    /// after the matching rollback. `forest` must be the forest the
+    /// journal's deletion just mutated (e.g. the scratch forest between
+    /// `delete_journaled` and `rollback`); `journal` must come from a
+    /// forest this plan was compiled from.
+    ///
+    /// Emits a `plan.recompile` span (field `cones`) and the
+    /// `fume.plan.cone_patches` counter. Under `FUME_DEEPCHECK=1` the
+    /// patched plan is verified equal to a fresh compile.
+    ///
+    /// # Panics
+    /// If the journal's tree count disagrees with the plan's.
+    pub fn patch(&mut self, journal: &UndoJournal, forest: &DareForest) -> PlanCones {
+        assert!(
+            journal.trees.is_empty() || journal.trees.len() == self.trees.len(),
+            "journal covers {} trees but the plan covers {}",
+            journal.trees.len(),
+            self.trees.len()
+        );
+        let cones = Self::cones_of(journal);
+        self.apply_cones(&cones, forest);
+        cones
+    }
+
+    /// Replays a cone set from [`Self::patch`] against the forest's
+    /// *current* nodes — the rollback twin: `rollback(journal)` consumes
+    /// the journal, so the caller keeps the [`PlanCones`] and re-reads
+    /// the same regions once the forest is restored, returning the plan
+    /// to its pre-delete arena bit for bit.
+    pub fn patch_cones(&mut self, cones: &PlanCones, forest: &DareForest) {
+        self.apply_cones(cones, forest);
+    }
+
+    /// Derives the invalidated cone set from a journal's records:
+    /// `Subtree` roots name rebuilt cones, `Leaf` paths name in-place
+    /// probability edits (dropped when covered by a rebuilt cone — the
+    /// splice re-reads them anyway), and `InternalStats`/`Candidates`
+    /// records are ignored because in-place statistic updates never touch
+    /// the `(attr, threshold)` pair a walk consults.
+    fn cones_of(journal: &UndoJournal) -> PlanCones {
+        let mut rebuilt = Vec::with_capacity(journal.trees.len());
+        let mut edited = Vec::with_capacity(journal.trees.len());
+        for undo in &journal.trees {
+            let mut roots: Vec<NodePath> = Vec::new();
+            let mut leaves: Vec<NodePath> = Vec::new();
+            for record in &undo.records {
+                match record {
+                    UndoRecord::Subtree { path, .. } => {
+                        if !roots.contains(path) {
+                            roots.push(*path);
+                        }
+                    }
+                    UndoRecord::Leaf { path, .. } => {
+                        if !leaves.contains(path) {
+                            leaves.push(*path);
+                        }
+                    }
+                    UndoRecord::InternalStats { .. } | UndoRecord::Candidates { .. } => {}
+                }
+            }
+            // A leaf edit under a rebuilt cone no longer exists at its
+            // recorded address (the journal invariant makes this rare:
+            // a rebuild terminates the delete recursion, so records
+            // below it come only from earlier recursion branches).
+            leaves.retain(|&leaf| !roots.iter().any(|&root| leaf.descends_from(root)));
+            rebuilt.push(roots);
+            edited.push(leaves);
+        }
+        PlanCones { rebuilt, edited }
+    }
+
+    fn apply_cones(&mut self, cones: &PlanCones, forest: &DareForest) {
+        debug_assert_eq!(forest.trees().len(), self.trees.len(), "forest/plan shape");
+        let n = cones.num_cones();
+        fume_obs::counter!("fume.plan.cone_patches", n);
+        if n == 0 {
+            return;
+        }
+        let _span = fume_obs::span!("plan.recompile", cones = n);
+        for (t, plan) in self.trees.iter_mut().enumerate() {
+            let rebuilt = cones.rebuilt.get(t).map_or(&[][..], Vec::as_slice);
+            let edited = cones.edited.get(t).map_or(&[][..], Vec::as_slice);
+            if rebuilt.is_empty() && edited.is_empty() {
+                continue;
+            }
+            let tree = &forest.trees()[t];
+            for &root in rebuilt {
+                plan.splice_cone(root, tree.root());
+            }
+            if !rebuilt.is_empty() {
+                // A rebuilt cone can deepen or flatten the tree; the
+                // fixed-step kernel must cover the new maximum depth.
+                plan.steps = plan.max_depth();
+            }
+            for &leaf in edited {
+                let i = plan.locate(leaf);
+                debug_assert!(plan.is_leaf(i), "edited path addresses a leaf");
+                plan.nodes[i].proba = tree.proba_at(leaf);
+            }
+        }
+        if crate::deepcheck::enabled() {
+            let fresh: Vec<TreePlan> =
+                forest.trees().iter().map(|t| TreePlan::from_root(t.root())).collect();
+            assert!(
+                self.trees == fresh,
+                "FUME_DEEPCHECK: patched plan diverged from a fresh compile"
+            );
+        }
+    }
+}
+
+impl Classifier for PredictPlan {
+    /// [`Self::predict_into`] against a fresh vector — so a compiled plan
+    /// drops in anywhere a model is scored (`metric.bias(&plan, ..)`,
+    /// `plan.accuracy(..)`).
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        let mut out = vec![0.0f64; data.num_rows()];
+        self.predict_into(data, &mut out);
+        out
+    }
+}
+
+/// The arena cones one journaled deletion invalidated, per tree — the
+/// replayable half of [`PredictPlan::patch`]. Rollback consumes the
+/// journal, so this is what survives to drive the post-rollback
+/// [`PredictPlan::patch_cones`] re-read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCones {
+    /// `rebuilt[tree]`: rebuilt-subtree roots, deduplicated.
+    rebuilt: Vec<Vec<NodePath>>,
+    /// `edited[tree]`: in-place-edited leaves outside every rebuilt cone.
+    edited: Vec<Vec<NodePath>>,
+}
+
+impl PlanCones {
+    /// Whether the deletion invalidated nothing (an empty journal, or one
+    /// with only in-place statistic records).
+    pub fn is_empty(&self) -> bool {
+        self.num_cones() == 0
+    }
+
+    /// Total invalidated cones across all trees (edited leaves plus
+    /// rebuilt subtrees) — what `fume.plan.cone_patches` counts per
+    /// patch.
+    pub fn num_cones(&self) -> usize {
+        self.rebuilt.iter().map(Vec::len).sum::<usize>()
+            + self.edited.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DareConfig;
+    use fume_tabular::datasets::planted_toy;
+    use fume_tabular::split::train_test_split;
+
+    fn setup(seed: u64) -> (Dataset, Dataset, DareForest) {
+        let (data, _) = planted_toy().generate_scaled(0.2, seed).unwrap();
+        let (train, test) = train_test_split(&data, 0.3, seed).unwrap();
+        let forest = DareForest::fit(&train, DareConfig::small(seed));
+        (train, test, forest)
+    }
+
+    fn assert_bitwise(plan: &PredictPlan, forest: &DareForest, data: &Dataset) {
+        let fast = plan.predict_proba(data);
+        for (row, p) in fast.iter().enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                forest.predict_row(data, row).to_bits(),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_the_pointer_walk_bitwise() {
+        let (_, test, forest) = setup(51);
+        let plan = PredictPlan::compile(&forest);
+        assert_eq!(plan.num_trees(), forest.trees().len());
+        let expected: usize = forest.trees().iter().map(|t| t.root().size()).sum();
+        assert_eq!(plan.num_nodes(), expected);
+        assert!(plan.approx_bytes() > 0);
+        assert_bitwise(&plan, &forest, &test);
+    }
+
+    #[test]
+    fn arena_structure_is_preorder_with_implicit_left_children() {
+        let (_, test, forest) = setup(52);
+        let plan = PredictPlan::compile(&forest);
+        for tree in plan.tree_plans() {
+            assert_eq!(tree.subtree_end(0), tree.len(), "root spans the arena");
+            let mut deepest = 0u32;
+            for i in 0..tree.len() {
+                deepest = deepest.max(u32::from(tree.path[i].depth()));
+                if tree.is_leaf(i) {
+                    assert_eq!(tree.nodes[i].kids, [i as u32; 2], "leaf self-loops");
+                } else {
+                    let [l, r] = tree.nodes[i].kids.map(|k| k as usize);
+                    // Left child is the next slot; the left subtree is
+                    // exactly `i+1..r`, the right subtree `r..end`.
+                    assert_eq!(l, i + 1);
+                    assert_eq!(tree.subtree_end(l), r);
+                    assert!(r > l && r < tree.subtree_end(i));
+                    // The stored paths agree with the slot structure.
+                    assert_eq!(tree.path[l], tree.path[i].child(false));
+                    assert_eq!(tree.path[r], tree.path[i].child(true));
+                }
+                assert_eq!(tree.locate(tree.path[i]), i, "locate inverts path");
+            }
+            assert_eq!(tree.steps, deepest, "steps covers the deepest leaf");
+        }
+        // Routing lands on slots whose path/proba match the walk.
+        for (t, tree) in forest.trees().iter().enumerate() {
+            let arena = &plan.tree_plans()[t];
+            for row in 0..test.num_rows() {
+                let (path, proba) = tree.root().route_row(&test, row);
+                let slot = arena.route_row(&test, row);
+                assert_eq!(arena.path_of(slot), path);
+                assert_eq!(arena.proba_of(slot).to_bits(), proba.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_forest_plan_answers_half() {
+        let (data, _) = planted_toy().generate_scaled(0.1, 53).unwrap();
+        let cfg = DareConfig { n_trees: 0, ..DareConfig::small(53) };
+        let forest = DareForest::fit(&data, cfg);
+        let plan = PredictPlan::compile(&forest);
+        assert_eq!(plan.num_trees(), 0);
+        for p in plan.predict_proba(&data) {
+            assert_eq!(p.to_bits(), 0.5f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn patch_tracks_a_journaled_delete_and_rollback() {
+        let (train, test, mut forest) = setup(54);
+        let mut plan = PredictPlan::compile(&forest);
+        let pristine = plan.clone();
+        for subset in [vec![0u32, 1, 2], (0..60).step_by(3).collect::<Vec<u32>>()] {
+            let journal = forest.delete_journaled(&subset, &train);
+            let cones = plan.patch(&journal, &forest);
+            // The patched plan is the plan a fresh compile would build.
+            assert_eq!(plan, PredictPlan::compile(&forest));
+            assert_bitwise(&plan, &forest, &test);
+            forest.rollback(journal);
+            plan.patch_cones(&cones, &forest);
+            assert_eq!(plan, pristine, "rollback replay restores the arena");
+            assert_bitwise(&plan, &forest, &test);
+        }
+    }
+
+    #[test]
+    fn empty_journal_patches_nothing() {
+        let (train, _, mut forest) = setup(55);
+        let mut plan = PredictPlan::compile(&forest);
+        let before = plan.clone();
+        let journal = forest.delete_journaled(&[], &train);
+        let cones = plan.patch(&journal, &forest);
+        assert!(cones.is_empty());
+        assert_eq!(cones.num_cones(), 0);
+        assert_eq!(plan, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "journal covers")]
+    fn journal_from_a_different_forest_shape_is_rejected() {
+        let (train, _, forest) = setup(56);
+        let mut plan = PredictPlan::compile(&forest);
+        let other_cfg = DareConfig { n_trees: 3, ..DareConfig::small(56) };
+        let mut other = DareForest::fit(&train, other_cfg);
+        let journal = other.delete_journaled(&[0, 1], &train);
+        plan.patch(&journal, &other);
+    }
+
+    #[test]
+    fn predict_into_rejects_misshapen_output() {
+        let (_, test, forest) = setup(57);
+        let plan = PredictPlan::compile(&forest);
+        let mut out = vec![0.0; test.num_rows() + 1];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.predict_into(&test, &mut out)
+        }));
+        assert!(err.is_err(), "length mismatch must panic");
+    }
+}

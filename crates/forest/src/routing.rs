@@ -36,6 +36,7 @@ use fume_tabular::Dataset;
 
 use crate::forest::DareForest;
 use crate::journal::{NodePath, UndoJournal, UndoRecord};
+use crate::plan::PredictPlan;
 
 /// Maps each leaf of a fixed forest to the rows of a fixed evaluation
 /// dataset cached under it (and each `(tree, row)` pair to its leaf
@@ -80,23 +81,39 @@ pub struct DirtyRows {
 }
 
 impl RoutingIndex {
-    /// Routes every row of `data` through every tree of `forest`.
+    /// Routes every row of `data` through every tree of `forest`, via a
+    /// throwaway [`PredictPlan`] compile. Callers that already hold a
+    /// compiled plan should use [`Self::build_with_plan`] directly and
+    /// share the plan with their prediction passes.
     pub fn build(forest: &DareForest, data: &Dataset) -> Self {
+        Self::build_with_plan(&PredictPlan::compile(forest), data)
+    }
+
+    /// Routes every row of `data` through every tree of `plan`'s
+    /// flattened arenas. The arena records each slot's [`NodePath`] and
+    /// leaf probability, so one arena walk per `(tree, row)` yields both
+    /// the leaf table entry and the cached contribution — the same
+    /// addresses and bits a pointer [`route_row`](crate::node::Node::route_row)
+    /// walk produces, without the pointer chasing.
+    pub fn build_with_plan(plan: &PredictPlan, data: &Dataset) -> Self {
         let _span = fume_obs::span!(
             "forest.routing_index.build",
-            trees = forest.trees().len(),
+            trees = plan.num_trees(),
             rows = data.num_rows()
         );
         let n_rows = data.num_rows();
-        let n_trees = forest.trees().len();
+        let n_trees = plan.num_trees();
         let mut rows_by_leaf = Vec::with_capacity(n_trees);
         let mut probas = Vec::with_capacity(n_rows * n_trees);
-        for tree in forest.trees() {
+        for tree in plan.tree_plans() {
             let mut by_leaf: HashMap<NodePath, Vec<u32>> = HashMap::new();
             for row in 0..n_rows {
-                let (leaf, proba) = tree.root().route_row(data, row);
-                by_leaf.entry(leaf).or_default().push(fume_tabular::cast::row_u32(row));
-                probas.push(proba);
+                let slot = tree.route_row(data, row);
+                by_leaf
+                    .entry(tree.path_of(slot))
+                    .or_default()
+                    .push(fume_tabular::cast::row_u32(row));
+                probas.push(tree.proba_of(slot));
             }
             rows_by_leaf.push(by_leaf);
         }

@@ -1,0 +1,96 @@
+//! Property test for plan coherence under unlearning churn: a compiled
+//! [`PredictPlan`] that is patched through an arbitrary interleaving of
+//! journaled deletes, rollbacks and full prediction passes must stay
+//! bitwise identical to the pointer walk after **every** step — the plan
+//! is only useful if it never needs a recompile to stay honest.
+//!
+//! The churn schedule is seeded and deterministic (fume-lint F003: the
+//! subsets are derived from fixed affine sequences, not an ambient RNG),
+//! and the test also cross-checks the arena against a fresh compile at
+//! each step, which is a stronger claim than prediction equality: the
+//! patched plan must be *the* plan, not just an equivalent one.
+
+use fume_forest::{DareConfig, DareForest, PredictPlan};
+use fume_tabular::datasets::planted_toy;
+use fume_tabular::split::train_test_split;
+use fume_tabular::{Classifier, Dataset};
+
+/// Asserts every plan prediction carries the exact bits of the pointer
+/// walk — the invariant each churn step must preserve.
+fn assert_bitwise(plan: &PredictPlan, forest: &DareForest, data: &Dataset, step: usize) {
+    let fast = plan.predict_proba(data);
+    for (row, p) in fast.iter().enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            forest.predict_row(data, row).to_bits(),
+            "plan diverged from the pointer walk at step {step}, row {row}"
+        );
+    }
+}
+
+/// A deterministic pseudo-random subset of `0..n`: multiples of two
+/// coprime strides folded into range, sorted and deduplicated. Different
+/// `(step, salt)` pairs give different, overlapping subsets — overlap is
+/// the interesting case for cone patching (repeated edits to the same
+/// region of the arena).
+fn churn_subset(step: usize, salt: usize, n: u32) -> Vec<u32> {
+    let size = 3 + (step * 5 + salt) % 40;
+    let mut ids: Vec<u32> = (0..size)
+        .map(|j| ((j * 97 + step * 131 + salt * 53) % n as usize) as u32)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn plan_stays_bitwise_coherent_under_delete_rollback_churn() {
+    let (data, _) = planted_toy().generate_scaled(0.4, 71).unwrap();
+    let (train, test) = train_test_split(&data, 0.3, 71).unwrap();
+    let n = train.num_rows() as u32;
+    let cfg = DareConfig { n_trees: 7, max_depth: 6, seed: 71, ..DareConfig::default() };
+    let mut forest = DareForest::fit(&train, cfg);
+
+    let mut plan = PredictPlan::compile(&forest);
+    let pristine = plan.clone();
+    assert_bitwise(&plan, &forest, &test, 0);
+
+    for step in 1..=12 {
+        // Delete a churn subset and patch the plan from its journal.
+        let del = churn_subset(step, 0, n);
+        let journal = forest.delete_journaled(&del, &train);
+        let cones = plan.patch(&journal, &forest);
+        assert_eq!(
+            plan,
+            PredictPlan::compile(&forest),
+            "step {step}: patched plan is not the fresh compile of the mutated forest"
+        );
+        assert_bitwise(&plan, &forest, &test, step);
+
+        // Every third step, pile a second deletion on top before
+        // rolling back — nested journals exercise cone patches against
+        // an arena that was already patched once.
+        if step % 3 == 0 {
+            // Ids still present in the forest only: deleting an already-
+            // deleted id is outside the delete contract.
+            let mut more = churn_subset(step, 1, n);
+            more.retain(|id| !del.contains(id));
+            let inner = forest.delete_journaled(&more, &train);
+            let inner_cones = plan.patch(&inner, &forest);
+            assert_bitwise(&plan, &forest, &test, step);
+            forest.rollback(inner);
+            plan.patch_cones(&inner_cones, &forest);
+            assert_bitwise(&plan, &forest, &test, step);
+        }
+
+        // Roll the outer deletion back and replay its cones: the arena
+        // must return to the pristine compile bit for bit.
+        forest.rollback(journal);
+        plan.patch_cones(&cones, &forest);
+        assert_eq!(
+            plan, pristine,
+            "step {step}: rollback replay did not restore the pristine arena"
+        );
+        assert_bitwise(&plan, &forest, &test, step);
+    }
+}

@@ -14,6 +14,9 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> rustdoc completeness: missing_docs is an error on fume-forest/fume-core"
+cargo clippy --offline -q -p fume-forest -p fume-core --lib -- -D missing_docs
+
 echo "==> fume-lint: custom static analysis (docs/static-analysis.md)"
 cargo test -q --offline -p fume-lint
 lint_report="target/fume-lint-report.json"
@@ -57,6 +60,21 @@ if ! awk -v s="$incr_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
 fi
 echo "    incremental path ${incr_speedup}x over pooled full recompute"
 
+echo "==> bench smoke: flattened prediction plan vs pointer walk"
+# The bench itself asserts full-vector bitwise equality before timing, so
+# a passing run certifies correctness and speed together.
+cargo bench -q --offline -p fume-bench --bench predict_kernel -- --smoke
+plan_speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' BENCH_predict.json)
+if [ -z "$plan_speedup" ]; then
+    echo "could not read speedup from BENCH_predict.json" >&2
+    exit 1
+fi
+if ! awk -v s="$plan_speedup" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "prediction-plan kernel below the 1.5x gate over the pointer walk (${plan_speedup}x)" >&2
+    exit 1
+fi
+echo "    plan kernel ${plan_speedup}x over the pointer walk"
+
 echo "==> fume-trace diff: smoke bench run-to-run perf gate"
 # A second identical run; the tolerance is generous (smoke runs are small
 # and noisy) — the gate exists to catch order-of-magnitude regressions
@@ -85,6 +103,11 @@ echo "==> incremental-vs-full differential battery under FUME_DEEPCHECK=1"
 # Every incremental bias answer is cross-checked bitwise against a full
 # recompute inside the removal method, per call.
 FUME_DEEPCHECK=1 cargo test -q --offline --test incremental_eval
+
+echo "==> plan-churn property test under FUME_DEEPCHECK=1"
+# Every cone patch additionally cross-checks the arena against a fresh
+# compile, and every full pass cross-checks against the pointer walk.
+FUME_DEEPCHECK=1 cargo test -q --offline -p fume-forest --test plan_churn
 
 echo "==> lock-order deadlock detector: inversion fires, clean batteries stay silent"
 # The fume-obs sync suite includes a deliberate AB/BA inversion that must

@@ -12,6 +12,7 @@ use fume::forest::DareConfig;
 use fume::lattice::SupportRange;
 use fume::tabular::datasets::planted_toy;
 use fume::tabular::split::train_test_split;
+use fume::tabular::Classifier;
 
 /// Extracts `(name, kind)` pairs from the vocabulary tables. A table row
 /// looks like ``| `lattice.search` | span | the whole level-wise search |``;
@@ -136,6 +137,17 @@ fn emitted_names_match_the_documented_vocabulary() {
     let wave: Vec<u32> = (0..held_out).collect();
     forest.insert(&wave, &train).unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+
+    // A compiled prediction plan tracking a journaled delete/rollback
+    // pair: `plan.recompile` + `fume.plan.{compiles,bytes}`, a blocked
+    // full pass (`plan.predict_block`), and cone patching on both the
+    // delete and the rollback replay (`fume.plan.cone_patches`).
+    let mut plan = fume::forest::PredictPlan::compile(&forest);
+    let _ = plan.predict_proba(&test);
+    let journal = forest.delete_journaled(&wave, &train);
+    let cones = plan.patch(&journal, &forest);
+    forest.rollback(journal);
+    plan.patch_cones(&cones, &forest);
 
     // A short serve session: two identical explain jobs, so the second is
     // answered entirely by the cross-request cache (`fume.serve.cache.hits`)
